@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figures 6-7 + Table 3: effect of register-file size (16 vs 32).
+ *
+ * The DLXe compiler restricted to 16 registers is compared with full
+ * 32-register DLXe, for static size, path length, and — Table 3 — the
+ * increase in data traffic (loads+stores) relative to DLXe/32, for
+ * both D16 and the restricted DLXe (paper: ~10% average penalty).
+ */
+
+#include <algorithm>
+
+#include "common.hh"
+
+using namespace d16bench;
+
+int
+main()
+{
+    header("Figures 6-7 / Table 3: 16 vs 32 registers",
+           "Bunda et al. 1993, Figs. 6-7 and Table 3");
+
+    const CompileOptions d16 = CompileOptions::d16();
+    const CompileOptions dlxe16 = CompileOptions::dlxe(16, true);
+    const CompileOptions dlxe32 = CompileOptions::dlxe(32, true);
+
+    Table t({"Program", "size16/D16", "size32/D16", "path16/D16",
+             "path32/D16", "dtraf D16 %", "dtraf DLXe-16 %"});
+    double s16 = 0, s32 = 0, p16 = 0, p32 = 0, tD = 0, tX = 0;
+    int n = 0, nTraffic = 0;
+
+    for (const Workload &w : workloadSuite()) {
+        const auto &mD = measure(w.name, d16);
+        const auto &m16 = measure(w.name, dlxe16);
+        const auto &m32 = measure(w.name, dlxe32);
+        const double base = mD.run.sizeBytes;
+        const double pbase = mD.run.stats.instructions;
+        const double traffic32 = m32.run.stats.memOps();
+        // The percentage is meaningless for programs the 32-register
+        // compiler runs almost entirely in registers.
+        const bool trafficMeaningful =
+            traffic32 > m32.run.stats.instructions / 200.0;
+        std::string dDs = "-", dXs = "-";
+        if (trafficMeaningful) {
+            const double dD =
+                100.0 * (mD.run.stats.memOps() - traffic32) / traffic32;
+            const double dX =
+                100.0 * (m16.run.stats.memOps() - traffic32) / traffic32;
+            tD += dD;
+            tX += dX;
+            ++nTraffic;
+            dDs = fixed(dD, 1);
+            dXs = fixed(dX, 1);
+        }
+        s16 += m16.run.sizeBytes / base;
+        s32 += m32.run.sizeBytes / base;
+        p16 += m16.run.stats.instructions / pbase;
+        p32 += m32.run.stats.instructions / pbase;
+        ++n;
+        t.addRow({w.name, ratio(m16.run.sizeBytes, base),
+                  ratio(m32.run.sizeBytes, base),
+                  ratio(m16.run.stats.instructions, pbase),
+                  ratio(m32.run.stats.instructions, pbase), dDs, dXs});
+    }
+    t.addRow({"(average)", fixed(s16 / n, 2), fixed(s32 / n, 2),
+              fixed(p16 / n, 2), fixed(p32 / n, 2),
+              fixed(tD / std::max(1, nTraffic), 1),
+              fixed(tX / std::max(1, nTraffic), 1)});
+    t.print(std::cout);
+
+    std::cout << "\nPaper Table 3: average data-traffic increase over "
+                 "DLXe/32 is ~10.1% (D16) and ~9.0% (DLXe-16).\n";
+    return 0;
+}

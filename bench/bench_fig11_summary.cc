@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figures 11-12 + Table 5: the full feature-interaction summary.
+ *
+ * Code-size and path-length ratios (DLXe variant / D16) for the four
+ * DLXe compiler variants, per program and averaged — the paper's
+ * Table 5 / Figures 11-12 rollup of the register-count, operand-count,
+ * and immediate-field effects.
+ */
+
+#include "common.hh"
+
+using namespace d16bench;
+
+int
+main()
+{
+    header("Figures 11-12 / Table 5: density and path-length summary",
+           "Bunda et al. 1993, Figs. 11-12 and Table 5");
+
+    const auto variants = allVariants();
+
+    Table size({"Program", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2",
+                "DLXe/32/3"});
+    Table path({"Program", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2",
+                "DLXe/32/3"});
+    double sizeSum[4] = {0, 0, 0, 0}, pathSum[4] = {0, 0, 0, 0};
+    int n = 0;
+
+    for (const Workload &w : workloadSuite()) {
+        const auto &base = measure(w.name, variants[0].second);
+        std::vector<std::string> srow = {w.name}, prow = {w.name};
+        for (int v = 1; v <= 4; ++v) {
+            const auto &m = measure(w.name, variants[v].second);
+            const double s = static_cast<double>(m.run.sizeBytes) /
+                             base.run.sizeBytes;
+            const double p =
+                static_cast<double>(m.run.stats.instructions) /
+                base.run.stats.instructions;
+            sizeSum[v - 1] += s;
+            pathSum[v - 1] += p;
+            srow.push_back(fixed(s, 2));
+            prow.push_back(fixed(p, 2));
+        }
+        size.addRow(std::move(srow));
+        path.addRow(std::move(prow));
+        ++n;
+    }
+    std::vector<std::string> savg = {"(average)"}, pavg = {"(average)"};
+    for (int v = 0; v < 4; ++v) {
+        savg.push_back(fixed(sizeSum[v] / n, 2));
+        pavg.push_back(fixed(pathSum[v] / n, 2));
+    }
+    size.addRow(std::move(savg));
+    path.addRow(std::move(pavg));
+
+    size.setTitle("Code size, D16 = 1.00 (paper avg: "
+                  "1.62 / 1.61 / 1.57 / 1.53)");
+    size.print(std::cout);
+    std::cout << "\n";
+    path.setTitle("Path length, D16 = 1.00 (paper avg: "
+                  "0.95 / 0.94 / 0.90 / 0.87)");
+    path.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 13 + Tables 8-10: instruction traffic, loads/stores, and
+ * interlocks.
+ *
+ * Instruction traffic = 32-bit words fetched through a word-wide
+ * fetch path (paper Table 8; D16 traffic exceeds half its path length
+ * because fetches are word aligned). Also prints the paper's
+ * uniformity check (Fig. 13): traffic ratio tracks static-size ratio.
+ */
+
+#include <algorithm>
+
+#include "common.hh"
+
+using namespace d16bench;
+
+int
+main()
+{
+    header("Figure 13 / Tables 8-10: traffic, memory ops, interlocks",
+           "Bunda et al. 1993, Fig. 13 and Tables 8-10");
+
+    const CompileOptions d16 = CompileOptions::d16();
+    const CompileOptions dlxe = CompileOptions::dlxe();
+
+    Table t8({"Program", "D16 path", "DLXe path", "D16 I-words",
+              "DLXe I-words", "traffic ratio", "static ratio"});
+    Table t9({"Program", "D16 ld+st", "DLXe ld+st", "increase %"});
+    Table t10({"Program", "D16 interlocks", "D16 rate",
+               "DLXe interlocks", "DLXe rate"});
+
+    double trafficSum = 0, staticSum = 0, memSum = 0;
+    double rateD = 0, rateX = 0;
+    int n = 0, nMem = 0;
+
+    for (const Workload &w : workloadSuite()) {
+        // Re-run with word fetch counters.
+        const auto imgD = build(core::workload(w.name).source, d16);
+        const auto imgX = build(core::workload(w.name).source, dlxe);
+        FetchBufferProbe fbD(4), fbX(4);
+        const auto mD = run(imgD, {&fbD});
+        const auto mX = run(imgX, {&fbX});
+
+        const double trafficRatio =
+            static_cast<double>(fbX.words()) / fbD.words();
+        const double staticRatio =
+            static_cast<double>(mX.sizeBytes) / mD.sizeBytes;
+        // Guard the percentage against programs DLXe runs almost
+        // entirely in registers (pi, solver).
+        const bool memMeaningful =
+            mX.stats.memOps() > mX.stats.instructions / 200;
+        std::string memIncStr = "-";
+        if (memMeaningful) {
+            const double memInc =
+                100.0 *
+                (static_cast<double>(mD.stats.memOps()) -
+                 mX.stats.memOps()) /
+                mX.stats.memOps();
+            memSum += memInc;
+            ++nMem;
+            memIncStr = fixed(memInc, 1);
+        }
+        trafficSum += trafficRatio;
+        staticSum += staticRatio;
+        rateD += mD.stats.interlockRate();
+        rateX += mX.stats.interlockRate();
+        ++n;
+
+        t8.addRow({w.name, std::to_string(mD.stats.instructions),
+                   std::to_string(mX.stats.instructions),
+                   std::to_string(fbD.words()),
+                   std::to_string(fbX.words()), fixed(trafficRatio, 2),
+                   fixed(staticRatio, 2)});
+        t9.addRow({w.name, std::to_string(mD.stats.memOps()),
+                   std::to_string(mX.stats.memOps()), memIncStr});
+        t10.addRow({w.name, std::to_string(mD.stats.interlocks()),
+                    fixed(mD.stats.interlockRate(), 3),
+                    std::to_string(mX.stats.interlocks()),
+                    fixed(mX.stats.interlockRate(), 3)});
+    }
+
+    t8.setTitle("Table 8: path length and instruction traffic "
+                "(32-bit words)");
+    t8.addRow({"(avg DLXe/D16 traffic " + fixed(trafficSum / n, 2) +
+                   ", static " + fixed(staticSum / n, 2) + ")",
+               "", "", "", "", "", ""});
+    t8.print(std::cout);
+    std::cout << "\nUniformity check (Fig. 13): traffic ratio should "
+                 "track static ratio; paper finds D16 saves ~35% on "
+                 "both.\n\n";
+
+    t9.setTitle("Table 9: loads and stores (paper: D16 ~10% more on "
+                "average)");
+    t9.addRow({"(average increase %)", "", "",
+               fixed(memSum / std::max(1, nMem), 1)});
+    t9.print(std::cout);
+    std::cout << "\n";
+
+    t10.setTitle("Table 10: delayed-load and math-unit interlocks "
+                 "(paper means: 0.104 D16, 0.122 DLXe)");
+    t10.addRow({"(mean rates)", "", fixed(rateD / n, 3), "",
+                fixed(rateX / n, 3)});
+    t10.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figures 14-15 + Tables 11-12: cacheless performance vs memory wait
+ * states, for 32-bit and 64-bit fetch buses.
+ *
+ * Cycles = IC + Interlocks + latency * (IRequests + DRequests); CPI is
+ * normalized by the DLXe path length to factor out instruction-count
+ * differences (paper §4). Also prints fetch-bus saturation
+ * (fetches/cycle, Fig. 15) and the cycle-ratio tables (11-12). The
+ * paper's headline: D16 wins under any nonzero wait state on a 32-bit
+ * bus and roughly ties on a 64-bit bus.
+ */
+
+#include "common.hh"
+
+using namespace d16bench;
+
+int
+main()
+{
+    header("Figures 14-15 / Tables 11-12: cacheless CPI vs wait states",
+           "Bunda et al. 1993, Figs. 14-15 and Tables 11-12");
+
+    const CompileOptions optD16 = CompileOptions::d16();
+    const CompileOptions optDLXe = CompileOptions::dlxe();
+
+    for (int busBytes : {4, 8}) {
+        struct Acc
+        {
+            double cpiD16[4] = {};
+            double cpiD16Norm[4] = {};
+            double cpiDLXe[4] = {};
+            double fpcD16[4] = {};
+            double fpcDLXe[4] = {};
+            double ratio[4] = {};
+        } acc;
+        int n = 0;
+
+        Table ratios({"Program", "l=0", "l=1", "l=2", "l=3"});
+
+        for (const Workload &w : workloadSuite()) {
+            const auto imgD = build(core::workload(w.name).source, optD16);
+            const auto imgX = build(core::workload(w.name).source, optDLXe);
+            FetchBufferProbe fbD(busBytes), fbX(busBytes);
+            const auto mD = run(imgD, {&fbD});
+            const auto mX = run(imgX, {&fbX});
+
+            std::vector<std::string> row = {w.name};
+            for (int l = 0; l <= 3; ++l) {
+                const uint64_t cycD =
+                    cyclesNoCache(mD.stats, l, fbD.requests());
+                const uint64_t cycX =
+                    cyclesNoCache(mX.stats, l, fbX.requests());
+                acc.cpiD16[l] += static_cast<double>(cycD) /
+                                 mD.stats.instructions;
+                acc.cpiD16Norm[l] += static_cast<double>(cycD) /
+                                     mX.stats.instructions;
+                acc.cpiDLXe[l] += static_cast<double>(cycX) /
+                                  mX.stats.instructions;
+                acc.fpcD16[l] +=
+                    static_cast<double>(fbD.requests()) / cycD;
+                acc.fpcDLXe[l] +=
+                    static_cast<double>(fbX.requests()) / cycX;
+                acc.ratio[l] += static_cast<double>(cycX) / cycD;
+                row.push_back(ratio(cycX, cycD));
+            }
+            ratios.addRow(std::move(row));
+            ++n;
+        }
+
+        std::cout << "---- " << busBytes * 8 << "-bit fetch bus (k="
+                  << busBytes * 8 / 32 << " DLXe insns, "
+                  << busBytes * 8 / 16 << " D16 insns) ----\n\n";
+
+        Table cpi({"wait states", "DLXe CPI", "D16 CPI",
+                   "D16 CPI (normalized)"});
+        for (int l = 0; l <= 3; ++l) {
+            cpi.addRow({std::to_string(l), fixed(acc.cpiDLXe[l] / n, 2),
+                        fixed(acc.cpiD16[l] / n, 2),
+                        fixed(acc.cpiD16Norm[l] / n, 2)});
+        }
+        cpi.setTitle("Figure 14: CPI vs memory wait states (suite "
+                     "average)");
+        cpi.print(std::cout);
+        std::cout << "\n";
+
+        Table sat({"wait states", "DLXe fetches/cycle",
+                   "D16 fetches/cycle"});
+        for (int l = 0; l <= 3; ++l) {
+            sat.addRow({std::to_string(l), fixed(acc.fpcDLXe[l] / n, 3),
+                        fixed(acc.fpcD16[l] / n, 3)});
+        }
+        sat.setTitle("Figure 15: instruction fetch saturation");
+        sat.print(std::cout);
+        std::cout << "\n";
+
+        ratios.setTitle(std::string("Table ") +
+                        (busBytes == 4 ? "11" : "12") +
+                        ": DLXe/D16 cycle ratios (>1 means D16 wins)");
+        std::vector<std::string> avg = {"(mean)"};
+        for (int l = 0; l <= 3; ++l)
+            avg.push_back(fixed(acc.ratio[l] / n, 2));
+        ratios.addRow(std::move(avg));
+        ratios.print(std::cout);
+        std::cout << "\nPaper means: 32-bit bus 0.87/1.07/1.15/1.19; "
+                     "64-bit bus 0.86/0.99/1.04/1.08.\n\n";
+    }
+    return 0;
+}

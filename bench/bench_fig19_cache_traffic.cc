@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 19: instruction traffic (bus words per cycle) with an
+ * instruction cache, cache sizes 1K-16K, miss penalty 4.
+ *
+ * Traffic = words moved between memory and the I-cache (fills +
+ * prefetches). The paper's headline: regardless of program or hit
+ * rate, D16 instruction traffic stays significantly below DLXe's.
+ */
+
+#include "common.hh"
+
+using namespace d16bench;
+
+int
+main()
+{
+    header("Figure 19: instruction traffic with an instruction cache",
+           "Bunda et al. 1993, Fig. 19");
+
+    const CompileOptions optD16 = CompileOptions::d16();
+    const CompileOptions optDLXe = CompileOptions::dlxe();
+    const int missPenalty = 4;
+
+    for (const std::string &name : cacheBenchmarkNames()) {
+        const auto imgD = build(core::workload(name).source, optD16);
+        const auto imgX = build(core::workload(name).source, optDLXe);
+
+        Table t({"cache", "D16 words/cycle", "DLXe words/cycle",
+                 "ratio"});
+        for (uint32_t kb : {1, 2, 4, 8, 16}) {
+            mem::CacheConfig cfg;
+            cfg.sizeBytes = kb * 1024;
+            cfg.blockBytes = 32;
+            cfg.subBlockBytes = 8;
+            CacheProbe pd(cfg, cfg), px(cfg, cfg);
+            const auto mD = run(imgD, {&pd});
+            const auto mX = run(imgX, {&px});
+
+            const uint64_t cycD = cyclesWithCache(
+                mD.stats, missPenalty, pd.icache().stats(),
+                pd.dcache().stats());
+            const uint64_t cycX = cyclesWithCache(
+                mX.stats, missPenalty, px.icache().stats(),
+                px.dcache().stats());
+            const double wpcD =
+                static_cast<double>(
+                    pd.icache().stats().wordsTransferred()) /
+                cycD;
+            const double wpcX =
+                static_cast<double>(
+                    px.icache().stats().wordsTransferred()) /
+                cycX;
+            t.addRow({std::to_string(kb) + "K", fixed(wpcD, 4),
+                      fixed(wpcX, 4),
+                      wpcD > 0 ? fixed(wpcX / wpcD, 2) : "-"});
+        }
+        t.setTitle("Benchmark: " + name);
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Paper shape: D16 well below DLXe at every size.\n";
+    return 0;
+}

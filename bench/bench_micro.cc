@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library itself: codec
+ * throughput, simulator speed, cache model, and full compile time.
+ * (Not a paper artifact — tooling health for the repository.)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hh"
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+#include "isa/codec.hh"
+#include "mem/cache.hh"
+#include "sim/machine.hh"
+
+using namespace d16sim;
+
+static void
+BM_D16Decode(benchmark::State &state)
+{
+    // A representative mix of encodings.
+    const uint16_t words[] = {0x4a00, 0x8123, 0xa456, 0x2345,
+                              0x6789, 0x0404, 0x1ffe, 0xc123};
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            isa::d16Decode(words[i++ % std::size(words)]));
+    }
+}
+BENCHMARK(BM_D16Decode);
+
+static void
+BM_DLXeDecode(benchmark::State &state)
+{
+    const uint32_t words[] = {0x00000000, 0x10440005, 0x80640008,
+                              0x94220004, 0xa0600000, 0x04420007};
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            isa::dlxeDecode(words[i++ % std::size(words)]));
+    }
+}
+BENCHMARK(BM_DLXeDecode);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    mem::Cache cache(cfg);
+    uint32_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.read(addr & 0xffff, 4));
+        addr += 36;  // mix of hits and misses
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_CompileDhrystone(benchmark::State &state)
+{
+    const auto &w = core::workload("dhrystone");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::build(w.source, mc::CompileOptions::d16()));
+    }
+}
+BENCHMARK(BM_CompileDhrystone)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulateQueens(benchmark::State &state)
+{
+    const auto img = core::build(core::workload("queens").source,
+                                 mc::CompileOptions::dlxe());
+    for (auto _ : state) {
+        sim::Machine m(img);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().instructions);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(1639487));
+}
+BENCHMARK(BM_SimulateQueens)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries in bench/.
+ *
+ * Each binary regenerates one or more of the paper's tables/figures:
+ * it builds the benchmark suite for the machine variants involved,
+ * simulates, applies the paper's §4 performance formulas, and prints
+ * the same rows/series the paper reports. Absolute counts differ from
+ * the paper (our workloads are reduced-scale miniatures); the
+ * reproduction target is the shape: who wins, by what rough factor,
+ * and where crossovers fall. EXPERIMENTS.md records paper-vs-measured
+ * for every artifact.
+ */
+
+#ifndef D16SIM_BENCH_COMMON_HH
+#define D16SIM_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace d16bench
+{
+
+using namespace d16sim;
+using namespace d16sim::core;
+using mc::CompileOptions;
+
+/** The paper's five machine variants (Tables 5-7 column order). */
+inline std::vector<std::pair<std::string, CompileOptions>>
+allVariants()
+{
+    return {
+        {"D16/16/2", CompileOptions::d16()},
+        {"DLXe/16/2", CompileOptions::dlxe(16, false)},
+        {"DLXe/16/3", CompileOptions::dlxe(16, true)},
+        {"DLXe/32/2", CompileOptions::dlxe(32, false)},
+        {"DLXe/32/3", CompileOptions::dlxe(32, true)},
+    };
+}
+
+/** One workload built+run for one variant, memoized per process. */
+struct Measurement
+{
+    assem::Image image;
+    RunMeasurement run;
+};
+
+inline const Measurement &
+measure(const std::string &workloadName, const CompileOptions &opts)
+{
+    static std::map<std::string, Measurement> cache;
+    const std::string key = workloadName + "|" + opts.name();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    Measurement m{build(core::workload(workloadName).source, opts), {}};
+    m.run = run(m.image);
+    return cache.emplace(key, std::move(m)).first->second;
+}
+
+inline std::string
+ratio(double num, double den, int prec = 2)
+{
+    return fixed(den == 0 ? 0 : num / den, prec);
+}
+
+inline void
+header(const std::string &what, const std::string &paperRef)
+{
+    std::cout << "\n=== " << what << " ===\n"
+              << "(reproduces " << paperRef << ")\n\n";
+}
+
+} // namespace d16bench
+
+#endif // D16SIM_BENCH_COMMON_HH

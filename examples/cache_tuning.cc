@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cache tuning: the embedded-design question the paper motivates —
+ * given a silicon budget, how much instruction cache does each
+ * encoding need? Sweeps I-cache sizes for one workload and reports
+ * the smallest cache where each machine reaches 95% of its
+ * large-cache performance.
+ *
+ * Usage: ./build/examples/cache_tuning [workload] [missPenalty]
+ */
+
+#include <iostream>
+
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+#include "support/table.hh"
+
+using namespace d16sim;
+using namespace d16sim::core;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "assem";
+    const int missPenalty = argc > 2 ? std::atoi(argv[2]) : 8;
+    const Workload &w = workload(name);
+
+    std::cout << "Workload: " << name << " (" << w.description
+              << "), miss penalty " << missPenalty << " cycles\n\n";
+
+    Table t({"I-cache", "D16 CPI", "DLXe CPI", "D16 miss/insn",
+             "DLXe miss/insn"});
+
+    struct Point
+    {
+        uint32_t kb;
+        double cpi[2];
+    };
+    std::vector<Point> points;
+
+    for (uint32_t kb : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        Point pt{kb, {0, 0}};
+        std::vector<std::string> row = {std::to_string(kb) + "K"};
+        std::vector<std::string> missCols;
+        int idx = 0;
+        for (const auto &opts :
+             {mc::CompileOptions::d16(), mc::CompileOptions::dlxe()}) {
+            mem::CacheConfig cfg;
+            cfg.sizeBytes = kb * 1024;
+            cfg.blockBytes = 32;
+            cfg.subBlockBytes = 8;
+            CacheProbe probe(cfg, cfg);
+            const auto img = build(w.source, opts);
+            const auto m = run(img, {&probe});
+            const uint64_t cycles =
+                cyclesWithCache(m.stats, missPenalty,
+                                probe.icache().stats(),
+                                probe.dcache().stats());
+            pt.cpi[idx] =
+                static_cast<double>(cycles) / m.stats.instructions;
+            row.push_back(fixed(pt.cpi[idx], 2));
+            missCols.push_back(fixed(
+                static_cast<double>(probe.icache().stats().misses()) /
+                    m.stats.instructions,
+                4));
+            ++idx;
+        }
+        row.insert(row.end(), missCols.begin(), missCols.end());
+        t.addRow(std::move(row));
+        points.push_back(pt);
+    }
+    t.print(std::cout);
+
+    // Smallest cache achieving 95% of the 32K performance.
+    for (int idx = 0; idx < 2; ++idx) {
+        const double best = points.back().cpi[idx];
+        for (const Point &pt : points) {
+            if (pt.cpi[idx] <= best / 0.95) {
+                std::cout << (idx == 0 ? "D16" : "DLXe")
+                          << " reaches 95% of peak with a " << pt.kb
+                          << "K instruction cache\n";
+                break;
+            }
+        }
+    }
+    std::cout << "\nByte for byte, the 16-bit encoding fits twice the "
+                 "instructions per cache line\n(paper §4.1): it "
+                 "typically needs half the cache for the same hit "
+                 "rate.\n";
+    return 0;
+}

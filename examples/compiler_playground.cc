@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Compiler playground: compile a MiniC source file (or a built-in
+ * sample) for any machine variant and dump the generated code as a
+ * disassembly listing, plus the size/path/traffic numbers.
+ *
+ * Usage: ./build/examples/compiler_playground [file.mc] [variant]
+ *   variant: d16 | dlxe | dlxe16 | dlxe16-2 | dlxe-2  (default: all)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/toolchain.hh"
+#include "isa/codec.hh"
+#include "isa/disasm.hh"
+#include "support/strings.hh"
+
+using namespace d16sim;
+using namespace d16sim::core;
+
+namespace
+{
+
+const char *sample = R"(
+int gcd(int a, int b) {
+    while (b) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+int main() {
+    print_int(gcd(462, 1071));
+    print_char('\n');
+    return 0;
+}
+)";
+
+mc::CompileOptions
+variantByName(const std::string &name)
+{
+    if (name == "d16")
+        return mc::CompileOptions::d16();
+    if (name == "dlxe16")
+        return mc::CompileOptions::dlxe(16, true);
+    if (name == "dlxe16-2")
+        return mc::CompileOptions::dlxe(16, false);
+    if (name == "dlxe-2")
+        return mc::CompileOptions::dlxe(32, false);
+    return mc::CompileOptions::dlxe();
+}
+
+void
+show(const std::string &source, const mc::CompileOptions &opts)
+{
+    const assem::Image img = build(source, opts);
+    const isa::TargetInfo &t = opts.target();
+
+    std::cout << "======== " << opts.name() << " ========\n";
+    std::cout << "text " << img.textSize << " bytes, " << img.textInsns
+              << " instructions; file " << img.sizeBytes() << " bytes\n\n";
+
+    // Disassemble the text section up to the runtime library.
+    const uint32_t stop =
+        img.hasSymbol("__mul") ? img.symbol("__mul") : img.textBase +
+                                                           img.textSize;
+    uint32_t pc = img.textBase;
+    const int ib = t.insnBytes();
+    while (pc < stop) {
+        // Print labels.
+        for (const auto &[name, addr] : img.symbols) {
+            if (addr == pc && name.rfind(".LP", 0) != 0)
+                std::cout << name << ":\n";
+        }
+        uint32_t word = 0;
+        for (int b = ib - 1; b >= 0; --b)
+            word = (word << 8) | img.bytes[pc - img.textBase + b];
+        std::string text;
+        try {
+            text = isa::disassemble(t, isa::decode(t, word), pc);
+        } catch (const Error &) {
+            text = ".word " + hexString(word);
+        }
+        std::cout << "  " << hexString(pc) << "  " << text << "\n";
+        pc += ib;
+    }
+
+    const RunMeasurement m = run(img);
+    std::cout << "\nruns: output \"" << m.output << "\", path length "
+              << m.stats.instructions << ", interlocks "
+              << m.stats.interlocks() << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string source = sample;
+    if (argc > 1 && std::string(argv[1]) != "all") {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    }
+    if (argc > 2) {
+        show(source, variantByName(argv[2]));
+        return 0;
+    }
+    show(source, mc::CompileOptions::d16());
+    show(source, mc::CompileOptions::dlxe());
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: compile one MiniC program for both instruction sets,
+ * simulate it, and print the paper's headline comparison — static
+ * size, path length, instruction traffic, and cacheless cycles at one
+ * wait state.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/toolchain.hh"
+
+using namespace d16sim;
+using namespace d16sim::core;
+
+namespace
+{
+
+const char *program = R"(
+int primes(int limit) {
+    int count = 0, n, d;
+    for (n = 2; n < limit; n++) {
+        int prime = 1;
+        for (d = 2; d * d <= n; d++)
+            if (n % d == 0) { prime = 0; break; }
+        count += prime;
+    }
+    return count;
+}
+int main() {
+    print_str("primes(2000)=");
+    print_int(primes(2000));
+    print_char('\n');
+    return 0;
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Compiling the same program for D16 (16-bit) and DLXe "
+                 "(32-bit)...\n\n";
+
+    for (const auto &opts :
+         {mc::CompileOptions::d16(), mc::CompileOptions::dlxe()}) {
+        const assem::Image image = build(program, opts);
+        FetchBufferProbe fetch(4);  // 32-bit fetch bus
+        const RunMeasurement m = run(image, {&fetch});
+
+        std::cout << "---- " << opts.name() << " ----\n";
+        std::cout << "program output:      " << m.output;
+        std::cout << "static size:         " << m.sizeBytes << " bytes ("
+                  << m.textInsns << " instructions)\n";
+        std::cout << "path length:         " << m.stats.instructions
+                  << " instructions\n";
+        std::cout << "interlock cycles:    " << m.stats.interlocks()
+                  << "\n";
+        std::cout << "instruction traffic: " << fetch.words()
+                  << " bus words\n";
+        std::cout << "cycles (1 wait state): "
+                  << cyclesNoCache(m.stats, 1, fetch.requests()) << "\n\n";
+    }
+
+    std::cout << "The 16-bit encoding runs more instructions but "
+                 "fetches far fewer words;\nwith any nonzero memory "
+                 "latency that wins (the paper's central result).\n";
+    return 0;
+}

@@ -1,0 +1,306 @@
+#include "asm/assembler.hh"
+
+#include <map>
+
+#include "isa/codec.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::assem
+{
+
+using isa::AsmInst;
+using isa::IsaKind;
+using isa::Op;
+using isa::Reloc;
+
+namespace
+{
+
+/** Per-item layout state recomputed on every relaxation iteration. */
+struct Placement
+{
+    uint32_t addr = 0;
+    bool inText = false;
+    bool expanded = false;  //!< D16 conditional branch long form
+};
+
+bool
+isCondBranch(Op op)
+{
+    return op == Op::Bz || op == Op::Bnz;
+}
+
+/** Size in bytes one item contributes, given its alignment-adjusted
+ *  start address (returned via `addr`). */
+uint32_t
+itemSize(const AsmItem &item, const isa::TargetInfo &t, bool expanded,
+         uint32_t &addr)
+{
+    switch (item.kind) {
+      case ItemKind::Inst:
+        addr = static_cast<uint32_t>(roundUp(addr, t.insnBytes()));
+        return (expanded ? 2 : 1) * t.insnBytes();
+      case ItemKind::Word:
+        addr = static_cast<uint32_t>(roundUp(addr, 4));
+        return 4 * static_cast<uint32_t>(item.values.size());
+      case ItemKind::Half:
+        addr = static_cast<uint32_t>(roundUp(addr, 2));
+        return 2 * static_cast<uint32_t>(item.values.size());
+      case ItemKind::Byte:
+        return static_cast<uint32_t>(item.values.size());
+      case ItemKind::Ascii:
+        return static_cast<uint32_t>(item.str.size()) + 1;
+      case ItemKind::Space:
+        return static_cast<uint32_t>(item.amount);
+      case ItemKind::Align:
+        addr = static_cast<uint32_t>(roundUp(addr, item.amount));
+        return 0;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+Image
+Assembler::link(uint32_t textBase)
+{
+    const bool d16 = target_.kind() == IsaKind::D16;
+    std::vector<Placement> place(items_.size());
+    std::map<std::string, uint32_t> symbols;
+    uint32_t textEnd = textBase;
+    uint32_t dataBase = 0;
+    uint32_t dataEnd = 0;
+
+    // Iterative layout: expansion of out-of-range D16 conditional
+    // branches grows the text, which can push other branches out of
+    // range; sizes only grow, so this converges.
+    for (int iter = 0;; ++iter) {
+        panicIf(iter > 64, "branch relaxation failed to converge");
+
+        // Pass 1: place every item and record symbols. Text first; the
+        // data section starts after the text ends.
+        symbols.clear();
+        bool inText = true;
+        uint32_t text = textBase;
+        uint32_t dataOff = 0;  // offset within data section
+        // Labels bind to the (alignment-adjusted) address of the next
+        // sized item, so a label before an aligned instruction or .word
+        // names the item, not the padding.
+        std::vector<size_t> pendingLabels;
+        auto bindPending = [&](uint32_t addr, bool labelInText) {
+            for (size_t idx : pendingLabels) {
+                place[idx].addr = addr;
+                place[idx].inText = labelInText;
+            }
+            pendingLabels.clear();
+        };
+        for (size_t i = 0; i < items_.size(); ++i) {
+            AsmItem &item = items_[i];
+            if (item.kind == ItemKind::SectionText ||
+                item.kind == ItemKind::SectionData) {
+                bindPending(inText ? text : dataOff, inText);
+                inText = item.kind == ItemKind::SectionText;
+                continue;
+            }
+            if (item.kind == ItemKind::Label) {
+                pendingLabels.push_back(i);
+                continue;
+            }
+            uint32_t &cursor = inText ? text : dataOff;
+            const uint32_t size =
+                itemSize(item, target_, place[i].expanded, cursor);
+            place[i].inText = inText;
+            place[i].addr = cursor;  // data: section-relative for now
+            bindPending(cursor, inText);
+            cursor += size;
+        }
+        bindPending(inText ? text : dataOff, inText);
+        textEnd = text;
+        dataBase = static_cast<uint32_t>(roundUp(textEnd, 16));
+        dataEnd = dataBase + dataOff;
+
+        // Rebase data placements and bind symbols.
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (!place[i].inText)
+                place[i].addr += dataBase;
+            if (items_[i].kind == ItemKind::Label) {
+                auto [it, fresh] =
+                    symbols.emplace(items_[i].name, place[i].addr);
+                if (!fresh) {
+                    fatal("duplicate label '", items_[i].name, "' (line ",
+                          items_[i].line, ")");
+                }
+            }
+        }
+
+        // Pass 2: find conditional branches that no longer fit.
+        bool changed = false;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            const AsmItem &item = items_[i];
+            if (item.kind != ItemKind::Inst || place[i].expanded)
+                continue;
+            const AsmInst &inst = item.inst;
+            if (inst.reloc != Reloc::PcRel || !isControlFlow(inst.op))
+                continue;
+            auto it = symbols.find(inst.label);
+            if (it == symbols.end()) {
+                fatal("undefined symbol '", inst.label, "' (line ",
+                      inst.line, ")");
+            }
+            const int64_t delta =
+                static_cast<int64_t>(it->second) - place[i].addr;
+            if (opClass(inst.op) == isa::OpClass::Branch &&
+                !target_.branchOffsetFits(inst.op, delta)) {
+                if (d16 && isCondBranch(inst.op)) {
+                    place[i].expanded = true;
+                    changed = true;
+                } else {
+                    fatal("branch to '", inst.label, "' out of range (",
+                          delta, " bytes; line ", inst.line,
+                          ") - function too large for the encoding");
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    // Final emission.
+    Image img;
+    img.target = &target_;
+    img.textBase = textBase;
+    img.textSize = textEnd - textBase;
+    img.dataBase = dataBase;
+    img.dataSize = dataEnd - dataBase;
+    img.symbols = symbols;
+    img.bytes.assign(dataEnd - textBase, 0);
+    for (size_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].kind == ItemKind::Space && !place[i].inText)
+            img.bssSize += static_cast<uint32_t>(items_[i].amount);
+    }
+
+    auto put = [&](uint32_t addr, uint64_t value, int bytes) {
+        const uint32_t off = addr - textBase;
+        panicIf(off + bytes > img.bytes.size(), "emission out of bounds");
+        for (int b = 0; b < bytes; ++b)
+            img.bytes[off + b] = static_cast<uint8_t>(value >> (8 * b));
+    };
+
+    auto resolveValue = [&](const DataValue &v, int line) -> int64_t {
+        if (v.label.empty())
+            return v.value;
+        auto it = symbols.find(v.label);
+        if (it == symbols.end())
+            fatal("undefined symbol '", v.label, "' (line ", line, ")");
+        return static_cast<int64_t>(it->second) + v.value;
+    };
+
+    auto emitInst = [&](AsmInst inst, uint32_t addr) {
+        if (!inst.label.empty()) {
+            auto it = symbols.find(inst.label);
+            if (it == symbols.end()) {
+                fatal("undefined symbol '", inst.label, "' (line ",
+                      inst.line, ")");
+            }
+            const int64_t sym = it->second;
+            switch (inst.reloc) {
+              case Reloc::PcRel:
+                if (inst.op == Op::Ldc)
+                    inst.imm = sym - static_cast<int64_t>(addr & ~3u);
+                else
+                    inst.imm = sym - static_cast<int64_t>(addr);
+                break;
+              case Reloc::Abs:
+                inst.imm += sym;
+                break;
+              case Reloc::Hi16:
+                inst.imm = ((sym + inst.imm) >> 16) & 0xffff;
+                break;
+              case Reloc::Lo16:
+                inst.imm = (sym + inst.imm) & 0xffff;
+                break;
+              case Reloc::None:
+                fatal("label '", inst.label, "' without relocation (line ",
+                      inst.line, ")");
+            }
+        }
+        put(addr, isa::encode(target_, inst), target_.insnBytes());
+    };
+
+    for (size_t i = 0; i < items_.size(); ++i) {
+        const AsmItem &item = items_[i];
+        const uint32_t addr = place[i].addr;
+        switch (item.kind) {
+          case ItemKind::Inst: {
+            if (place[i].expanded) {
+                // Inverted-condition short branch over an unconditional
+                // branch to the real target.
+                AsmInst skip = item.inst;
+                skip.op = item.inst.op == Op::Bz ? Op::Bnz : Op::Bz;
+                skip.label.clear();
+                skip.reloc = Reloc::None;
+                skip.imm = 2 * target_.insnBytes();
+                AsmInst far = item.inst;
+                far.op = Op::Br;
+                far.rs1 = 0;
+                emitInst(skip, addr);
+                emitInst(far, addr + target_.insnBytes());
+                img.textInsns += 2;
+            } else {
+                emitInst(item.inst, addr);
+                img.textInsns += 1;
+            }
+            break;
+          }
+          case ItemKind::Word: {
+            uint32_t a = addr;
+            for (const DataValue &v : item.values) {
+                put(a, static_cast<uint64_t>(resolveValue(v, item.line)),
+                    4);
+                a += 4;
+            }
+            break;
+          }
+          case ItemKind::Half: {
+            uint32_t a = addr;
+            for (const DataValue &v : item.values) {
+                const int64_t value = resolveValue(v, item.line);
+                if (!fitsSigned(value, 16) && !fitsUnsigned(value, 16))
+                    fatal(".half value ", value, " out of range (line ",
+                          item.line, ")");
+                put(a, static_cast<uint64_t>(value), 2);
+                a += 2;
+            }
+            break;
+          }
+          case ItemKind::Byte: {
+            uint32_t a = addr;
+            for (const DataValue &v : item.values) {
+                const int64_t value = resolveValue(v, item.line);
+                if (!fitsSigned(value, 8) && !fitsUnsigned(value, 8))
+                    fatal(".byte value ", value, " out of range (line ",
+                          item.line, ")");
+                put(a, static_cast<uint64_t>(value), 1);
+                a += 1;
+            }
+            break;
+          }
+          case ItemKind::Ascii: {
+            uint32_t a = addr;
+            for (char c : item.str)
+                put(a++, static_cast<uint8_t>(c), 1);
+            put(a, 0, 1);
+            break;
+          }
+          default:
+            break;  // Label/Space/Align/sections need no bytes
+        }
+    }
+
+    img.entry = img.hasSymbol("main") ? img.symbol("main") : textBase;
+    return img;
+}
+
+} // namespace d16sim::assem

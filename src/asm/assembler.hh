@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Two-pass assembler with iterative D16 branch relaxation.
+ *
+ * The assembler accepts a stream of AsmItems (from the MiniC code
+ * generator or the textual parser), lays out text and data sections,
+ * resolves symbols and relocations, and encodes instructions through
+ * the target codec.
+ *
+ * D16 conditional branches reach only +/-1024 bytes (paper Table 1);
+ * when a target is farther, the assembler relaxes
+ *
+ *     bz  L          bnz .+4        (inverted condition over a skip)
+ *                    br  L
+ *
+ * iterating layout until sizes are stable. An unconditional branch that
+ * still cannot reach is a fatal error ("function too large"), mirroring
+ * what a real D16 toolchain would force the compiler to handle by
+ * splitting the function.
+ */
+
+#ifndef D16SIM_ASM_ASSEMBLER_HH
+#define D16SIM_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/image.hh"
+#include "asm/item.hh"
+#include "isa/target.hh"
+
+namespace d16sim::assem
+{
+
+/** Default load address of the text section. */
+constexpr uint32_t kDefaultTextBase = 0x1000;
+
+class Assembler
+{
+  public:
+    explicit Assembler(const isa::TargetInfo &target) : target_(target) {}
+
+    void add(AsmItem item) { items_.push_back(std::move(item)); }
+
+    void
+    add(std::vector<AsmItem> items)
+    {
+        for (auto &i : items)
+            items_.push_back(std::move(i));
+    }
+
+    /**
+     * Lay out, relax, resolve, and encode the module.
+     * @param textBase load address of the text section.
+     */
+    Image link(uint32_t textBase = kDefaultTextBase);
+
+    const isa::TargetInfo &target() const { return target_; }
+
+  private:
+    const isa::TargetInfo &target_;
+    std::vector<AsmItem> items_;
+};
+
+} // namespace d16sim::assem
+
+#endif // D16SIM_ASM_ASSEMBLER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Image — a laid-out, loadable program.
+ *
+ * The image holds the text and data sections contiguously starting at
+ * textBase. sizeBytes() (text + initialized/zero data) is the "stripped
+ * binary" size the paper's code-density experiments measure (§3.1).
+ */
+
+#ifndef D16SIM_ASM_IMAGE_HH
+#define D16SIM_ASM_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/target.hh"
+#include "support/error.hh"
+
+namespace d16sim::assem
+{
+
+struct Image
+{
+    const isa::TargetInfo *target = nullptr;
+
+    uint32_t textBase = 0;
+    uint32_t textSize = 0;  //!< bytes of instructions + pools
+    uint32_t dataBase = 0;
+    uint32_t dataSize = 0;  //!< bytes of initialized + zero data
+    uint32_t bssSize = 0;   //!< zero-filled (.space) bytes within data
+
+    /** text then data, contiguous from textBase. */
+    std::vector<uint8_t> bytes;
+
+    std::map<std::string, uint32_t> symbols;
+
+    /** Address of `main` (program entry). */
+    uint32_t entry = 0;
+
+    /** The paper's static-size measure: bytes of the stripped binary
+     *  file, i.e. text + initialized data (zero-filled .space regions
+     *  are BSS and occupy no file bytes). */
+    uint32_t sizeBytes() const { return textSize + dataSize - bssSize; }
+
+    /** Number of instructions in the text section (excluding pools). */
+    uint32_t textInsns = 0;
+
+    uint32_t
+    symbol(const std::string &name) const
+    {
+        auto it = symbols.find(name);
+        if (it == symbols.end())
+            fatal("undefined symbol: ", name);
+        return it->second;
+    }
+
+    bool
+    hasSymbol(const std::string &name) const
+    {
+        return symbols.count(name) != 0;
+    }
+};
+
+} // namespace d16sim::assem
+
+#endif // D16SIM_ASM_IMAGE_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AsmItem — one element of an assembly module.
+ *
+ * Both front ends produce AsmItem streams: the MiniC code generator
+ * emits them directly, and the textual parser (parser.hh) produces them
+ * from `.s` source. The assembler lays a module out into an Image.
+ */
+
+#ifndef D16SIM_ASM_ITEM_HH
+#define D16SIM_ASM_ITEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/asm_inst.hh"
+
+namespace d16sim::assem
+{
+
+enum class ItemKind : uint8_t
+{
+    Inst,         //!< one machine instruction
+    Label,        //!< symbol definition at the current location
+    Word,         //!< 32-bit data values (optionally symbol-valued)
+    Half,         //!< 16-bit data values
+    Byte,         //!< 8-bit data values
+    Ascii,        //!< NUL-terminated string data
+    Space,        //!< zero-filled region
+    Align,        //!< pad to the given power-of-two boundary
+    SectionText,  //!< switch emission to the text section
+    SectionData,  //!< switch emission to the data section
+    Global,       //!< export marker (metadata only; one namespace)
+};
+
+/** One data value: a constant, or the address of a symbol (+ addend). */
+struct DataValue
+{
+    int64_t value = 0;
+    std::string label;  //!< if non-empty, value is an addend
+
+    DataValue() = default;
+    DataValue(int64_t v) : value(v) {}
+    DataValue(std::string sym, int64_t addend = 0)
+        : value(addend), label(std::move(sym))
+    {}
+};
+
+struct AsmItem
+{
+    ItemKind kind = ItemKind::Inst;
+    isa::AsmInst inst;              //!< Inst
+    std::string name;               //!< Label / Global
+    std::vector<DataValue> values;  //!< Word / Half / Byte
+    std::string str;                //!< Ascii (NUL appended at layout)
+    int64_t amount = 0;             //!< Space bytes / Align boundary
+    int line = 0;
+
+    static AsmItem
+    instruction(isa::AsmInst i)
+    {
+        AsmItem item;
+        item.kind = ItemKind::Inst;
+        item.line = i.line;
+        item.inst = std::move(i);
+        return item;
+    }
+
+    static AsmItem
+    label(std::string n)
+    {
+        AsmItem item;
+        item.kind = ItemKind::Label;
+        item.name = std::move(n);
+        return item;
+    }
+
+    static AsmItem
+    word(std::vector<DataValue> vs)
+    {
+        AsmItem item;
+        item.kind = ItemKind::Word;
+        item.values = std::move(vs);
+        return item;
+    }
+
+    static AsmItem
+    ascii(std::string s)
+    {
+        AsmItem item;
+        item.kind = ItemKind::Ascii;
+        item.str = std::move(s);
+        return item;
+    }
+
+    static AsmItem
+    space(int64_t bytes)
+    {
+        AsmItem item;
+        item.kind = ItemKind::Space;
+        item.amount = bytes;
+        return item;
+    }
+
+    static AsmItem
+    align(int64_t boundary)
+    {
+        AsmItem item;
+        item.kind = ItemKind::Align;
+        item.amount = boundary;
+        return item;
+    }
+
+    static AsmItem
+    section(bool text)
+    {
+        AsmItem item;
+        item.kind = text ? ItemKind::SectionText : ItemKind::SectionData;
+        return item;
+    }
+};
+
+} // namespace d16sim::assem
+
+#endif // D16SIM_ASM_ITEM_HH

@@ -1,0 +1,547 @@
+#include "asm/parser.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "support/bits.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace d16sim::assem
+{
+
+using isa::AsmInst;
+using isa::Cond;
+using isa::Op;
+using isa::OpClass;
+using isa::Reloc;
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+bool
+isIdentStart(std::string_view s)
+{
+    return !s.empty() &&
+           (std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' ||
+            s[0] == '.' || s[0] == '$');
+}
+
+/** Parse a decimal/hex/char literal. */
+bool
+parseNumber(std::string_view s, int64_t &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    if (s.size() >= 3 && s.front() == '\'') {
+        // Character literal.
+        char c = s[1];
+        size_t closing = 2;
+        if (c == '\\' && s.size() >= 4) {
+            switch (s[2]) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case '0': c = '\0'; break;
+              case 'r': c = '\r'; break;
+              case '\\': c = '\\'; break;
+              case '\'': c = '\''; break;
+              default: return false;
+            }
+            closing = 3;
+        }
+        if (closing + 1 != s.size() || s[closing] != '\'')
+            return false;
+        out = static_cast<unsigned char>(c);
+        return true;
+    }
+    const std::string str(s);
+    char *end = nullptr;
+    const long long v = std::strtoll(str.c_str(), &end, 0);
+    if (end == str.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+struct LineParser
+{
+    const isa::TargetInfo &target;
+    int line;
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("asm line ", line, ": ", msg);
+    }
+
+    int
+    reg(std::string_view s) const
+    {
+        int r;
+        if (!target.parseReg(trim(s), r))
+            err("expected register, got '" + std::string(s) + "'");
+        return r;
+    }
+
+    int
+    freg(std::string_view s) const
+    {
+        int r;
+        if (!target.parseFreg(trim(s), r))
+            err("expected FP register, got '" + std::string(s) + "'");
+        return r;
+    }
+
+    int64_t
+    number(std::string_view s) const
+    {
+        int64_t v;
+        if (!parseNumber(s, v))
+            err("expected number, got '" + std::string(s) + "'");
+        return v;
+    }
+
+    /** imm / symbol / hi(sym) / lo(sym) into inst.{imm,label,reloc}. */
+    void
+    immOrSymbol(AsmInst &inst, std::string_view s, Reloc symbolReloc) const
+    {
+        s = trim(s);
+        int64_t v;
+        if (parseNumber(s, v)) {
+            inst.imm = v;
+            return;
+        }
+        if ((startsWith(s, "hi(") || startsWith(s, "lo(")) &&
+            s.back() == ')') {
+            inst.reloc = s[0] == 'h' ? Reloc::Hi16 : Reloc::Lo16;
+            inst.label = std::string(trim(s.substr(3, s.size() - 4)));
+            return;
+        }
+        if (isIdentStart(s)) {
+            inst.reloc = symbolReloc;
+            inst.label = std::string(s);
+            return;
+        }
+        err("expected immediate or symbol, got '" + std::string(s) + "'");
+    }
+
+    /** off(base): returns base register, sets imm. */
+    int
+    memOperand(AsmInst &inst, std::string_view s) const
+    {
+        s = trim(s);
+        const size_t open = s.find('(');
+        if (open == std::string_view::npos || s.back() != ')')
+            err("expected mem operand off(base), got '" + std::string(s) +
+                "'");
+        const std::string_view off = trim(s.substr(0, open));
+        inst.imm = off.empty() ? 0 : number(off);
+        return reg(s.substr(open + 1, s.size() - open - 2));
+    }
+};
+
+/** Split operands on top-level commas. */
+std::vector<std::string_view>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    s = trim(s);
+    if (s.empty())
+        return out;
+    for (std::string_view part : split(s, ','))
+        out.push_back(trim(part));
+    return out;
+}
+
+/** Resolve a mnemonic to op + optional condition. */
+bool
+resolveMnemonic(std::string_view mnem, Op &op, Cond &cond, bool &condSet)
+{
+    condSet = false;
+    if (parseOp(mnem, op))
+        return true;
+    // cmp.<cond>, cmpi.<cond>, cmp.<cond>.sf, cmp.<cond>.df
+    if (startsWith(mnem, "cmp")) {
+        const bool isImm = startsWith(mnem, "cmpi");
+        std::string_view rest = mnem.substr(isImm ? 4 : 3);
+        if (rest.empty() || rest[0] != '.')
+            return false;
+        rest = rest.substr(1);
+        // FP variant? "<cond>.sf" / "<cond>.df"
+        const size_t dot = rest.find('.');
+        if (dot != std::string_view::npos) {
+            if (isImm)
+                return false;
+            const std::string_view suffix = rest.substr(dot + 1);
+            if (!parseCond(rest.substr(0, dot), cond))
+                return false;
+            condSet = true;
+            if (suffix == "sf")
+                op = Op::FCmpS;
+            else if (suffix == "df")
+                op = Op::FCmpD;
+            else
+                return false;
+            return true;
+        }
+        if (!parseCond(rest, cond))
+            return false;
+        condSet = true;
+        op = isImm ? Op::CmpI : Op::Cmp;
+        return true;
+    }
+    return false;
+}
+
+AsmInst
+parseInstruction(const LineParser &lp, std::string_view mnem,
+                 std::vector<std::string_view> ops)
+{
+    AsmInst inst;
+    inst.line = lp.line;
+
+    if (mnem == "ret") {
+        inst.op = Op::Jr;
+        inst.rs1 = lp.target.raReg();
+        if (!ops.empty())
+            lp.err("ret takes no operands");
+        return inst;
+    }
+
+    bool condSet = false;
+    if (!resolveMnemonic(mnem, inst.op, inst.cond, condSet))
+        lp.err("unknown mnemonic '" + std::string(mnem) + "'");
+
+    auto need = [&](size_t lo, size_t hi) {
+        if (ops.size() < lo || ops.size() > hi) {
+            lp.err("wrong operand count for '" + std::string(mnem) + "'");
+        }
+    };
+
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra:
+        need(2, 3);
+        if (ops.size() == 2) {
+            inst.rd = inst.rs1 = lp.reg(ops[0]);
+            inst.rs2 = lp.reg(ops[1]);
+        } else {
+            inst.rd = lp.reg(ops[0]);
+            inst.rs1 = lp.reg(ops[1]);
+            inst.rs2 = lp.reg(ops[2]);
+        }
+        break;
+
+      case Op::Neg: case Op::Inv: case Op::Mv:
+        need(2, 2);
+        inst.rd = lp.reg(ops[0]);
+        inst.rs1 = lp.reg(ops[1]);
+        break;
+
+      case Op::AddI: case Op::SubI: case Op::ShlI: case Op::ShrI:
+      case Op::ShraI: case Op::AndI: case Op::OrI: case Op::XorI:
+        need(2, 3);
+        if (ops.size() == 2) {
+            inst.rd = inst.rs1 = lp.reg(ops[0]);
+            lp.immOrSymbol(inst, ops[1], Reloc::Abs);
+        } else {
+            inst.rd = lp.reg(ops[0]);
+            inst.rs1 = lp.reg(ops[1]);
+            lp.immOrSymbol(inst, ops[2], Reloc::Abs);
+        }
+        break;
+
+      case Op::MvI: case Op::MvHI:
+        need(2, 2);
+        inst.rd = lp.reg(ops[0]);
+        lp.immOrSymbol(inst, ops[1], Reloc::Abs);
+        break;
+
+      case Op::Cmp:
+        need(2, 3);
+        if (ops.size() == 2) {
+            inst.rd = 0;
+            inst.rs1 = lp.reg(ops[0]);
+            inst.rs2 = lp.reg(ops[1]);
+        } else {
+            inst.rd = lp.reg(ops[0]);
+            inst.rs1 = lp.reg(ops[1]);
+            inst.rs2 = lp.reg(ops[2]);
+        }
+        break;
+
+      case Op::CmpI:
+        need(3, 3);
+        inst.rd = lp.reg(ops[0]);
+        inst.rs1 = lp.reg(ops[1]);
+        lp.immOrSymbol(inst, ops[2], Reloc::Abs);
+        break;
+
+      case Op::Ld: case Op::Ldh: case Op::Ldhu:
+      case Op::Ldb: case Op::Ldbu:
+        need(2, 2);
+        inst.rd = lp.reg(ops[0]);
+        inst.rs1 = lp.memOperand(inst, ops[1]);
+        break;
+
+      case Op::St: case Op::Sth: case Op::Stb:
+        need(2, 2);
+        inst.rs2 = lp.reg(ops[0]);
+        inst.rs1 = lp.memOperand(inst, ops[1]);
+        break;
+
+      case Op::Ldc:
+        need(1, 1);
+        lp.immOrSymbol(inst, ops[0], Reloc::PcRel);
+        inst.rd = 0;
+        break;
+
+      case Op::Br: case Op::J: case Op::Jl:
+        need(1, 1);
+        lp.immOrSymbol(inst, ops[0], Reloc::PcRel);
+        break;
+
+      case Op::Bz: case Op::Bnz:
+        need(1, 2);
+        if (ops.size() == 2) {
+            inst.rs1 = lp.reg(ops[0]);
+            lp.immOrSymbol(inst, ops[1], Reloc::PcRel);
+        } else {
+            inst.rs1 = 0;
+            lp.immOrSymbol(inst, ops[0], Reloc::PcRel);
+        }
+        break;
+
+      case Op::Jr: case Op::Jlr:
+        need(1, 1);
+        inst.rs1 = lp.reg(ops[0]);
+        break;
+
+      case Op::Jrz: case Op::Jrnz:
+        need(1, 2);
+        inst.rs1 = lp.reg(ops[0]);
+        inst.rs2 = ops.size() == 2 ? lp.reg(ops[1]) : 0;
+        break;
+
+      case Op::FAddS: case Op::FAddD: case Op::FSubS: case Op::FSubD:
+      case Op::FMulS: case Op::FMulD: case Op::FDivS: case Op::FDivD:
+        need(2, 3);
+        if (ops.size() == 2) {
+            inst.rd = inst.rs1 = lp.freg(ops[0]);
+            inst.rs2 = lp.freg(ops[1]);
+        } else {
+            inst.rd = lp.freg(ops[0]);
+            inst.rs1 = lp.freg(ops[1]);
+            inst.rs2 = lp.freg(ops[2]);
+        }
+        break;
+
+      case Op::FNegS: case Op::FNegD: case Op::FMv:
+      case Op::CvtSiSf: case Op::CvtSiDf: case Op::CvtSfDf:
+      case Op::CvtDfSf: case Op::CvtSfSi: case Op::CvtDfSi:
+        need(2, 2);
+        inst.rd = lp.freg(ops[0]);
+        inst.rs1 = lp.freg(ops[1]);
+        break;
+
+      case Op::FCmpS: case Op::FCmpD:
+        need(2, 2);
+        inst.rs1 = lp.freg(ops[0]);
+        inst.rs2 = lp.freg(ops[1]);
+        break;
+
+      case Op::MifL: case Op::MifH:
+        need(2, 2);
+        inst.rd = lp.freg(ops[0]);
+        inst.rs1 = lp.reg(ops[1]);
+        break;
+
+      case Op::MfiL: case Op::MfiH:
+        need(2, 2);
+        inst.rd = lp.reg(ops[0]);
+        inst.rs1 = lp.freg(ops[1]);
+        break;
+
+      case Op::Trap:
+        need(1, 1);
+        inst.imm = lp.number(ops[0]);
+        break;
+
+      case Op::Rdsr:
+        need(1, 1);
+        inst.rd = lp.reg(ops[0]);
+        break;
+
+      case Op::Nop:
+        need(0, 0);
+        break;
+
+      default:
+        lp.err("unsupported mnemonic '" + std::string(mnem) + "'");
+    }
+
+    if (condSet && !hasCond(inst.op))
+        lp.err("condition suffix on non-compare");
+    return inst;
+}
+
+/** Parse ".asciz"-style quoted string with escapes. */
+std::string
+parseQuoted(const LineParser &lp, std::string_view s)
+{
+    s = trim(s);
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+        lp.err("expected quoted string");
+    std::string out;
+    for (size_t i = 1; i + 1 < s.size(); ++i) {
+        char c = s[i];
+        if (c == '\\' && i + 2 < s.size()) {
+            ++i;
+            switch (s[i]) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'r': c = '\r'; break;
+              case '0': c = '\0'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default: lp.err("unknown string escape");
+            }
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<DataValue>
+parseDataValues(const LineParser &lp, std::string_view s)
+{
+    std::vector<DataValue> out;
+    for (std::string_view part : splitOperands(s)) {
+        int64_t v;
+        if (parseNumber(part, v)) {
+            out.emplace_back(v);
+            continue;
+        }
+        // symbol, symbol+N, symbol-N
+        size_t cut = part.find_first_of("+-");
+        if (cut == 0)
+            cut = std::string_view::npos;
+        const std::string_view sym =
+            trim(part.substr(0, std::min(cut, part.size())));
+        if (!isIdentStart(sym))
+            lp.err("bad data value '" + std::string(part) + "'");
+        int64_t addend = 0;
+        if (cut != std::string_view::npos)
+            addend = lp.number(part.substr(cut));
+        out.emplace_back(std::string(sym), addend);
+    }
+    if (out.empty())
+        lp.err("empty data list");
+    return out;
+}
+
+} // namespace
+
+std::vector<AsmItem>
+parseAsm(const isa::TargetInfo &target, std::string_view source)
+{
+    std::vector<AsmItem> items;
+    int lineNo = 0;
+
+    for (std::string_view rawLine : split(source, '\n')) {
+        ++lineNo;
+        LineParser lp{target, lineNo};
+
+        // Strip comments, respecting string literals.
+        std::string_view line = rawLine;
+        bool inString = false;
+        size_t cut = line.size();
+        for (size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+                inString = !inString;
+            if (!inString && (c == ';' || c == '#')) {
+                cut = i;
+                break;
+            }
+        }
+        line = trim(line.substr(0, cut));
+        if (line.empty())
+            continue;
+
+        // Leading labels.
+        while (true) {
+            size_t i = 0;
+            while (i < line.size() && isIdentChar(line[i]))
+                ++i;
+            if (i == 0 || i >= line.size() || line[i] != ':')
+                break;
+            AsmItem label = AsmItem::label(std::string(line.substr(0, i)));
+            label.line = lineNo;
+            items.push_back(std::move(label));
+            line = trim(line.substr(i + 1));
+        }
+        if (line.empty())
+            continue;
+
+        // Directive?
+        if (line[0] == '.') {
+            size_t sp = line.find_first_of(" \t");
+            const std::string_view dir = line.substr(0, sp);
+            const std::string_view rest =
+                sp == std::string_view::npos ? "" : trim(line.substr(sp));
+            AsmItem item;
+            item.line = lineNo;
+            if (dir == ".text") {
+                item = AsmItem::section(true);
+            } else if (dir == ".data") {
+                item = AsmItem::section(false);
+            } else if (dir == ".global" || dir == ".globl") {
+                item.kind = ItemKind::Global;
+                item.name = std::string(rest);
+            } else if (dir == ".word") {
+                item = AsmItem::word(parseDataValues(lp, rest));
+            } else if (dir == ".half") {
+                item.kind = ItemKind::Half;
+                item.values = parseDataValues(lp, rest);
+            } else if (dir == ".byte") {
+                item.kind = ItemKind::Byte;
+                item.values = parseDataValues(lp, rest);
+            } else if (dir == ".asciz" || dir == ".string") {
+                item = AsmItem::ascii(parseQuoted(lp, rest));
+            } else if (dir == ".space") {
+                item = AsmItem::space(lp.number(rest));
+            } else if (dir == ".align") {
+                const int64_t boundary = lp.number(rest);
+                if (!isPowerOfTwo(static_cast<uint64_t>(boundary)))
+                    lp.err(".align boundary must be a power of two");
+                item = AsmItem::align(boundary);
+            } else {
+                lp.err("unknown directive '" + std::string(dir) + "'");
+            }
+            item.line = lineNo;
+            items.push_back(std::move(item));
+            continue;
+        }
+
+        // Instruction.
+        size_t sp = line.find_first_of(" \t");
+        const std::string_view mnem = line.substr(0, sp);
+        const std::string_view rest =
+            sp == std::string_view::npos ? "" : line.substr(sp);
+        items.push_back(AsmItem::instruction(
+            parseInstruction(lp, mnem, splitOperands(rest))));
+    }
+    return items;
+}
+
+} // namespace d16sim::assem

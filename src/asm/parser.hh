@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Textual assembly parser.
+ *
+ * Syntax (one statement per line; ';' or '#' starts a comment):
+ *
+ *   label:
+ *       add r3, r4            ; D16 two-address form
+ *       add r5, r6, r7        ; DLXe three-address form
+ *       addi r3, 5            ; or addi r3, r4, 5 on DLXe
+ *       cmp.lt r2, r3         ; D16 (dest implicitly r0)
+ *       cmp.lt r5, r2, r3     ; DLXe
+ *       cmpi.ge r5, r2, 100   ; DLXe
+ *       ld r3, 8(sp)
+ *       st r3, 0(gp)
+ *       ldc pool_label        ; D16: PC-relative constant load into at
+ *       mvi r4, 100           ; also: mvi r4, symbol (absolute)
+ *       mvhi r4, hi(symbol)   ; DLXe address materialization
+ *       ori r4, r4, lo(symbol)
+ *       bz loop               ; D16 (tests at/r0)
+ *       bz r5, loop           ; DLXe
+ *       jl func               ; DLXe direct call
+ *       jlr r6                ; indirect call (both)
+ *       ret                   ; pseudo: jr ra
+ *       add.sf f1, f2         ; D16 FP two-address
+ *       cmp.le.df f1, f2      ; FP compare (status register)
+ *       trap 5
+ *
+ * Directives: .text .data .global NAME .word V|SYM[+N],...
+ * .half ... .byte ... .asciz "..." .space N .align N
+ */
+
+#ifndef D16SIM_ASM_PARSER_HH
+#define D16SIM_ASM_PARSER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "asm/item.hh"
+#include "isa/target.hh"
+
+namespace d16sim::assem
+{
+
+/** Parse `.s` source into assembler items. Throws FatalError with line
+ *  information on malformed input. */
+std::vector<AsmItem> parseAsm(const isa::TargetInfo &target,
+                              std::string_view source);
+
+} // namespace d16sim::assem
+
+#endif // D16SIM_ASM_PARSER_HH

@@ -1,0 +1,43 @@
+#include "core/toolchain.hh"
+
+namespace d16sim::core
+{
+
+assem::Image
+build(std::string_view source, const mc::CompileOptions &opts)
+{
+    mc::CompileResult comp = mc::compile(source, opts);
+    assem::Assembler as(opts.target());
+    as.add(std::move(comp.items));
+    return as.link();
+}
+
+RunMeasurement
+run(const assem::Image &image, std::vector<sim::Probe *> probes,
+    sim::MachineConfig config)
+{
+    sim::Machine machine(image, config);
+    for (sim::Probe *p : probes) {
+        if (auto *cp = dynamic_cast<CacheProbe *>(p))
+            cp->setInsnBytes(image.target->insnBytes());
+        machine.addProbe(p);
+    }
+    RunMeasurement m;
+    m.exitStatus = machine.run();
+    m.output = machine.output();
+    m.stats = machine.stats();
+    m.sizeBytes = image.sizeBytes();
+    m.textBytes = image.textSize;
+    m.textInsns = image.textInsns;
+    return m;
+}
+
+RunMeasurement
+buildAndRun(std::string_view source, const mc::CompileOptions &opts,
+            std::vector<sim::Probe *> probes)
+{
+    const assem::Image image = build(source, opts);
+    return run(image, std::move(probes));
+}
+
+} // namespace d16sim::core

@@ -1,0 +1,918 @@
+#include "core/workloads.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace d16sim::core
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Stanford-style kernels
+// ---------------------------------------------------------------------
+
+const char *ackermannSrc = R"(
+/* Computes the Ackermann function (paper: "ackermann"). */
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+    print_str("ack(3,5)=");
+    print_int(ack(3, 5));
+    print_char('\n');
+    return 0;
+}
+)";
+
+const char *bubblesortSrc = R"(
+/* Sorting program from the Stanford suite. */
+int data[180];
+unsigned seed;
+unsigned nextRand() {
+    seed = seed * 1103515245u + 12345u;
+    return seed >> 8;
+}
+int main() {
+    int n = 180;
+    int i, j;
+    seed = 74755u;
+    for (i = 0; i < n; i++) data[i] = (int)(nextRand() % 10000u);
+    for (i = 0; i < n - 1; i++)
+        for (j = 0; j < n - 1 - i; j++)
+            if (data[j] > data[j + 1]) {
+                int t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+    int bad = 0;
+    for (i = 0; i < n - 1; i++)
+        if (data[i] > data[i + 1]) bad++;
+    print_str("sorted bad=");
+    print_int(bad);
+    print_str(" lo=");
+    print_int(data[0]);
+    print_str(" hi=");
+    print_int(data[n - 1]);
+    print_char('\n');
+    return bad;
+}
+)";
+
+const char *queensSrc = R"(
+/* The Stanford eight-queens program: counts all solutions. */
+int cols[8];
+int solutions;
+int ok(int row, int col) {
+    int i;
+    for (i = 0; i < row; i++) {
+        int c = cols[i];
+        if (c == col) return 0;
+        if (c - col == row - i) return 0;
+        if (col - c == row - i) return 0;
+    }
+    return 1;
+}
+void place(int row) {
+    int col;
+    if (row == 8) { solutions++; return; }
+    for (col = 0; col < 8; col++)
+        if (ok(row, col)) {
+            cols[row] = col;
+            place(row + 1);
+        }
+}
+int main() {
+    solutions = 0;
+    place(0);
+    print_str("queens=");
+    print_int(solutions);
+    print_char('\n');
+    return 0;
+}
+)";
+
+const char *quicksortSrc = R"(
+/* The Stanford quicksort program. */
+int data[1400];
+unsigned seed;
+unsigned nextRand() {
+    seed = seed * 1103515245u + 12345u;
+    return seed >> 8;
+}
+void qsort_(int lo, int hi) {
+    int i = lo, j = hi;
+    int pivot = data[(lo + hi) / 2];
+    while (i <= j) {
+        while (data[i] < pivot) i++;
+        while (data[j] > pivot) j--;
+        if (i <= j) {
+            int t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+            i++;
+            j--;
+        }
+    }
+    if (lo < j) qsort_(lo, j);
+    if (i < hi) qsort_(i, hi);
+}
+int main() {
+    int n = 1400;
+    int i;
+    seed = 74755u;
+    for (i = 0; i < n; i++) data[i] = (int)(nextRand() % 100000u);
+    qsort_(0, n - 1);
+    int bad = 0;
+    unsigned sum = 0u;
+    for (i = 0; i < n; i++) {
+        if (i && data[i - 1] > data[i]) bad++;
+        sum += (unsigned)data[i];
+    }
+    print_str("qsort bad=");
+    print_int(bad);
+    print_str(" sum=");
+    print_uint(sum);
+    print_char('\n');
+    return bad;
+}
+)";
+
+const char *towersSrc = R"(
+/* The Stanford towers of Hanoi program. */
+int moves;
+void hanoi(int n, int from, int to, int via) {
+    if (n == 1) { moves++; return; }
+    hanoi(n - 1, from, via, to);
+    moves++;
+    hanoi(n - 1, via, to, from);
+}
+int main() {
+    moves = 0;
+    hanoi(16, 1, 3, 2);
+    print_str("moves=");
+    print_int(moves);
+    print_char('\n');
+    return 0;
+}
+)";
+
+// ---------------------------------------------------------------------
+// Text / symbolic programs
+// ---------------------------------------------------------------------
+
+const char *grepSrc = R"(
+/* Substring + character-class scan over a synthesized corpus
+   (substitute for the BSD grep sources). */
+char corpus[4096];
+char pattern[8] = "abraca";
+unsigned seed;
+unsigned nextRand() {
+    seed = seed * 1103515245u + 12345u;
+    return seed >> 8;
+}
+void fill() {
+    int i;
+    seed = 99u;
+    for (i = 0; i < 4095; i++) {
+        unsigned r = nextRand() % 32u;
+        if (r < 26u) corpus[i] = 'a' + (int)r;
+        else if (r < 30u) corpus[i] = ' ';
+        else corpus[i] = '\n';
+    }
+    /* plant some matches */
+    for (i = 300; i < 4000; i += 512) {
+        corpus[i] = 'a'; corpus[i+1] = 'b'; corpus[i+2] = 'r';
+        corpus[i+3] = 'a'; corpus[i+4] = 'c'; corpus[i+5] = 'a';
+    }
+    corpus[4095] = 0;
+}
+int matchAt(char *s, char *p) {
+    while (*p) {
+        if (*s != *p) return 0;
+        s++; p++;
+    }
+    return 1;
+}
+int main() {
+    fill();
+    int pass, hits = 0, vowels = 0, lines = 0;
+    for (pass = 0; pass < 12; pass++) {
+        char *s = corpus;
+        while (*s) {
+            char c = *s;
+            if (c == pattern[0] && matchAt(s, pattern)) hits++;
+            if (c == 'a' || c == 'e' || c == 'i' || c == 'o' ||
+                c == 'u') vowels++;
+            if (c == '\n') lines++;
+            s++;
+        }
+    }
+    print_str("hits=");
+    print_int(hits);
+    print_str(" vowels=");
+    print_int(vowels);
+    print_str(" lines=");
+    print_int(lines);
+    print_char('\n');
+    return 0;
+}
+)";
+
+const char *piSrc = R"(
+/* Computes digits of pi with the integer spigot algorithm. */
+int a[700];
+int main() {
+    int digits = 70;
+    int n = 10 * digits / 3 + 1;
+    int i, j, q, x;
+    unsigned check = 0u;
+    int predigit = 0, nines = 0, started = 0;
+    for (i = 0; i < n; i++) a[i] = 2;
+    for (j = 0; j < digits; j++) {
+        q = 0;
+        for (i = n - 1; i > 0; i--) {
+            x = 10 * a[i] + q * (i + 1);
+            a[i] = x % (2 * i + 1);
+            q = x / (2 * i + 1);
+        }
+        a[0] = q % 10;
+        q = q / 10;
+        if (q == 9) {
+            nines++;
+        } else if (q == 10) {
+            if (started) { check = check * 16u + (unsigned)(predigit + 1); }
+            while (nines > 0) { check = check * 16u; nines--; }
+            predigit = 0;
+            started = 1;
+        } else {
+            if (started) { check = check * 16u + (unsigned)predigit; }
+            started = 1;
+            predigit = q;
+            while (nines > 0) {
+                check = check * 16u + 9u;
+                nines--;
+            }
+        }
+    }
+    print_str("pi check=");
+    print_uint(check);
+    print_char('\n');
+    return 0;
+}
+)";
+
+// ---------------------------------------------------------------------
+// Floating point
+// ---------------------------------------------------------------------
+
+const char *linpackSrc = R"(
+/* LU factorization + solve, doubles (the linear programming /
+   linpack-style kernel). */
+double A[576];   /* 24 x 24 */
+double b[24];
+double x[24];
+int main() {
+    int n = 24;
+    int i, j, k, rep;
+    double residual = 0.0;
+    for (rep = 0; rep < 3; rep++) {
+        /* Fill a diagonally dominant system. */
+        unsigned seed = 42u;
+        for (i = 0; i < n; i++) {
+            double rowsum = 0.0;
+            for (j = 0; j < n; j++) {
+                seed = seed * 1103515245u + 12345u;
+                double v = (double)(int)((seed >> 16) % 19u) - 9.0;
+                A[i * n + j] = v;
+                if (v < 0.0) rowsum -= v; else rowsum += v;
+            }
+            A[i * n + i] = rowsum + 1.0;
+            b[i] = (double)(i + 1);
+        }
+        /* LU (no pivoting needed: diagonally dominant). */
+        for (k = 0; k < n - 1; k++) {
+            for (i = k + 1; i < n; i++) {
+                double m = A[i * n + k] / A[k * n + k];
+                A[i * n + k] = m;
+                for (j = k + 1; j < n; j++)
+                    A[i * n + j] -= m * A[k * n + j];
+            }
+        }
+        /* Forward/back substitution. */
+        for (i = 0; i < n; i++) {
+            double s = b[i];
+            for (j = 0; j < i; j++) s -= A[i * n + j] * x[j];
+            x[i] = s;
+        }
+        for (i = n - 1; i >= 0; i--) {
+            double s = x[i];
+            for (j = i + 1; j < n; j++) s -= A[i * n + j] * x[j];
+            x[i] = s / A[i * n + i];
+        }
+        residual += x[0] + x[n - 1];
+    }
+    print_str("linpack r=");
+    print_f64(residual);
+    print_char('\n');
+    return 0;
+}
+)";
+
+const char *matrixSrc = R"(
+/* Gaussian elimination (paper: "matrix"). */
+double M[400];   /* 20 x 20 */
+int main() {
+    int n = 20;
+    int i, j, k, rep;
+    double detSum = 0.0;
+    for (rep = 0; rep < 6; rep++) {
+        unsigned seed = 7u + (unsigned)rep;
+        for (i = 0; i < n; i++) {
+            for (j = 0; j < n; j++) {
+                seed = seed * 1103515245u + 12345u;
+                M[i * n + j] = (double)(int)((seed >> 16) % 9u);
+            }
+            M[i * n + i] = M[i * n + i] + 10.0;
+        }
+        double det = 1.0;
+        for (k = 0; k < n; k++) {
+            det = det * M[k * n + k];
+            for (i = k + 1; i < n; i++) {
+                double m = M[i * n + k] / M[k * n + k];
+                for (j = k; j < n; j++)
+                    M[i * n + j] -= m * M[k * n + j];
+            }
+        }
+        if (det < 0.0) det = -det;
+        /* keep magnitudes printable */
+        while (det > 100.0) det = det / 10.0;
+        detSum += det;
+    }
+    print_str("matrix det=");
+    print_f64(detSum);
+    print_char('\n');
+    return 0;
+}
+)";
+
+const char *solverSrc = R"(
+/* Newton-Raphson iterative solver (paper: "solver"). */
+double f(double x) {
+    return ((x - 1.0) * x + 3.0) * x - 10.0;
+}
+double fprime(double x) {
+    return (3.0 * x - 2.0) * x + 3.0;
+}
+int main() {
+    double acc = 0.0;
+    int trial;
+    for (trial = 0; trial < 800; trial++) {
+        double x = 0.5 + (double)trial / 200.0;
+        int it;
+        for (it = 0; it < 20; it++) {
+            double fx = f(x);
+            if (fx < 0.000001 && fx > -0.000001) break;
+            x = x - fx / fprime(x);
+        }
+        acc += x;
+    }
+    print_str("solver acc=");
+    print_f64(acc / 800.0);
+    print_char('\n');
+    return 0;
+}
+)";
+
+const char *whetstoneSrc = R"(
+/* The synthetic floating point benchmark (whetstone-style cycle of
+   modules; transcendentals replaced by rational approximations). */
+double e1[4];
+double t, t2;
+double ratApprox(double x) {
+    /* rational approximation standing in for sin/cos/exp */
+    return x * (1.0 + x * (0.5 + x * 0.1666)) /
+           (1.0 + x * (0.3 + x * 0.05));
+}
+void pa(double *e) {
+    int j;
+    for (j = 0; j < 6; j++) {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+    }
+}
+int main() {
+    int cycles = 120;
+    int i, ix;
+    double x = 1.0, y = 1.0, z = 1.0;
+    t = 0.499975;
+    t2 = 2.0;
+    /* module 1: simple identifiers */
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 0; i < cycles * 2; i++) {
+        x = (x + y + z) * t;
+        y = (x + y - z) * t;
+        z = (x - y + z) * t;
+    }
+    /* module 2: array elements via procedure */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < cycles; i++) pa(e1);
+    /* module 3: integer arithmetic */
+    ix = 1;
+    int j = 2, k = 3;
+    for (i = 0; i < cycles * 8; i++) {
+        ix = j * (ix - k) + k * (j - ix);
+        if (ix > 100) ix = ix % 97;
+        if (ix < -100) ix = -(ix % 89);
+    }
+    /* module 4: "trig" via the rational stand-in */
+    for (i = 0; i < cycles; i++) {
+        x = t * ratApprox(x * 0.5);
+        y = t * ratApprox(y * 0.25 + x * 0.125);
+    }
+    print_str("whet x=");
+    print_f64(x);
+    print_str(" y=");
+    print_f64(y);
+    print_str(" e=");
+    print_f64(e1[0]);
+    print_str(" ix=");
+    print_int(ix);
+    print_char('\n');
+    return 0;
+}
+)";
+
+// ---------------------------------------------------------------------
+// Struct / string synthetic mix
+// ---------------------------------------------------------------------
+
+const char *dhrystoneSrc = R"(
+/* The synthetic benchmark (dhrystone-style record/string mix). */
+struct record {
+    int discr;
+    int enumComp;
+    int intComp;
+    char stringComp[32];
+    int next;            /* index into pool: -1 = none */
+};
+struct record pool[4];
+char str1[32] = "DHRYSTONE PROGRAM SOME STRING";
+char str2[32];
+int intGlob;
+char chGlob;
+
+int strcmp_(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return *a - *b;
+}
+void strcpy_(char *d, char *s) {
+    while (*s) { *d = *s; d++; s++; }
+    *d = 0;
+}
+int func2(char *s1, char *s2) {
+    int i = 1;
+    char c = 0;
+    while (i <= 1) {
+        if (s1[i] == s2[i + 1]) { c = 'A'; i++; }
+        else i++;
+    }
+    if (c >= 'W' && c < 'Z') i = 7;
+    if (c == 'R') return 1;
+    if (strcmp_(s1, s2) > 0) { intGlob += 10; return 1; }
+    return 0;
+}
+void proc7(int a, int b, int *out) { *out = a + b + 2; }
+void proc8(int *arr, int idx, int val) {
+    arr[idx] = val;
+    arr[idx + 1] = arr[idx];
+    intGlob = 5;
+}
+void proc1(int idx) {
+    struct record *p = &pool[idx];
+    struct record *next = &pool[p->next];
+    *next = pool[idx];
+    p->intComp = 5;
+    next->intComp = p->intComp;
+    proc7(next->intComp, 10, &next->intComp);
+    if (next->discr == 0) {
+        next->intComp = 6;
+        next->enumComp = p->enumComp;
+    }
+}
+int main() {
+    int runs = 1500;
+    int i, run;
+    int arr[12];
+    pool[0].discr = 0;
+    pool[0].enumComp = 2;
+    pool[0].intComp = 40;
+    pool[0].next = 1;
+    strcpy_(pool[0].stringComp, str1);
+    pool[1] = pool[0];
+    pool[1].next = 0;
+    intGlob = 0;
+    for (run = 0; run < runs; run++) {
+        strcpy_(str2, "DHRYSTONE PROGRAM 2 STRING");
+        proc1(0);
+        for (i = 0; i < 10; i++) arr[i] = run + i;
+        proc8(arr, 3, run);
+        if (func2(str1, str2)) intGlob++;
+        chGlob = (char)('A' + (run % 26));
+    }
+    print_str("dhry ig=");
+    print_int(intGlob);
+    print_str(" ic=");
+    print_int(pool[1].intComp);
+    print_str(" ch=");
+    print_char(chGlob);
+    print_char('\n');
+    return 0;
+}
+)";
+
+// ---------------------------------------------------------------------
+// Cache benchmarks: large-footprint programs (assem, latex, ipl)
+// ---------------------------------------------------------------------
+
+/** Synthesize `count` distinct phase functions plus a dispatcher that
+ *  calls them round-robin; gives the program an instruction working
+ *  set spanning the paper's 1K-16K cache sweep. */
+std::string
+synthesizePhases(const char *prefix, int count)
+{
+    std::ostringstream os;
+    for (int i = 0; i < count; ++i) {
+        const int c1 = 3 + (i * 7) % 23;
+        const int c2 = 1 + (i * 5) % 13;
+        const int c3 = 2 + (i * 11) % 29;
+        os << "int " << prefix << "phase" << i << "(int v) {\n"
+           << "    int r = v + " << c1 << ";\n";
+        // Several rounds of distinct straight-line mixing so each
+        // phase occupies a realistic slab of instruction memory.
+        for (int round = 0; round < 6; ++round) {
+            const int k1 = 1 + (i + round) % 5;
+            const int k2 = 2 + (i + 2 * round) % 4;
+            const int k3 = 1 + (i * 3 + round * 7) % 30;
+            os << "    r ^= r << " << k1 << ";\n"
+               << "    r += r >> " << k2 << ";\n"
+               << "    r ^= v + " << k3 << ";\n"
+               << "    if (r & " << (1 << ((i + round) % 8)) << ") r -= "
+               << c2 + round << "; else r += " << c3 + round << ";\n";
+        }
+        os << "    r ^= v >> 1;\n"
+           << "    r += v & " << (15 + i % 17) << ";\n"
+           << "    if (r < 0) r = -r;\n"
+           << "    return r % " << (97 + i) << ";\n"
+           << "}\n";
+    }
+    os << "int " << prefix << "dispatch(int round, int v) {\n";
+    os << "    int w = v;\n";
+    for (int i = 0; i < count; ++i)
+        os << "    w += " << prefix << "phase" << i << "(w + round);\n";
+    os << "    return w;\n}\n";
+    return os.str();
+}
+
+std::string
+assemSrc()
+{
+    std::string src = R"(
+/* A miniature two-pass assembler over an embedded source program
+   (substitute for the D16 assembler, the paper's "assem"/"as16"). */
+char src_[2048];
+char symNames[128][8];
+int symValues[64];
+int symCount;
+int words[512];
+int wordCount;
+unsigned seed;
+unsigned nextRand() {
+    seed = seed * 1103515245u + 12345u;
+    return seed >> 8;
+}
+void makeSource() {
+    /* synthesize "label: op reg, imm" lines */
+    int pos = 0, line = 0;
+    seed = 1234u;
+    while (pos < 1900) {
+        if (line % 4 == 0) {
+            src_[pos++] = 'L';
+            src_[pos++] = 'a' + (char)(line / 4 % 26);
+            src_[pos++] = 'a' + (char)(line / 104 % 26);
+            src_[pos++] = ':';
+            src_[pos++] = ' ';
+        }
+        unsigned op = nextRand() % 4u;
+        if (op == 0u) { src_[pos++]='a'; src_[pos++]='d'; src_[pos++]='d'; }
+        else if (op == 1u) { src_[pos++]='s'; src_[pos++]='u'; src_[pos++]='b'; }
+        else if (op == 2u) { src_[pos++]='l'; src_[pos++]='d'; src_[pos++]='w'; }
+        else { src_[pos++]='b'; src_[pos++]='r'; src_[pos++]='a'; }
+        src_[pos++] = ' ';
+        src_[pos++] = 'r';
+        src_[pos++] = '0' + (char)(nextRand() % 8u);
+        src_[pos++] = ',';
+        src_[pos++] = '0' + (char)(nextRand() % 10u);
+        src_[pos++] = '0' + (char)(nextRand() % 10u);
+        src_[pos++] = '\n';
+        line++;
+    }
+    src_[pos] = 0;
+}
+int lookup(char *name, int len) {
+    int i, j;
+    for (i = 0; i < symCount; i++) {
+        int same = 1;
+        for (j = 0; j < len; j++)
+            if (symNames[i][j] != name[j]) { same = 0; break; }
+        if (same && symNames[i][len] == 0) return i;
+    }
+    if (symCount >= 128) return 0;
+    /* insert */
+    for (j = 0; j < len; j++) symNames[symCount][j] = name[j];
+    symNames[symCount][len] = 0;
+    symValues[symCount] = -1;
+    symCount++;
+    return symCount - 1;
+}
+int opcodeOf(char a, char b, char c) {
+    if (a == 'a' && b == 'd') return 1;
+    if (a == 's') return 2;
+    if (a == 'l') return 3;
+    if (a == 'b' && c == 'a') return 4;
+    return 0;
+}
+void assemble(int pass) {
+    int pos = 0, pc = 0;
+    wordCount = 0;
+    while (src_[pos]) {
+        /* optional label */
+        if (src_[pos] == 'L') {
+            int start = pos;
+            while (src_[pos] != ':') pos++;
+            int id = lookup(&src_[start], pos - start);
+            if (pass == 0) symValues[id] = pc;
+            pos++;
+            while (src_[pos] == ' ') pos++;
+        }
+        char a = src_[pos], b = src_[pos+1], c = src_[pos+2];
+        pos += 3;
+        int op = opcodeOf(a, b, c);
+        while (src_[pos] == ' ') pos++;
+        pos++; /* 'r' */
+        int rn = src_[pos] - '0';
+        pos++;
+        pos++; /* ',' */
+        int imm = 0;
+        while (src_[pos] >= '0' && src_[pos] <= '9') {
+            imm = imm * 10 + (src_[pos] - '0');
+            pos++;
+        }
+        while (src_[pos] == '\n') pos++;
+        if (pass == 1 && wordCount < 512)
+            words[wordCount++] = (op << 24) | (rn << 16) | imm;
+        pc++;
+        mixState = as_dispatch(pc, mixState);
+    }
+}
+)";
+    src = std::string("int mixState;\nint as_dispatch(int round, int v);\n") +
+          src + synthesizePhases("as_", 15);
+    src += R"(
+int main() {
+    makeSource();
+    int rep;
+    unsigned check = 0u;
+    mixState = 1;
+    for (rep = 0; rep < 2; rep++) {
+        symCount = 0;
+        assemble(0);
+        assemble(1);
+        int i;
+        for (i = 0; i < wordCount; i++)
+            check = check * 31u + (unsigned)words[i];
+    }
+    print_str("assem syms=");
+    print_int(symCount);
+    print_str(" words=");
+    print_int(wordCount);
+    print_str(" check=");
+    print_uint(check % 100000u);
+    print_str(" mix=");
+    print_int(mixState);
+    print_char('\n');
+    return 0;
+}
+)";
+    return src;
+}
+
+std::string
+latexSrc()
+{
+    std::string src = R"(
+/* A greedy paragraph typesetter over synthesized text (substitute for
+   the paper's LaTeX run). */
+char text[6144];
+int lineWidths[400];
+unsigned seed;
+unsigned nextRand() {
+    seed = seed * 1103515245u + 12345u;
+    return seed >> 8;
+}
+void makeText() {
+    int pos = 0;
+    seed = 777u;
+    while (pos < 6000) {
+        unsigned wlen = 2u + nextRand() % 9u;
+        unsigned i;
+        for (i = 0u; i < wlen && pos < 6000; i++)
+            text[pos++] = 'a' + (char)(nextRand() % 26u);
+        text[pos++] = ' ';
+    }
+    text[pos] = 0;
+}
+int breakParagraph(int width) {
+    /* greedy fill: returns number of lines */
+    int lines = 0, col = 0, pos = 0;
+    int badness = 0;
+    while (text[pos]) {
+        /* measure next word */
+        int wlen = 0;
+        while (text[pos + wlen] && text[pos + wlen] != ' ') wlen++;
+        if (col != 0 && col + 1 + wlen > width) {
+            int slack = width - col;
+            badness += slack * slack;
+            if (lines < 400) lineWidths[lines] = col;
+            lines++;
+            col = 0;
+            if ((lines & 3) == 0)
+                mixState = tx_dispatch(lines, mixState);
+        }
+        if (col != 0) col++;
+        col += wlen;
+        pos += wlen;
+        while (text[pos] == ' ') pos++;
+    }
+    if (col) lines++;
+    return lines * 1000 + badness % 1000;
+}
+)";
+    src = std::string("int mixState;\nint tx_dispatch(int round, int v);\n") + src + synthesizePhases("tx_", 24);
+    src += R"(
+int main() {
+    makeText();
+    int w, total = 0;
+    mixState = 3;
+    for (w = 38; w <= 72; w += 2) {
+        total += breakParagraph(w);
+    }
+    print_str("latex total=");
+    print_int(total);
+    print_str(" mix=");
+    print_int(mixState);
+    print_char('\n');
+    return 0;
+}
+)";
+    return src;
+}
+
+std::string
+iplSrc()
+{
+    std::string src = R"(
+/* A plotting-command generator: samples curves, scales to device
+   coordinates, and emits move/draw opcodes (substitute for the ipl
+   PostScript plotting package). */
+int cmds[2048];
+int cmdCount;
+int emit(int op, int x, int y) {
+    if (cmdCount < 2048) cmds[cmdCount++] = (op << 28) | (x << 14) | y;
+    return cmdCount;
+}
+/* fixed-point sine-ish curve via cubic approximation, x in [0,4096) */
+int curve(int x, int k) {
+    int t = (x * k) % 8192;
+    if (t > 4096) t = 8192 - t;
+    /* t*(4096-t) scaled */
+    int v = (t / 16) * ((4096 - t) / 16);
+    return v / 64;
+}
+int plotCurve(int k, int samples) {
+    int i, lastx = 0, lasty = 0;
+    int clipped = 0;
+    for (i = 0; i < samples; i++) {
+        int x = (i * 4096) / samples;
+        int y = curve(x, k);
+        /* window/viewport transform */
+        int dx = 40 + (x * 560) / 4096;
+        int dy = 40 + (y * 400) / 1024;
+        if (dy > 440) { dy = 440; clipped++; }
+        if (i == 0) emit(1, dx, dy);
+        else if (dx != lastx || dy != lasty) emit(2, dx, dy);
+        lastx = dx;
+        lasty = dy;
+        if ((i & 7) == 0) mixState = pl_dispatch(i, mixState);
+    }
+    return clipped;
+}
+)";
+    src = std::string("int mixState;\nint pl_dispatch(int round, int v);\n") + src + synthesizePhases("pl_", 20);
+    src += R"(
+int main() {
+    int k, clipped = 0;
+    unsigned check = 0u;
+    mixState = 9;
+    for (k = 1; k <= 9; k++) {
+        cmdCount = 0;
+        clipped += plotCurve(k, 500);
+        int i;
+        for (i = 0; i < cmdCount; i++)
+            check = check * 17u + (unsigned)cmds[i];
+    }
+    print_str("ipl cmds=");
+    print_int(cmdCount);
+    print_str(" clip=");
+    print_int(clipped);
+    print_str(" check=");
+    print_uint(check % 100000u);
+    print_str(" mix=");
+    print_int(mixState);
+    print_char('\n');
+    return 0;
+}
+)";
+    return src;
+}
+
+std::vector<Workload>
+buildSuite()
+{
+    std::vector<Workload> suite;
+    auto add = [&](const std::string &name, const std::string &desc,
+                   std::string src, bool fp = false, bool cacheB = false) {
+        Workload w;
+        w.name = name;
+        w.description = desc;
+        w.source = std::move(src);
+        w.floatingPoint = fp;
+        w.cacheBenchmark = cacheB;
+        suite.push_back(std::move(w));
+    };
+
+    add("ackermann", "Computes the Ackermann function", ackermannSrc);
+    add("assem", "The D16 assembler (miniature two-pass assembler)",
+        assemSrc(), false, true);
+    add("bubblesort", "Sorting program from the Stanford suite",
+        bubblesortSrc);
+    add("queens", "The Stanford eight-queens program", queensSrc);
+    add("quicksort", "The Stanford quicksort program", quicksortSrc);
+    add("towers", "The Stanford towers of Hanoi program", towersSrc);
+    add("grep", "The Unix utility (substring/char-class scan)", grepSrc);
+    add("linpack", "The linear programming benchmark (LU solve)",
+        linpackSrc, true);
+    add("matrix", "Gaussian elimination", matrixSrc, true);
+    add("dhrystone", "The synthetic benchmark", dhrystoneSrc);
+    add("pi", "Computes digits of pi", piSrc);
+    add("solver", "Newton-Raphson iterative solver", solverSrc, true);
+    add("latex", "The typesetter (greedy paragraph breaker)", latexSrc(),
+        false, true);
+    add("ipl", "PostScript plotting package (command generator)",
+        iplSrc(), false, true);
+    add("whetstone", "The synthetic floating point benchmark",
+        whetstoneSrc, true);
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+workloadSuite()
+{
+    static const std::vector<Workload> suite = buildSuite();
+    return suite;
+}
+
+const Workload &
+workload(const std::string &name)
+{
+    for (const Workload &w : workloadSuite())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload: ", name);
+}
+
+std::vector<std::string>
+cacheBenchmarkNames()
+{
+    return {"assem", "latex", "ipl"};
+}
+
+} // namespace d16sim::core

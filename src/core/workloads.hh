@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The benchmark suite (paper Table 2), reconstructed in MiniC.
+ *
+ * Fifteen programs: the Stanford-suite kernels and synthetic
+ * benchmarks are restated directly; the programs we cannot reproduce
+ * verbatim (the D16 assembler, LaTeX, the ipl PostScript plotter,
+ * grep, linpack, dhrystone, whetstone) are faithful miniatures that
+ * exercise the same operation mix (see DESIGN.md for the
+ * substitution rationale). Workload scale is reduced so the whole
+ * suite simulates in seconds; every comparison in the experiments is
+ * ratio-based, so scale cancels.
+ *
+ * The three cache benchmarks (paper §4.1: assem, latex, ipl) carry
+ * synthesized extra phases so their instruction working sets span the
+ * 1K-16K cache range the paper sweeps.
+ */
+
+#ifndef D16SIM_CORE_WORKLOADS_HH
+#define D16SIM_CORE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace d16sim::core
+{
+
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string source;       //!< MiniC text
+    bool floatingPoint = false;
+    bool cacheBenchmark = false;  //!< one of assem/latex/ipl
+};
+
+/** The full suite, in the paper's Table 2 order. */
+const std::vector<Workload> &workloadSuite();
+
+/** Look up one workload by name; throws FatalError if unknown. */
+const Workload &workload(const std::string &name);
+
+/** Names of the §4.1 cache benchmarks: assem, latex, ipl. */
+std::vector<std::string> cacheBenchmarkNames();
+
+} // namespace d16sim::core
+
+#endif // D16SIM_CORE_WORKLOADS_HH

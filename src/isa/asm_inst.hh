@@ -1,0 +1,117 @@
+/**
+ * @file
+ * AsmInst — the symbolic (pre-encoding) instruction form.
+ *
+ * The MiniC code generator emits AsmInst directly and the textual
+ * assembler parses into it; the per-ISA codecs encode it to bits once
+ * labels are resolved. Operand conventions (register numbers index GPRs
+ * or FPRs depending on the op):
+ *
+ *   ALU reg       rd, rs1, rs2        (D16 requires rd == rs1)
+ *   Neg/Inv/Mv    rd, rs1
+ *   ALU imm       rd, rs1, imm        (D16 requires rd == rs1)
+ *   MvI/MvHI      rd, imm
+ *   Cmp           rd, rs1, rs2, cond  (D16 requires rd == 0)
+ *   CmpI          rd, rs1, imm, cond
+ *   Load          rd, rs1 (base), imm (byte offset)
+ *   Store         rs2 (data), rs1 (base), imm
+ *   Ldc           label/imm           (dest is implicitly r0)
+ *   Br/J/Jl       label/imm (PC-relative)
+ *   Bz/Bnz        rs1 (test; D16 requires 0), label
+ *   Jr/Jlr        rs1 (target)
+ *   Jrz/Jrnz      rs1 (target), rs2 (test; D16 requires 0)
+ *   FP alu        rd, rs1, rs2 (FPRs; D16 requires rd == rs1)
+ *   FNeg/FMv/cvt  rd, rs1 (FPRs)
+ *   FCmp          rs1, rs2, cond      (writes FP status register)
+ *   MifL/MifH     rd (FPR), rs1 (GPR)
+ *   MfiL/MfiH     rd (GPR), rs1 (FPR)
+ *   Trap          imm
+ *   Rdsr          rd
+ */
+
+#ifndef D16SIM_ISA_ASM_INST_HH
+#define D16SIM_ISA_ASM_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/cond.hh"
+#include "isa/operation.hh"
+
+namespace d16sim::isa
+{
+
+/** How a symbolic label folds into the instruction's immediate. */
+enum class Reloc : uint8_t
+{
+    None,   //!< imm is already a final value
+    Abs,    //!< imm = address of label (+ addend)
+    Hi16,   //!< imm = high 16 bits of label address (DLXe MvHI)
+    Lo16,   //!< imm = low 16 bits of label address (DLXe OrI)
+    PcRel,  //!< imm = label address; codec computes the PC delta
+};
+
+struct AsmInst
+{
+    Op op = Op::Nop;
+    Cond cond = Cond::Eq;
+    int rd = -1;
+    int rs1 = -1;
+    int rs2 = -1;
+    int64_t imm = 0;
+    std::string label;         //!< symbolic target; empty if none
+    Reloc reloc = Reloc::None;
+    int line = 0;              //!< source line for diagnostics
+
+    // Convenience constructors used by the code generator.
+    static AsmInst
+    r3(Op op, int rd, int rs1, int rs2)
+    {
+        AsmInst i;
+        i.op = op;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        return i;
+    }
+
+    static AsmInst
+    ri(Op op, int rd, int rs1, int64_t imm)
+    {
+        AsmInst i;
+        i.op = op;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = imm;
+        return i;
+    }
+
+    static AsmInst
+    cmp(Cond c, int rd, int rs1, int rs2)
+    {
+        AsmInst i = r3(Op::Cmp, rd, rs1, rs2);
+        i.cond = c;
+        return i;
+    }
+
+    static AsmInst
+    branch(Op op, int test, std::string target)
+    {
+        AsmInst i;
+        i.op = op;
+        i.rs1 = test;
+        i.label = std::move(target);
+        i.reloc = Reloc::PcRel;
+        return i;
+    }
+
+    static AsmInst
+    nop()
+    {
+        return AsmInst{};
+    }
+};
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_ASM_INST_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Encoding-dispatch facade over the two codecs.
+ */
+
+#ifndef D16SIM_ISA_CODEC_HH
+#define D16SIM_ISA_CODEC_HH
+
+#include <cstdint>
+
+#include "isa/asm_inst.hh"
+#include "isa/d16_codec.hh"
+#include "isa/decoded.hh"
+#include "isa/dlxe_codec.hh"
+#include "isa/target.hh"
+
+namespace d16sim::isa
+{
+
+/** Encode for the given target; returns the instruction word (16/32b). */
+inline uint32_t
+encode(const TargetInfo &target, const AsmInst &inst)
+{
+    return target.kind() == IsaKind::D16 ? d16Encode(inst)
+                                         : dlxeEncode(inst);
+}
+
+/** Decode an instruction word fetched for the given target. */
+inline DecodedInst
+decode(const TargetInfo &target, uint32_t word)
+{
+    return target.kind() == IsaKind::D16
+               ? d16Decode(static_cast<uint16_t>(word))
+               : dlxeDecode(word);
+}
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_CODEC_HH

@@ -1,0 +1,487 @@
+#include "isa/d16_codec.hh"
+
+#include "support/bits.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace d16sim::isa
+{
+
+namespace
+{
+
+// Reg-reg page opcodes.
+enum RegRegOp : uint32_t
+{
+    RrAdd = 0, RrSub, RrAnd, RrOr, RrXor, RrShl, RrShr, RrShra,
+    RrNeg, RrInv, RrMv,
+    RrCmpBase = 11,  // + cond (lt, ltu, le, leu, eq, ne)
+    RrLdh = 17, RrLdhu, RrLdb, RrLdbu, RrSth, RrStb,
+    RrJr = 23, RrJlr, RrJrz, RrJrnz,
+    RrRdsr = 27,
+};
+
+// Reg-imm page opcodes.
+enum RegImmOp : uint32_t
+{
+    RiAddi = 0, RiSubi, RiShli, RiShri, RiShrai, RiTrap,
+};
+
+// FP page opcodes.
+enum FpOp : uint32_t
+{
+    FpAddS = 0, FpAddD, FpSubS, FpSubD, FpMulS, FpMulD, FpDivS, FpDivD,
+    FpNegS, FpNegD, FpFmv,
+    FpCmpSBase = 11,  // + {lt=0, le=1, eq=2}
+    FpCmpDBase = 14,
+    FpSi2Sf = 17, FpSi2Df, FpSf2Df, FpDf2Sf, FpSf2Si, FpDf2Si,
+    FpMifL = 23, FpMifH, FpMfiL, FpMfiH,
+};
+
+void
+checkReg(int r, const char *what, int line)
+{
+    if (r < 0 || r > 15)
+        fatal("D16: bad register ", r, " for ", what, " (line ", line, ")");
+}
+
+uint16_t
+makeRegReg(uint32_t op5, int ry, int rx)
+{
+    return static_cast<uint16_t>(
+        (0b01u << 14) | (0u << 13) | (op5 << 8) |
+        ((ry & 0xf) << 4) | (rx & 0xf));
+}
+
+uint16_t
+makeRegImm(uint32_t op4, uint32_t imm5, int rx)
+{
+    return static_cast<uint16_t>(
+        (0b01u << 14) | (1u << 13) | (op4 << 9) |
+        ((imm5 & 0x1f) << 4) | (rx & 0xf));
+}
+
+uint16_t
+makeFp(uint32_t op5, int ry, int rx)
+{
+    return static_cast<uint16_t>(
+        (0b11u << 14) | (op5 << 9) | ((ry & 0xf) << 5) | (rx & 0xf));
+}
+
+uint32_t
+fpCondIndex(Cond c, int line)
+{
+    switch (c) {
+      case Cond::Lt: return 0;
+      case Cond::Le: return 1;
+      case Cond::Eq: return 2;
+      default:
+        fatal("D16: FP compare supports lt/le/eq only, got ",
+              condName(c), " (line ", line, ")");
+    }
+}
+
+/** D16 two-address check: destination must equal the left source. */
+void
+checkTwoAddress(const AsmInst &inst)
+{
+    if (inst.rd != inst.rs1) {
+        fatal("D16: ", opName(inst.op),
+              " is two-address; destination must equal first source "
+              "(line ", inst.line, ")");
+    }
+}
+
+} // namespace
+
+uint16_t
+d16Encode(const AsmInst &inst)
+{
+    const int line = inst.line;
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra: {
+        checkTwoAddress(inst);
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs2, "source", line);
+        const uint32_t op5 = static_cast<uint32_t>(inst.op) -
+                             static_cast<uint32_t>(Op::Add) + RrAdd;
+        return makeRegReg(op5, inst.rs2, inst.rd);
+      }
+
+      case Op::Neg: case Op::Inv: case Op::Mv: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        const uint32_t op5 =
+            inst.op == Op::Neg ? RrNeg : inst.op == Op::Inv ? RrInv : RrMv;
+        return makeRegReg(op5, inst.rs1, inst.rd);
+      }
+
+      case Op::Cmp: {
+        if (inst.rd != 0)
+            fatal("D16: cmp destination is implicitly r0 (line ", line, ")");
+        if (!d16HasCond(inst.cond)) {
+            fatal("D16: cmp condition ", condName(inst.cond),
+                  " not encodable (line ", line, ")");
+        }
+        checkReg(inst.rs1, "source", line);
+        checkReg(inst.rs2, "source", line);
+        // cmp rx, ry computes (rx cond ry): rx is the left operand.
+        return makeRegReg(RrCmpBase + static_cast<uint32_t>(inst.cond),
+                          inst.rs2, inst.rs1);
+      }
+
+      case Op::AddI: case Op::SubI:
+      case Op::ShlI: case Op::ShrI: case Op::ShraI: {
+        checkTwoAddress(inst);
+        checkReg(inst.rd, "dest", line);
+        if (!fitsUnsigned(inst.imm, 5)) {
+            fatal("D16: immediate ", inst.imm,
+                  " out of 5-bit unsigned range (line ", line, ")");
+        }
+        const uint32_t op4 = static_cast<uint32_t>(inst.op) -
+                             static_cast<uint32_t>(Op::AddI) + RiAddi;
+        return makeRegImm(op4, static_cast<uint32_t>(inst.imm), inst.rd);
+      }
+
+      case Op::MvI: {
+        checkReg(inst.rd, "dest", line);
+        if (!fitsSigned(inst.imm, 9)) {
+            fatal("D16: mvi immediate ", inst.imm,
+                  " out of 9-bit signed range (line ", line, ")");
+        }
+        return static_cast<uint16_t>(
+            (0b001u << 13) | ((inst.imm & 0x1ff) << 4) | (inst.rd & 0xf));
+      }
+
+      case Op::Ld: case Op::St: {
+        const bool store = inst.op == Op::St;
+        const int data = store ? inst.rs2 : inst.rd;
+        checkReg(data, "data", line);
+        checkReg(inst.rs1, "base", line);
+        if (inst.imm < 0 || inst.imm > 124 || (inst.imm & 3)) {
+            fatal("D16: word memory offset ", inst.imm,
+                  " not expressible (0..124, word aligned) (line ",
+                  line, ")");
+        }
+        return static_cast<uint16_t>(
+            (0b10u << 14) | (uint32_t{store} << 13) |
+            ((inst.imm / 4) << 8) | ((inst.rs1 & 0xf) << 4) | (data & 0xf));
+      }
+
+      case Op::Ldh: case Op::Ldhu: case Op::Ldb: case Op::Ldbu:
+      case Op::Sth: case Op::Stb: {
+        const bool store = isStore(inst.op);
+        const int data = store ? inst.rs2 : inst.rd;
+        checkReg(data, "data", line);
+        checkReg(inst.rs1, "address", line);
+        if (inst.imm != 0) {
+            fatal("D16: sub-word accesses are not offsettable (line ",
+                  line, ")");
+        }
+        uint32_t op5 = 0;
+        switch (inst.op) {
+          case Op::Ldh: op5 = RrLdh; break;
+          case Op::Ldhu: op5 = RrLdhu; break;
+          case Op::Ldb: op5 = RrLdb; break;
+          case Op::Ldbu: op5 = RrLdbu; break;
+          case Op::Sth: op5 = RrSth; break;
+          default: op5 = RrStb; break;
+        }
+        return makeRegReg(op5, inst.rs1, data);
+      }
+
+      case Op::Ldc: {
+        if ((inst.imm & 3) || !fitsSigned(inst.imm / 4, 11)) {
+            fatal("D16: ldc delta ", inst.imm,
+                  " out of range (-4096..4092, word aligned) (line ",
+                  line, ")");
+        }
+        return static_cast<uint16_t>(
+            (0b0001u << 12) | ((inst.imm / 4) & 0x7ff));
+      }
+
+      case Op::Br: {
+        if ((inst.imm & 1) || !fitsSigned(inst.imm / 2, 11)) {
+            fatal("D16: br delta ", inst.imm,
+                  " out of +/-2048-byte range (line ", line, ")");
+        }
+        return static_cast<uint16_t>(
+            (1u << 11) | ((inst.imm / 2) & 0x7ff));
+      }
+
+      case Op::Bz: case Op::Bnz: {
+        if (inst.rs1 > 0) {
+            fatal("D16: conditional branches test r0 implicitly (line ",
+                  line, ")");
+        }
+        if ((inst.imm & 1) || !fitsSigned(inst.imm / 2, 10)) {
+            fatal("D16: branch delta ", inst.imm,
+                  " out of +/-1024-byte range (line ", line, ")");
+        }
+        return static_cast<uint16_t>(
+            (uint32_t{inst.op == Op::Bnz} << 10) |
+            ((inst.imm / 2) & 0x3ff));
+      }
+
+      case Op::Jr: case Op::Jlr: case Op::Jrz: case Op::Jrnz: {
+        checkReg(inst.rs1, "target", line);
+        if ((inst.op == Op::Jrz || inst.op == Op::Jrnz) && inst.rs2 > 0) {
+            fatal("D16: conditional jumps test r0 implicitly (line ",
+                  line, ")");
+        }
+        uint32_t op5 = 0;
+        switch (inst.op) {
+          case Op::Jr: op5 = RrJr; break;
+          case Op::Jlr: op5 = RrJlr; break;
+          case Op::Jrz: op5 = RrJrz; break;
+          default: op5 = RrJrnz; break;
+        }
+        return makeRegReg(op5, inst.rs1, 0);
+      }
+
+      case Op::FAddS: case Op::FAddD: case Op::FSubS: case Op::FSubD:
+      case Op::FMulS: case Op::FMulD: case Op::FDivS: case Op::FDivD: {
+        checkTwoAddress(inst);
+        checkReg(inst.rd, "fp dest", line);
+        checkReg(inst.rs2, "fp source", line);
+        const uint32_t op5 = static_cast<uint32_t>(inst.op) -
+                             static_cast<uint32_t>(Op::FAddS) + FpAddS;
+        return makeFp(op5, inst.rs2, inst.rd);
+      }
+
+      case Op::FNegS: case Op::FNegD: case Op::FMv: {
+        checkReg(inst.rd, "fp dest", line);
+        checkReg(inst.rs1, "fp source", line);
+        const uint32_t op5 = inst.op == Op::FNegS ? FpNegS :
+                             inst.op == Op::FNegD ? FpNegD : FpFmv;
+        return makeFp(op5, inst.rs1, inst.rd);
+      }
+
+      case Op::FCmpS: case Op::FCmpD: {
+        checkReg(inst.rs1, "fp source", line);
+        checkReg(inst.rs2, "fp source", line);
+        const uint32_t base =
+            inst.op == Op::FCmpS ? FpCmpSBase : FpCmpDBase;
+        // cmp fx, fy computes (fx cond fy).
+        return makeFp(base + fpCondIndex(inst.cond, line),
+                      inst.rs2, inst.rs1);
+      }
+
+      case Op::CvtSiSf: case Op::CvtSiDf: case Op::CvtSfDf:
+      case Op::CvtDfSf: case Op::CvtSfSi: case Op::CvtDfSi: {
+        checkReg(inst.rd, "fp dest", line);
+        checkReg(inst.rs1, "fp source", line);
+        const uint32_t op5 = static_cast<uint32_t>(inst.op) -
+                             static_cast<uint32_t>(Op::CvtSiSf) + FpSi2Sf;
+        return makeFp(op5, inst.rs1, inst.rd);
+      }
+
+      case Op::MifL: case Op::MifH: case Op::MfiL: case Op::MfiH: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        uint32_t op5 = 0;
+        switch (inst.op) {
+          case Op::MifL: op5 = FpMifL; break;
+          case Op::MifH: op5 = FpMifH; break;
+          case Op::MfiL: op5 = FpMfiL; break;
+          default: op5 = FpMfiH; break;
+        }
+        return makeFp(op5, inst.rs1, inst.rd);
+      }
+
+      case Op::Trap: {
+        if (!fitsUnsigned(inst.imm, 5)) {
+            fatal("D16: trap code ", inst.imm,
+                  " out of 5-bit range (line ", line, ")");
+        }
+        return makeRegImm(RiTrap, static_cast<uint32_t>(inst.imm), 0);
+      }
+
+      case Op::Rdsr:
+        checkReg(inst.rd, "dest", line);
+        return makeRegReg(RrRdsr, 0, inst.rd);
+
+      case Op::Nop:
+        // mv r0, r0
+        return makeRegReg(RrMv, 0, 0);
+
+      default:
+        fatal("D16: operation ", opName(inst.op),
+              " does not exist in the D16 encoding (line ", line, ")");
+    }
+}
+
+DecodedInst
+d16Decode(uint16_t raw)
+{
+    DecodedInst d;
+    const uint32_t w = raw;
+    const uint32_t top2 = bits(w, 15, 14);
+
+    if (top2 == 0b00) {
+        if (bits(w, 15, 13) == 0b001) {
+            // MVI
+            d.op = Op::MvI;
+            d.rd = static_cast<uint8_t>(bits(w, 3, 0));
+            d.imm = signExtend(bits(w, 12, 4), 9);
+            return d;
+        }
+        if (bits(w, 15, 12) == 0b0000) {
+            // BR: bit 11 set = unconditional (11-bit offset);
+            // clear = bz/bnz selected by bit 10 (10-bit offset).
+            if (bits(w, 11, 11)) {
+                d.op = Op::Br;
+                d.imm = signExtend(bits(w, 10, 0), 11) * 2;
+            } else {
+                d.op = bits(w, 10, 10) ? Op::Bnz : Op::Bz;
+                d.rs1 = 0;  // implicit r0 test
+                d.imm = signExtend(bits(w, 9, 0), 10) * 2;
+            }
+            return d;
+        }
+        // LDC
+        if (bits(w, 11, 11) != 0)
+            fatal("D16: reserved LDC encoding ", hexString(raw, 4));
+        d.op = Op::Ldc;
+        d.rd = 0;
+        d.imm = signExtend(bits(w, 10, 0), 11) * 4;
+        return d;
+    }
+
+    if (top2 == 0b01) {
+        const uint32_t rx = bits(w, 3, 0);
+        if (bits(w, 13, 13) == 0) {
+            // reg-reg page
+            const uint32_t op5 = bits(w, 12, 8);
+            const uint32_t ry = bits(w, 7, 4);
+            d.rd = static_cast<uint8_t>(rx);
+            if (op5 <= RrShra) {
+                d.op = static_cast<Op>(static_cast<uint32_t>(Op::Add) +
+                                       (op5 - RrAdd));
+                d.rs1 = static_cast<uint8_t>(rx);
+                d.rs2 = static_cast<uint8_t>(ry);
+            } else if (op5 == RrNeg || op5 == RrInv || op5 == RrMv) {
+                d.op = op5 == RrNeg ? Op::Neg :
+                       op5 == RrInv ? Op::Inv : Op::Mv;
+                d.rs1 = static_cast<uint8_t>(ry);
+            } else if (op5 >= RrCmpBase && op5 < RrCmpBase + 6) {
+                d.op = Op::Cmp;
+                d.cond = static_cast<Cond>(op5 - RrCmpBase);
+                d.rd = 0;
+                d.rs1 = static_cast<uint8_t>(rx);
+                d.rs2 = static_cast<uint8_t>(ry);
+            } else if (op5 >= RrLdh && op5 <= RrStb) {
+                static constexpr Op memOps[] = {
+                    Op::Ldh, Op::Ldhu, Op::Ldb, Op::Ldbu, Op::Sth, Op::Stb,
+                };
+                d.op = memOps[op5 - RrLdh];
+                d.rs1 = static_cast<uint8_t>(ry);  // address
+                if (isStore(d.op)) {
+                    d.rs2 = static_cast<uint8_t>(rx);  // data
+                    d.rd = 0;
+                }
+            } else if (op5 >= RrJr && op5 <= RrJrnz) {
+                if (rx != 0) {
+                    fatal("D16: reserved operand bits in jump ",
+                          hexString(raw, 4));
+                }
+                static constexpr Op jOps[] = {
+                    Op::Jr, Op::Jlr, Op::Jrz, Op::Jrnz,
+                };
+                d.op = jOps[op5 - RrJr];
+                d.rs1 = static_cast<uint8_t>(ry);  // target
+                d.rs2 = 0;                         // implicit r0 test
+                d.rd = d.op == Op::Jlr ? 1 : 0;
+            } else if (op5 == RrRdsr) {
+                if (ry != 0) {
+                    fatal("D16: reserved operand bits in rdsr ",
+                          hexString(raw, 4));
+                }
+                d.op = Op::Rdsr;
+            } else {
+                fatal("D16: reserved reg-reg encoding ", hexString(raw, 4));
+            }
+            return d;
+        }
+        // reg-imm page
+        const uint32_t op4 = bits(w, 12, 9);
+        const uint32_t imm5 = bits(w, 8, 4);
+        d.rd = static_cast<uint8_t>(rx);
+        d.rs1 = static_cast<uint8_t>(rx);
+        d.imm = static_cast<int32_t>(imm5);
+        switch (op4) {
+          case RiAddi: d.op = Op::AddI; break;
+          case RiSubi: d.op = Op::SubI; break;
+          case RiShli: d.op = Op::ShlI; break;
+          case RiShri: d.op = Op::ShrI; break;
+          case RiShrai: d.op = Op::ShraI; break;
+          case RiTrap:
+            if (rx != 0) {
+                fatal("D16: reserved operand bits in trap ",
+                      hexString(raw, 4));
+            }
+            d.op = Op::Trap;
+            d.rd = 0;
+            d.rs1 = 0;
+            break;
+          default:
+            fatal("D16: reserved reg-imm encoding ", hexString(raw, 4));
+        }
+        return d;
+    }
+
+    if (top2 == 0b10) {
+        // MEM
+        const bool store = bits(w, 13, 13) != 0;
+        d.op = store ? Op::St : Op::Ld;
+        d.rs1 = static_cast<uint8_t>(bits(w, 7, 4));  // base
+        d.imm = static_cast<int32_t>(bits(w, 12, 8) * 4);
+        if (store)
+            d.rs2 = static_cast<uint8_t>(bits(w, 3, 0));
+        else
+            d.rd = static_cast<uint8_t>(bits(w, 3, 0));
+        return d;
+    }
+
+    // FP page
+    if (bits(w, 4, 4) != 0)
+        fatal("D16: reserved bit in FP encoding ", hexString(raw, 4));
+    const uint32_t op5 = bits(w, 13, 9);
+    const uint32_t fy = bits(w, 8, 5);
+    const uint32_t fx = bits(w, 3, 0);
+    d.rd = static_cast<uint8_t>(fx);
+    if (op5 <= FpDivD) {
+        d.op = static_cast<Op>(static_cast<uint32_t>(Op::FAddS) +
+                               (op5 - FpAddS));
+        d.rs1 = static_cast<uint8_t>(fx);
+        d.rs2 = static_cast<uint8_t>(fy);
+    } else if (op5 == FpNegS || op5 == FpNegD || op5 == FpFmv) {
+        d.op = op5 == FpNegS ? Op::FNegS :
+               op5 == FpNegD ? Op::FNegD : Op::FMv;
+        d.rs1 = static_cast<uint8_t>(fy);
+    } else if (op5 >= FpCmpSBase && op5 < FpCmpSBase + 6) {
+        const uint32_t idx = op5 - FpCmpSBase;
+        d.op = idx < 3 ? Op::FCmpS : Op::FCmpD;
+        static constexpr Cond conds[] = {Cond::Lt, Cond::Le, Cond::Eq};
+        d.cond = conds[idx % 3];
+        d.rd = 0;
+        d.rs1 = static_cast<uint8_t>(fx);
+        d.rs2 = static_cast<uint8_t>(fy);
+    } else if (op5 >= FpSi2Sf && op5 <= FpDf2Si) {
+        d.op = static_cast<Op>(static_cast<uint32_t>(Op::CvtSiSf) +
+                               (op5 - FpSi2Sf));
+        d.rs1 = static_cast<uint8_t>(fy);
+    } else if (op5 >= FpMifL && op5 <= FpMfiH) {
+        static constexpr Op mOps[] = {
+            Op::MifL, Op::MifH, Op::MfiL, Op::MfiH,
+        };
+        d.op = mOps[op5 - FpMifL];
+        d.rs1 = static_cast<uint8_t>(fy);
+    } else {
+        fatal("D16: reserved FP encoding ", hexString(raw, 4));
+    }
+    return d;
+}
+
+} // namespace d16sim::isa

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * DecodedInst — the post-decode form executed by the pipeline model.
+ *
+ * Both codecs decode into this common convention so execution is
+ * encoding-independent (the paper's machines share one pipeline and
+ * differ only in instruction format):
+ *
+ *   - rd / rs1 / rs2 follow the AsmInst conventions, with D16's
+ *     two-address ops expanded (add rx, ry decodes to rd=rx, rs1=rx,
+ *     rs2=ry) and implicit registers made explicit (D16 compare dest and
+ *     branch test = r0, Ldc dest = r0, link = r1).
+ *   - Branch/jump immediates are byte deltas relative to the
+ *     instruction's own address; Ldc's immediate is relative to
+ *     (pc & ~3).
+ */
+
+#ifndef D16SIM_ISA_DECODED_HH
+#define D16SIM_ISA_DECODED_HH
+
+#include <cstdint>
+
+#include "isa/cond.hh"
+#include "isa/operation.hh"
+
+namespace d16sim::isa
+{
+
+struct DecodedInst
+{
+    Op op = Op::Nop;
+    Cond cond = Cond::Eq;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+};
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_DECODED_HH

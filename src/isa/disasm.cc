@@ -1,0 +1,122 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace d16sim::isa
+{
+
+namespace
+{
+
+std::string
+gpr(const TargetInfo &t, int r)
+{
+    return t.regName(r);
+}
+
+std::string
+fpr(const TargetInfo &t, int r)
+{
+    return t.fregName(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const TargetInfo &t, const DecodedInst &d, uint32_t pc)
+{
+    std::ostringstream os;
+    const Op op = d.op;
+    std::string mnem(opName(op));
+    if (hasCond(op) && (op == Op::Cmp || op == Op::CmpI))
+        mnem += "." + std::string(condName(d.cond));
+    else if (op == Op::FCmpS || op == Op::FCmpD)
+        mnem.insert(mnem.find('.'), "." + std::string(condName(d.cond)));
+    os << mnem;
+
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+        if (op == Op::Cmp) {
+            os << " " << gpr(t, d.rd) << ", " << gpr(t, d.rs1) << ", "
+               << gpr(t, d.rs2);
+        } else if (op == Op::Neg || op == Op::Inv || op == Op::Mv) {
+            os << " " << gpr(t, d.rd) << ", " << gpr(t, d.rs1);
+        } else {
+            os << " " << gpr(t, d.rd) << ", " << gpr(t, d.rs1) << ", "
+               << gpr(t, d.rs2);
+        }
+        break;
+
+      case OpClass::IntAluImm:
+        if (op == Op::MvI || op == Op::MvHI)
+            os << " " << gpr(t, d.rd) << ", " << d.imm;
+        else
+            os << " " << gpr(t, d.rd) << ", " << gpr(t, d.rs1) << ", "
+               << d.imm;
+        break;
+
+      case OpClass::Load:
+        os << " " << gpr(t, d.rd) << ", " << d.imm << "("
+           << gpr(t, d.rs1) << ")";
+        break;
+
+      case OpClass::Store:
+        os << " " << gpr(t, d.rs2) << ", " << d.imm << "("
+           << gpr(t, d.rs1) << ")";
+        break;
+
+      case OpClass::LoadConst:
+        os << " " << hexString((pc & ~3u) + d.imm);
+        break;
+
+      case OpClass::Branch:
+        if (op != Op::Br)
+            os << " " << gpr(t, d.rs1) << ",";
+        os << " " << hexString(pc + d.imm);
+        break;
+
+      case OpClass::Jump:
+        if (op == Op::J || op == Op::Jl)
+            os << " " << hexString(pc + d.imm);
+        else if (op == Op::Jrz || op == Op::Jrnz)
+            os << " " << gpr(t, d.rs1) << ", " << gpr(t, d.rs2);
+        else
+            os << " " << gpr(t, d.rs1);
+        break;
+
+      case OpClass::FpAlu:
+        if (op == Op::FCmpS || op == Op::FCmpD)
+            os << " " << fpr(t, d.rs1) << ", " << fpr(t, d.rs2);
+        else if (op == Op::FNegS || op == Op::FNegD)
+            os << " " << fpr(t, d.rd) << ", " << fpr(t, d.rs1);
+        else
+            os << " " << fpr(t, d.rd) << ", " << fpr(t, d.rs1) << ", "
+               << fpr(t, d.rs2);
+        break;
+
+      case OpClass::FpConvert:
+        os << " " << fpr(t, d.rd) << ", " << fpr(t, d.rs1);
+        break;
+
+      case OpClass::FpMove:
+        if (op == Op::FMv)
+            os << " " << fpr(t, d.rd) << ", " << fpr(t, d.rs1);
+        else if (op == Op::MifL || op == Op::MifH)
+            os << " " << fpr(t, d.rd) << ", " << gpr(t, d.rs1);
+        else
+            os << " " << gpr(t, d.rd) << ", " << fpr(t, d.rs1);
+        break;
+
+      case OpClass::Misc:
+        if (op == Op::Trap)
+            os << " " << d.imm;
+        else if (op == Op::Rdsr)
+            os << " " << gpr(t, d.rd);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace d16sim::isa

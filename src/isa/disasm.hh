@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Textual disassembly of decoded instructions (both encodings).
+ */
+
+#ifndef D16SIM_ISA_DISASM_HH
+#define D16SIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/decoded.hh"
+#include "isa/target.hh"
+
+namespace d16sim::isa
+{
+
+/**
+ * Render one decoded instruction in assembler syntax. PC-relative
+ * targets are shown as absolute addresses computed from `pc`.
+ */
+std::string disassemble(const TargetInfo &target, const DecodedInst &inst,
+                        uint32_t pc);
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_DISASM_HH

@@ -1,0 +1,463 @@
+#include "isa/dlxe_codec.hh"
+
+#include "support/bits.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace d16sim::isa
+{
+
+namespace
+{
+
+enum IOp : uint32_t
+{
+    OpRType = 0x00,
+    OpFType = 0x01,
+    OpAddi = 0x04, OpSubi, OpAndi, OpOri, OpXori,
+    OpShli, OpShri, OpShrai, OpMvhi,
+    OpCmpiBase = 0x10,  // + cond (10 conditions)
+    OpLd = 0x20, OpLdh, OpLdhu, OpLdb, OpLdbu, OpSt, OpSth, OpStb,
+    OpBz = 0x28, OpBnz, OpBr, OpJr, OpJlr, OpJrz, OpJrnz,
+    OpTrap = 0x2f, OpRdsr = 0x30,
+    OpJ = 0x3e, OpJl = 0x3f,
+};
+
+// R-type func values for the integer page.
+enum RFunc : uint32_t
+{
+    FnAdd = 0, FnSub, FnAnd, FnOr, FnXor, FnShl, FnShr, FnShra,
+    FnNeg, FnInv, FnMv,
+    FnCmpBase = 16,  // + cond (10 conditions)
+};
+
+// FP page func values (same ordering as the D16 FP page).
+enum FFunc : uint32_t
+{
+    FfAddS = 0, FfAddD, FfSubS, FfSubD, FfMulS, FfMulD, FfDivS, FfDivD,
+    FfNegS, FfNegD, FfFmv,
+    FfCmpSBase = 11,
+    FfCmpDBase = 14,
+    FfSi2Sf = 17, FfSi2Df, FfSf2Df, FfDf2Sf, FfSf2Si, FfDf2Si,
+    FfMifL = 23, FfMifH, FfMfiL, FfMfiH,
+};
+
+void
+checkReg(int r, const char *what, int line)
+{
+    if (r < 0 || r > 31)
+        fatal("DLXe: bad register ", r, " for ", what, " (line ", line, ")");
+}
+
+uint32_t
+makeR(uint32_t op6, int rs1, int rs2, int rd, uint32_t func)
+{
+    return (op6 << 26) | ((rs1 & 0x1f) << 21) | ((rs2 & 0x1f) << 16) |
+           ((rd & 0x1f) << 11) | (func & 0x7ff);
+}
+
+uint32_t
+makeI(uint32_t op6, int rs1, int rd, uint32_t imm16)
+{
+    return (op6 << 26) | ((rs1 & 0x1f) << 21) | ((rd & 0x1f) << 16) |
+           (imm16 & 0xffff);
+}
+
+uint32_t
+fpCondIndex(Cond c, int line)
+{
+    switch (c) {
+      case Cond::Lt: return 0;
+      case Cond::Le: return 1;
+      case Cond::Eq: return 2;
+      default:
+        fatal("DLXe: FP compare supports lt/le/eq only, got ",
+              condName(c), " (line ", line, ")");
+    }
+}
+
+void
+checkSigned16(int64_t v, const char *what, int line)
+{
+    if (!fitsSigned(v, 16)) {
+        fatal("DLXe: ", what, " ", v, " out of 16-bit signed range (line ",
+              line, ")");
+    }
+}
+
+} // namespace
+
+uint32_t
+dlxeEncode(const AsmInst &inst)
+{
+    const int line = inst.line;
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        checkReg(inst.rs2, "source", line);
+        const uint32_t func = static_cast<uint32_t>(inst.op) -
+                              static_cast<uint32_t>(Op::Add) + FnAdd;
+        return makeR(OpRType, inst.rs1, inst.rs2, inst.rd, func);
+      }
+
+      case Op::Neg: case Op::Inv: case Op::Mv: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        const uint32_t func = inst.op == Op::Neg ? FnNeg :
+                              inst.op == Op::Inv ? FnInv : FnMv;
+        return makeR(OpRType, inst.rs1, 0, inst.rd, func);
+      }
+
+      case Op::Cmp: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        checkReg(inst.rs2, "source", line);
+        return makeR(OpRType, inst.rs1, inst.rs2, inst.rd,
+                     FnCmpBase + static_cast<uint32_t>(inst.cond));
+      }
+
+      case Op::CmpI: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        checkSigned16(inst.imm, "compare immediate", line);
+        return makeI(OpCmpiBase + static_cast<uint32_t>(inst.cond),
+                     inst.rs1, inst.rd, static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::AddI: case Op::SubI: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        checkSigned16(inst.imm, "immediate", line);
+        return makeI(inst.op == Op::AddI ? OpAddi : OpSubi,
+                     inst.rs1, inst.rd, static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::AndI: case Op::OrI: case Op::XorI: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        if (!fitsUnsigned(inst.imm, 16)) {
+            fatal("DLXe: logical immediate ", inst.imm,
+                  " out of 16-bit unsigned range (line ", line, ")");
+        }
+        const uint32_t op6 = inst.op == Op::AndI ? OpAndi :
+                             inst.op == Op::OrI ? OpOri : OpXori;
+        return makeI(op6, inst.rs1, inst.rd,
+                     static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::ShlI: case Op::ShrI: case Op::ShraI: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        if (inst.imm < 0 || inst.imm > 31) {
+            fatal("DLXe: shift amount ", inst.imm, " out of range (line ",
+                  line, ")");
+        }
+        const uint32_t op6 = inst.op == Op::ShlI ? OpShli :
+                             inst.op == Op::ShrI ? OpShri : OpShrai;
+        return makeI(op6, inst.rs1, inst.rd,
+                     static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::MvI: {
+        checkReg(inst.rd, "dest", line);
+        checkSigned16(inst.imm, "mvi immediate", line);
+        return makeI(OpAddi, 0, inst.rd, static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::MvHI: {
+        checkReg(inst.rd, "dest", line);
+        if (!fitsUnsigned(inst.imm, 16)) {
+            fatal("DLXe: mvhi immediate ", inst.imm,
+                  " out of 16-bit unsigned range (line ", line, ")");
+        }
+        return makeI(OpMvhi, 0, inst.rd, static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::Ld: case Op::Ldh: case Op::Ldhu:
+      case Op::Ldb: case Op::Ldbu: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "base", line);
+        checkSigned16(inst.imm, "displacement", line);
+        static constexpr uint32_t ops[] = {
+            OpLd, OpLdh, OpLdhu, OpLdb, OpLdbu,
+        };
+        const uint32_t op6 = ops[static_cast<uint32_t>(inst.op) -
+                                 static_cast<uint32_t>(Op::Ld)];
+        return makeI(op6, inst.rs1, inst.rd,
+                     static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::St: case Op::Sth: case Op::Stb: {
+        checkReg(inst.rs2, "data", line);
+        checkReg(inst.rs1, "base", line);
+        checkSigned16(inst.imm, "displacement", line);
+        const uint32_t op6 = inst.op == Op::St ? OpSt :
+                             inst.op == Op::Sth ? OpSth : OpStb;
+        return makeI(op6, inst.rs1, inst.rs2,
+                     static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::Br: case Op::Bz: case Op::Bnz: {
+        if (inst.op != Op::Br)
+            checkReg(inst.rs1, "test", line);
+        if (inst.imm & 3)
+            fatal("DLXe: misaligned branch delta (line ", line, ")");
+        checkSigned16(inst.imm, "branch delta", line);
+        const uint32_t op6 = inst.op == Op::Br ? OpBr :
+                             inst.op == Op::Bz ? OpBz : OpBnz;
+        return makeI(op6, inst.op == Op::Br ? 0 : inst.rs1, 0,
+                     static_cast<uint32_t>(inst.imm));
+      }
+
+      case Op::J: case Op::Jl: {
+        if ((inst.imm & 3) || !fitsSigned(inst.imm / 4, 26)) {
+            fatal("DLXe: jump delta ", inst.imm, " out of range (line ",
+                  line, ")");
+        }
+        return ((inst.op == Op::J ? OpJ : OpJl) << 26) |
+               (static_cast<uint32_t>(inst.imm / 4) & 0x3ffffff);
+      }
+
+      case Op::Jr: case Op::Jlr: {
+        checkReg(inst.rs1, "target", line);
+        return makeI(inst.op == Op::Jr ? OpJr : OpJlr, inst.rs1,
+                     inst.op == Op::Jlr ? 1 : 0, 0);
+      }
+
+      case Op::Jrz: case Op::Jrnz: {
+        checkReg(inst.rs1, "target", line);
+        checkReg(inst.rs2, "test", line);
+        return makeI(inst.op == Op::Jrz ? OpJrz : OpJrnz, inst.rs1,
+                     inst.rs2, 0);
+      }
+
+      case Op::FAddS: case Op::FAddD: case Op::FSubS: case Op::FSubD:
+      case Op::FMulS: case Op::FMulD: case Op::FDivS: case Op::FDivD: {
+        checkReg(inst.rd, "fp dest", line);
+        checkReg(inst.rs1, "fp source", line);
+        checkReg(inst.rs2, "fp source", line);
+        const uint32_t func = static_cast<uint32_t>(inst.op) -
+                              static_cast<uint32_t>(Op::FAddS) + FfAddS;
+        return makeR(OpFType, inst.rs1, inst.rs2, inst.rd, func);
+      }
+
+      case Op::FNegS: case Op::FNegD: case Op::FMv: {
+        checkReg(inst.rd, "fp dest", line);
+        checkReg(inst.rs1, "fp source", line);
+        const uint32_t func = inst.op == Op::FNegS ? FfNegS :
+                              inst.op == Op::FNegD ? FfNegD : FfFmv;
+        return makeR(OpFType, inst.rs1, 0, inst.rd, func);
+      }
+
+      case Op::FCmpS: case Op::FCmpD: {
+        checkReg(inst.rs1, "fp source", line);
+        checkReg(inst.rs2, "fp source", line);
+        const uint32_t base =
+            inst.op == Op::FCmpS ? FfCmpSBase : FfCmpDBase;
+        return makeR(OpFType, inst.rs1, inst.rs2, 0,
+                     base + fpCondIndex(inst.cond, line));
+      }
+
+      case Op::CvtSiSf: case Op::CvtSiDf: case Op::CvtSfDf:
+      case Op::CvtDfSf: case Op::CvtSfSi: case Op::CvtDfSi: {
+        checkReg(inst.rd, "fp dest", line);
+        checkReg(inst.rs1, "fp source", line);
+        const uint32_t func = static_cast<uint32_t>(inst.op) -
+                              static_cast<uint32_t>(Op::CvtSiSf) + FfSi2Sf;
+        return makeR(OpFType, inst.rs1, 0, inst.rd, func);
+      }
+
+      case Op::MifL: case Op::MifH: case Op::MfiL: case Op::MfiH: {
+        checkReg(inst.rd, "dest", line);
+        checkReg(inst.rs1, "source", line);
+        static constexpr uint32_t funcs[] = {
+            FfMifL, FfMifH, FfMfiL, FfMfiH,
+        };
+        const uint32_t func = funcs[static_cast<uint32_t>(inst.op) -
+                                    static_cast<uint32_t>(Op::MifL)];
+        return makeR(OpFType, inst.rs1, 0, inst.rd, func);
+      }
+
+      case Op::Trap:
+        if (!fitsUnsigned(inst.imm, 16)) {
+            fatal("DLXe: trap code ", inst.imm, " out of range (line ",
+                  line, ")");
+        }
+        return makeI(OpTrap, 0, 0, static_cast<uint32_t>(inst.imm));
+
+      case Op::Rdsr:
+        checkReg(inst.rd, "dest", line);
+        return makeI(OpRdsr, 0, inst.rd, 0);
+
+      case Op::Nop:
+        return makeR(OpRType, 0, 0, 0, FnAdd);
+
+      default:
+        fatal("DLXe: operation ", opName(inst.op),
+              " does not exist in the DLXe encoding (line ", line, ")");
+    }
+}
+
+DecodedInst
+dlxeDecode(uint32_t w)
+{
+    DecodedInst d;
+    const uint32_t op6 = bits(w, 31, 26);
+    const uint32_t rs1 = bits(w, 25, 21);
+    const uint32_t rs2 = bits(w, 20, 16);
+
+    if (op6 == OpRType) {
+        const uint32_t rd = bits(w, 15, 11);
+        const uint32_t func = bits(w, 10, 0);
+        d.rd = static_cast<uint8_t>(rd);
+        d.rs1 = static_cast<uint8_t>(rs1);
+        d.rs2 = static_cast<uint8_t>(rs2);
+        if (func <= FnShra) {
+            d.op = static_cast<Op>(static_cast<uint32_t>(Op::Add) + func);
+        } else if (func == FnNeg || func == FnInv || func == FnMv) {
+            if (rs2 != 0)
+                fatal("DLXe: reserved bits in unary op ", hexString(w));
+            d.op = func == FnNeg ? Op::Neg :
+                   func == FnInv ? Op::Inv : Op::Mv;
+            d.rs2 = 0;
+        } else if (func >= FnCmpBase && func < FnCmpBase + numConds) {
+            d.op = Op::Cmp;
+            d.cond = static_cast<Cond>(func - FnCmpBase);
+        } else {
+            fatal("DLXe: reserved R-type encoding ", hexString(w));
+        }
+        return d;
+    }
+
+    if (op6 == OpFType) {
+        const uint32_t rd = bits(w, 15, 11);
+        const uint32_t func = bits(w, 10, 0);
+        d.rd = static_cast<uint8_t>(rd);
+        d.rs1 = static_cast<uint8_t>(rs1);
+        d.rs2 = static_cast<uint8_t>(rs2);
+        if (func <= FfDivD) {
+            d.op = static_cast<Op>(static_cast<uint32_t>(Op::FAddS) + func);
+        } else if (func == FfNegS || func == FfNegD || func == FfFmv) {
+            if (rs2 != 0)
+                fatal("DLXe: reserved bits in FP unary ", hexString(w));
+            d.op = func == FfNegS ? Op::FNegS :
+                   func == FfNegD ? Op::FNegD : Op::FMv;
+        } else if (func >= FfCmpSBase && func < FfCmpSBase + 6) {
+            if (rd != 0)
+                fatal("DLXe: reserved bits in FP compare ", hexString(w));
+            const uint32_t idx = func - FfCmpSBase;
+            d.op = idx < 3 ? Op::FCmpS : Op::FCmpD;
+            static constexpr Cond conds[] = {Cond::Lt, Cond::Le, Cond::Eq};
+            d.cond = conds[idx % 3];
+            d.rd = 0;
+        } else if (func >= FfSi2Sf && func <= FfDf2Si) {
+            if (rs2 != 0)
+                fatal("DLXe: reserved bits in FP convert ", hexString(w));
+            d.op = static_cast<Op>(static_cast<uint32_t>(Op::CvtSiSf) +
+                                   (func - FfSi2Sf));
+        } else if (func >= FfMifL && func <= FfMfiH) {
+            if (rs2 != 0)
+                fatal("DLXe: reserved bits in FP move ", hexString(w));
+            static constexpr Op mOps[] = {
+                Op::MifL, Op::MifH, Op::MfiL, Op::MfiH,
+            };
+            d.op = mOps[func - FfMifL];
+        } else {
+            fatal("DLXe: reserved FP encoding ", hexString(w));
+        }
+        return d;
+    }
+
+    if (op6 == OpJ || op6 == OpJl) {
+        d.op = op6 == OpJ ? Op::J : Op::Jl;
+        d.rd = op6 == OpJl ? 1 : 0;
+        d.imm = signExtend(bits(w, 25, 0), 26) * 4;
+        return d;
+    }
+
+    // I-type.
+    const uint32_t imm16 = bits(w, 15, 0);
+    const int32_t simm = signExtend(imm16, 16);
+    d.rs1 = static_cast<uint8_t>(rs1);
+    d.rd = static_cast<uint8_t>(rs2);  // rd field of I-type
+    d.imm = simm;
+
+    switch (op6) {
+      case OpAddi: d.op = Op::AddI; break;
+      case OpSubi: d.op = Op::SubI; break;
+      case OpAndi: d.op = Op::AndI; d.imm = static_cast<int32_t>(imm16); break;
+      case OpOri: d.op = Op::OrI; d.imm = static_cast<int32_t>(imm16); break;
+      case OpXori: d.op = Op::XorI; d.imm = static_cast<int32_t>(imm16); break;
+      case OpShli: case OpShri: case OpShrai:
+        if (imm16 > 31)
+            fatal("DLXe: reserved shift amount in ", hexString(w));
+        d.op = op6 == OpShli ? Op::ShlI
+               : op6 == OpShri ? Op::ShrI : Op::ShraI;
+        d.imm = static_cast<int32_t>(imm16);
+        break;
+      case OpMvhi:
+        if (rs1 != 0)
+            fatal("DLXe: reserved bits in mvhi ", hexString(w));
+        d.op = Op::MvHI;
+        d.imm = static_cast<int32_t>(imm16);
+        break;
+      case OpLd: d.op = Op::Ld; break;
+      case OpLdh: d.op = Op::Ldh; break;
+      case OpLdhu: d.op = Op::Ldhu; break;
+      case OpLdb: d.op = Op::Ldb; break;
+      case OpLdbu: d.op = Op::Ldbu; break;
+      case OpSt: d.op = Op::St; d.rs2 = d.rd; d.rd = 0; break;
+      case OpSth: d.op = Op::Sth; d.rs2 = d.rd; d.rd = 0; break;
+      case OpStb: d.op = Op::Stb; d.rs2 = d.rd; d.rd = 0; break;
+      case OpBz: case OpBnz: case OpBr:
+        if (rs2 != 0 || (op6 == OpBr && rs1 != 0) || (d.imm & 3))
+            fatal("DLXe: reserved bits in branch ", hexString(w));
+        d.op = op6 == OpBz ? Op::Bz : op6 == OpBnz ? Op::Bnz : Op::Br;
+        d.rd = 0;
+        break;
+      case OpJr: case OpJlr:
+        if (imm16 != 0 || (op6 == OpJr && rs2 != 0) ||
+            (op6 == OpJlr && rs2 != 1)) {
+            fatal("DLXe: reserved bits in jump ", hexString(w));
+        }
+        d.op = op6 == OpJr ? Op::Jr : Op::Jlr;
+        d.rd = op6 == OpJlr ? 1 : 0;
+        d.imm = 0;
+        break;
+      case OpJrz:
+      case OpJrnz:
+        if (imm16 != 0)
+            fatal("DLXe: reserved bits in jump ", hexString(w));
+        d.op = op6 == OpJrz ? Op::Jrz : Op::Jrnz;
+        d.rs2 = d.rd;  // test register lives in the rd field
+        d.rd = 0;
+        d.imm = 0;
+        break;
+      case OpTrap:
+        if (rs1 != 0 || rs2 != 0)
+            fatal("DLXe: reserved bits in trap ", hexString(w));
+        d.op = Op::Trap;
+        d.rd = 0;
+        d.imm = static_cast<int32_t>(imm16);
+        break;
+      case OpRdsr:
+        if (rs1 != 0 || imm16 != 0)
+            fatal("DLXe: reserved bits in rdsr ", hexString(w));
+        d.op = Op::Rdsr;
+        d.imm = 0;
+        break;
+      default:
+        if (op6 >= OpCmpiBase &&
+            op6 < OpCmpiBase + static_cast<uint32_t>(numConds)) {
+            d.op = Op::CmpI;
+            d.cond = static_cast<Cond>(op6 - OpCmpiBase);
+            break;
+        }
+        fatal("DLXe: reserved opcode in ", hexString(w));
+    }
+    return d;
+}
+
+} // namespace d16sim::isa

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DLXe instruction codec — 32-bit encoding (paper Figure 2).
+ *
+ * DLXe follows the classic DLX three-format layout:
+ *
+ *   R-type: op6=0x00 | rs1[25:21] rs2[20:16] rd[15:11] func[10:0]
+ *           (integer ALU and register compares)
+ *   FP R-type: op6=0x01, same fields, func selects the FP page
+ *   I-type: op6 | rs1[25:21] rd[20:16] imm16[15:0]
+ *   J-type: op6=0x3e/0x3f | offset26 (word-scaled PC delta)
+ *
+ * Immediates are sign-extended except for the logical ops
+ * (andi/ori/xori) and mvhi, which take zero-extended 16-bit fields.
+ * `mvi rd, imm` is encoded as `addi rd, r0, imm`; `nop` as
+ * `add r0, r0, r0` (the all-zero word).
+ *
+ * Decoding is canonical: words with nonzero bits in unused fields
+ * (unary-op rs2, branch rd, jump immediates, shift amounts above 31,
+ * mvhi rs1, ...) are rejected as reserved, so decode-then-encode is
+ * the identity on every accepted word.
+ *
+ * I-type opcode map: 0x04 addi, 0x05 subi, 0x06 andi, 0x07 ori,
+ * 0x08 xori, 0x09 shli, 0x0a shri, 0x0b shrai, 0x0c mvhi,
+ * 0x10+cond cmpi, 0x20 ld, 0x21 ldh, 0x22 ldhu, 0x23 ldb, 0x24 ldbu,
+ * 0x25 st, 0x26 sth, 0x27 stb, 0x28 bz, 0x29 bnz, 0x2a br, 0x2b jr,
+ * 0x2c jlr, 0x2d jrz, 0x2e jrnz, 0x2f trap, 0x30 rdsr.
+ */
+
+#ifndef D16SIM_ISA_DLXE_CODEC_HH
+#define D16SIM_ISA_DLXE_CODEC_HH
+
+#include <cstdint>
+
+#include "isa/asm_inst.hh"
+#include "isa/decoded.hh"
+
+namespace d16sim::isa
+{
+
+/**
+ * Encode one symbolic instruction to DLXe bits. Branch/jump immediates
+ * are byte deltas relative to the instruction's address. Throws
+ * FatalError on operands the format cannot express.
+ */
+uint32_t dlxeEncode(const AsmInst &inst);
+
+/** Decode DLXe bits into the common executed form. */
+DecodedInst dlxeDecode(uint32_t bits);
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_DLXE_CODEC_HH

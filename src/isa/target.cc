@@ -1,0 +1,220 @@
+#include "isa/target.hh"
+
+#include <cstdlib>
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::isa
+{
+
+std::string_view
+isaName(IsaKind k)
+{
+    return k == IsaKind::D16 ? "D16" : "DLXe";
+}
+
+TargetInfo::TargetInfo(IsaKind kind) : kind_(kind)
+{
+    if (kind == IsaKind::D16) {
+        insnBytes_ = 2;
+        numGpr_ = 16;
+        numFpr_ = 16;
+        threeAddress_ = false;
+        r0IsZero_ = false;
+        // 10-bit signed halfword offset: +/-1024 bytes (paper Table 1).
+        branchRangeBytes_ = 1024;
+    } else {
+        insnBytes_ = 4;
+        numGpr_ = 32;
+        numFpr_ = 32;
+        threeAddress_ = true;
+        r0IsZero_ = true;
+        // 16-bit signed byte offset.
+        branchRangeBytes_ = 32768;
+    }
+}
+
+const TargetInfo &
+TargetInfo::d16()
+{
+    static const TargetInfo t(IsaKind::D16);
+    return t;
+}
+
+const TargetInfo &
+TargetInfo::dlxe()
+{
+    static const TargetInfo t(IsaKind::DLXe);
+    return t;
+}
+
+const TargetInfo &
+TargetInfo::get(IsaKind kind)
+{
+    return kind == IsaKind::D16 ? d16() : dlxe();
+}
+
+bool
+TargetInfo::hasOp(Op op) const
+{
+    if (op == Op::Nop)
+        return true;
+    if (kind_ == IsaKind::D16)
+        return !isDLXeOnly(op);
+    return !isD16Only(op);
+}
+
+bool
+TargetInfo::aluImmFits(Op op, int64_t v) const
+{
+    if (kind_ == IsaKind::D16) {
+        switch (op) {
+          case Op::AddI: case Op::SubI:
+          case Op::ShlI: case Op::ShrI: case Op::ShraI:
+            return fitsUnsigned(v, 5);
+          default:
+            return false;  // no andi/ori/xori/cmpi on D16
+        }
+    }
+    switch (op) {
+      case Op::AndI: case Op::OrI: case Op::XorI:
+        // Logical immediates are zero-extended 16-bit.
+        return fitsUnsigned(v, 16);
+      case Op::AddI: case Op::SubI: case Op::CmpI:
+        return fitsSigned(v, 16);
+      case Op::ShlI: case Op::ShrI: case Op::ShraI:
+        return v >= 0 && v < 32;
+      case Op::MvHI:
+        return fitsUnsigned(v, 16);
+      default:
+        return false;
+    }
+}
+
+bool
+TargetInfo::mviImmFits(int64_t v) const
+{
+    return kind_ == IsaKind::D16 ? fitsSigned(v, 9) : fitsSigned(v, 16);
+}
+
+bool
+TargetInfo::memOffsetFits(Op op, int64_t v) const
+{
+    if (kind_ == IsaKind::DLXe)
+        return fitsSigned(v, 16);
+    // D16: word forms take 5-bit unsigned word-scaled offsets
+    // (0..124 bytes); sub-word forms are not offsettable.
+    switch (op) {
+      case Op::Ld: case Op::St:
+        return v >= 0 && v <= 124 && (v & 3) == 0;
+      case Op::Ldh: case Op::Ldhu: case Op::Sth:
+      case Op::Ldb: case Op::Ldbu: case Op::Stb:
+        return v == 0;
+      default:
+        panic("memOffsetFits on non-memory op ", opName(op));
+    }
+}
+
+bool
+TargetInfo::branchOffsetFits(Op op, int64_t byteDelta) const
+{
+    if (kind_ == IsaKind::D16) {
+        // Unconditional br reaches +/-2048; bz/bnz +/-1024 (the paper's
+        // stated limit).
+        const unsigned width = op == Op::Br ? 11 : 10;
+        return (byteDelta & 1) == 0 && fitsSigned(byteDelta / 2, width);
+    }
+    return (byteDelta & 3) == 0 && fitsSigned(byteDelta, 16);
+}
+
+bool
+TargetInfo::jumpOffsetFits(int64_t byteDelta) const
+{
+    if (kind_ == IsaKind::D16)
+        return false;  // D16 has no direct jumps
+    return (byteDelta & 3) == 0 && fitsSigned(byteDelta, 26);
+}
+
+bool
+TargetInfo::ldcOffsetFits(int64_t byteDelta) const
+{
+    if (kind_ != IsaKind::D16)
+        return false;
+    // 11-bit signed word offset: -4096 .. +4092 bytes, word aligned.
+    return (byteDelta & 3) == 0 && fitsSigned(byteDelta / 4, 11);
+}
+
+std::string
+TargetInfo::regName(int r) const
+{
+    panicIf(r < 0 || r >= numGpr_, "bad register r", r);
+    if (r == spReg())
+        return "sp";
+    if (r == gpReg())
+        return "gp";
+    if (r == raReg())
+        return "ra";
+    if (r == 0 && kind_ == IsaKind::D16)
+        return "at";
+    return "r" + std::to_string(r);
+}
+
+std::string
+TargetInfo::fregName(int r) const
+{
+    panicIf(r < 0 || r >= numFpr_, "bad fp register f", r);
+    return "f" + std::to_string(r);
+}
+
+bool
+TargetInfo::parseReg(std::string_view s, int &out) const
+{
+    if (s == "sp") {
+        out = spReg();
+        return true;
+    }
+    if (s == "gp") {
+        out = gpReg();
+        return true;
+    }
+    if (s == "ra") {
+        out = raReg();
+        return true;
+    }
+    if (s == "at") {
+        out = atReg();
+        return true;
+    }
+    if (s.size() < 2 || s[0] != 'r')
+        return false;
+    int v = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] < '0' || s[i] > '9')
+            return false;
+        v = v * 10 + (s[i] - '0');
+    }
+    if (v >= numGpr_)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+TargetInfo::parseFreg(std::string_view s, int &out) const
+{
+    if (s.size() < 2 || s[0] != 'f')
+        return false;
+    int v = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] < '0' || s[i] > '9')
+            return false;
+        v = v * 10 + (s[i] - '0');
+    }
+    if (v >= numFpr_)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace d16sim::isa

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Machine descriptions for the two encodings and their ABI conventions.
+ *
+ * TargetInfo answers the questions the compiler, assembler, and
+ * simulator need: how wide are instructions, which immediates fit, how
+ * many registers exist, and which registers play dedicated roles.
+ *
+ * The register conventions (a reconstruction; the paper fixes only r0's
+ * and r1's roles):
+ *
+ *   D16 (16 GPRs):  r0 = at (compare result, Ldc destination, scratch),
+ *                   r1 = ra, r2..r5 args/ret, r6..r9 caller temps,
+ *                   r10..r13 callee-saved, r14 = gp, r15 = sp.
+ *   DLXe (32 GPRs): r0 = zero, r1 = ra, r2..r9 args/ret, r10..r15
+ *                   caller temps, r16..r29 callee-saved, r30 = gp,
+ *                   r31 = sp.
+ *
+ * The paper's "restricted DLXe" compiler variants (16 registers,
+ * two-address) are *compiler* restrictions on the full DLXe encoding —
+ * CompileOptions in src/core selects them; TargetInfo describes the
+ * hardware.
+ */
+
+#ifndef D16SIM_ISA_TARGET_HH
+#define D16SIM_ISA_TARGET_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isa/cond.hh"
+#include "isa/operation.hh"
+
+namespace d16sim::isa
+{
+
+enum class IsaKind : uint8_t
+{
+    D16,
+    DLXe,
+};
+
+std::string_view isaName(IsaKind k);
+
+/** Immutable description of one target machine. */
+class TargetInfo
+{
+  public:
+    static const TargetInfo &d16();
+    static const TargetInfo &dlxe();
+    static const TargetInfo &get(IsaKind kind);
+
+    IsaKind kind() const { return kind_; }
+    std::string_view name() const { return isaName(kind_); }
+
+    /** Instruction size in bytes (2 or 4); all instructions equal. */
+    int insnBytes() const { return insnBytes_; }
+
+    /** Architected register-file sizes. */
+    int numGpr() const { return numGpr_; }
+    int numFpr() const { return numFpr_; }
+
+    /** Hardware two-address (D16) vs three-address (DLXe) ALU ops. */
+    bool threeAddress() const { return threeAddress_; }
+
+    /** r0 reads as zero (DLXe) vs r0 is the at/compare register (D16). */
+    bool r0IsZero() const { return r0IsZero_; }
+
+    // Dedicated register roles.
+    int raReg() const { return 1; }
+    int atReg() const { return 0; }  //!< D16 scratch; DLXe r0 == 0
+    int gpReg() const { return numGpr_ - 2; }
+    int spReg() const { return numGpr_ - 1; }
+
+    /** Does this encoding have the given operation at all? */
+    bool hasOp(Op op) const;
+
+    /** Does `cond` exist for integer Cmp on this machine? */
+    bool hasIntCond(Cond c) const
+    {
+        return kind_ == IsaKind::DLXe || d16HasCond(c);
+    }
+
+    // Immediate legality (values are the *semantic* immediates; word
+    // scaling of D16 offsets is handled inside the codec).
+    bool aluImmFits(Op op, int64_t v) const;
+    bool mviImmFits(int64_t v) const;
+    bool memOffsetFits(Op op, int64_t v) const;
+    bool branchOffsetFits(Op op, int64_t byteDelta) const;
+    bool jumpOffsetFits(int64_t byteDelta) const;
+    bool ldcOffsetFits(int64_t byteDelta) const;
+
+    /** Range of the branch offset in bytes (for relaxation decisions). */
+    int branchRangeBytes() const { return branchRangeBytes_; }
+
+    std::string regName(int r) const;
+    std::string fregName(int r) const;
+
+    /** Parse "r4" / "sp" / "gp" / "ra" / "at"; false if not a GPR. */
+    bool parseReg(std::string_view s, int &out) const;
+    /** Parse "f7"; false if not an FPR. */
+    bool parseFreg(std::string_view s, int &out) const;
+
+  private:
+    TargetInfo(IsaKind kind);
+
+    IsaKind kind_;
+    int insnBytes_;
+    int numGpr_;
+    int numFpr_;
+    bool threeAddress_;
+    bool r0IsZero_;
+    int branchRangeBytes_;
+};
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_TARGET_HH

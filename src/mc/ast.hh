@@ -1,0 +1,185 @@
+/**
+ * @file
+ * MiniC abstract syntax tree.
+ *
+ * Tagged structs rather than a class hierarchy: a compiler of this size
+ * reads better with explicit kind switches than with double dispatch.
+ * Sema fills in Expr::type and Expr::lvalue, and rewrites the tree to
+ * make implicit conversions explicit Cast nodes, so the IR generator
+ * can be purely type-directed.
+ */
+
+#ifndef D16SIM_MC_AST_HH
+#define D16SIM_MC_AST_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/type.hh"
+
+namespace d16sim::mc
+{
+
+enum class ExprKind : uint8_t
+{
+    IntLit,     //!< intValue (type int/unsigned/char set by context)
+    FloatLit,   //!< floatValue
+    StringLit,  //!< strValue; type char* after decay
+    Ident,      //!< name; resolved by sema (local / global / function)
+    Unary,      //!< op in unOp; a
+    Binary,     //!< op in binOp; a, b
+    Assign,     //!< a = b, or compound (binOp set, compound = true)
+    Cond,       //!< a ? b : c
+    Call,       //!< callee name in strValue; args
+    Index,      //!< a[b]
+    Member,     //!< a.field / a->field (arrow flag)
+    Cast,       //!< (castType) a; also inserted by sema
+    SizeofType, //!< sizeofType
+    IncDec,     //!< ++/-- (isIncrement, isPrefix); operand a
+};
+
+enum class UnOp : uint8_t { Neg, LogNot, BitNot, Deref, AddrOf, Plus };
+
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    LogAnd, LogOr,
+    Lt, Gt, Le, Ge, Eq, Ne,
+    None,  //!< plain assignment marker
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    ExprKind kind = ExprKind::IntLit;
+    int line = 0;
+
+    // Filled by sema.
+    const Type *type = nullptr;
+    bool lvalue = false;
+
+    int64_t intValue = 0;
+    double floatValue = 0;
+    bool floatIsSingle = false;
+    std::string strValue;  //!< Ident/Call name, StringLit body, field
+
+    UnOp unOp = UnOp::Neg;
+    BinOp binOp = BinOp::None;
+    bool compound = false;   //!< compound assignment
+    bool arrow = false;      //!< -> vs .
+    bool isIncrement = false;
+    bool isPrefix = false;
+
+    const Type *castType = nullptr;   //!< Cast
+    const Type *sizeofType = nullptr; //!< SizeofType
+
+    ExprPtr a, b, c;
+    std::vector<ExprPtr> args;
+
+    // Sema resolution for Ident.
+    enum class Binding : uint8_t { Unresolved, Local, Global, Function };
+    Binding binding = Binding::Unresolved;
+    int localId = -1;  //!< index into the enclosing function's locals
+};
+
+enum class StmtKind : uint8_t
+{
+    Block, If, While, DoWhile, For, Return, Break, Continue, ExprStmt,
+    Decl, Empty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One local variable declarator. */
+struct LocalDecl
+{
+    std::string name;
+    const Type *type = nullptr;
+    ExprPtr init;                    //!< scalar initializer (may be null)
+    std::vector<ExprPtr> initList;   //!< array/struct brace initializer
+    int localId = -1;                //!< assigned by sema
+    int line = 0;
+};
+
+struct Stmt
+{
+    StmtKind kind = StmtKind::Empty;
+    int line = 0;
+
+    std::vector<StmtPtr> body;  //!< Block
+    ExprPtr cond;               //!< If/While/DoWhile/For
+    StmtPtr thenStmt, elseStmt; //!< If
+    StmtPtr loopBody;           //!< While/DoWhile/For
+    StmtPtr forInit;            //!< For (Decl or ExprStmt)
+    ExprPtr forStep;            //!< For
+    ExprPtr expr;               //!< ExprStmt/Return value
+    std::vector<LocalDecl> decls;  //!< Decl
+};
+
+/** Function parameter. */
+struct Param
+{
+    std::string name;
+    const Type *type = nullptr;
+    int line = 0;
+};
+
+struct FuncDecl
+{
+    std::string name;
+    const Type *retType = nullptr;
+    std::vector<Param> params;
+    StmtPtr body;  //!< null for a forward declaration
+    int line = 0;
+
+    // Sema: flat table of every local variable (params first).
+    struct LocalVar
+    {
+        std::string name;
+        const Type *type = nullptr;
+        bool addressTaken = false;
+        bool isParam = false;
+    };
+    std::vector<LocalVar> locals;
+};
+
+struct GlobalDecl
+{
+    std::string name;
+    const Type *type = nullptr;
+    ExprPtr init;                  //!< scalar constant initializer
+    std::vector<ExprPtr> initList; //!< brace initializer
+    std::string stringInit;        //!< char array initialized by string
+    bool hasStringInit = false;
+    int line = 0;
+};
+
+/** Function signature (filled by sema; includes builtins). */
+struct FuncSig
+{
+    const Type *retType = nullptr;
+    std::vector<const Type *> params;
+    bool isBuiltin = false;
+    int trapCode = 0;  //!< builtin: simulator trap; 0 = runtime call
+};
+
+struct Program
+{
+    TypeTable types;
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+    /** String literal pool: label index -> body. */
+    std::vector<std::string> strings;
+    /** name -> signature, including builtins (filled by sema). */
+    std::map<std::string, FuncSig> signatures;
+};
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_AST_HH

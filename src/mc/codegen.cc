@@ -1,0 +1,974 @@
+#include "mc/codegen.hh"
+
+#include <bit>
+
+#include "mc/parser.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+using assem::AsmItem;
+using assem::DataValue;
+using isa::AsmInst;
+using isa::Cond;
+using isa::Op;
+using isa::Reloc;
+
+namespace
+{
+
+/** Size/signedness to load opcode. */
+Op
+loadOp(int size, bool signedLoad)
+{
+    switch (size) {
+      case 1: return signedLoad ? Op::Ldb : Op::Ldbu;
+      case 2: return signedLoad ? Op::Ldh : Op::Ldhu;
+      case 4: return Op::Ld;
+      default: panic("bad load size ", size);
+    }
+}
+
+Op
+storeOp(int size)
+{
+    switch (size) {
+      case 1: return Op::Stb;
+      case 2: return Op::Sth;
+      case 4: return Op::St;
+      default: panic("bad store size ", size);
+    }
+}
+
+/** Constant folding of global initializer expressions. */
+double
+evalConstNum(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::SizeofType:
+        return static_cast<double>(e.intValue);
+      case ExprKind::FloatLit:
+        return e.floatValue;
+      case ExprKind::Unary:
+        if (e.unOp == UnOp::Neg)
+            return -evalConstNum(*e.a);
+        if (e.unOp == UnOp::Plus)
+            return evalConstNum(*e.a);
+        break;
+      case ExprKind::Binary: {
+        const double a = evalConstNum(*e.a);
+        const double b = evalConstNum(*e.b);
+        switch (e.binOp) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div: return a / b;
+          default: break;
+        }
+        break;
+      }
+      case ExprKind::Cast:
+        return evalConstNum(*e.a);
+      default:
+        break;
+    }
+    fatal("minic line ", e.line, ": global initializer is not constant");
+}
+
+} // namespace
+
+CodeGen::CodeGen(const Program &prog, const MachineEnv &env)
+    : prog_(prog),
+      env_(env),
+      t_(env.target()),
+      d16_(env.target().kind() == isa::IsaKind::D16)
+{}
+
+// ---------------------------------------------------------------------
+// Data layout
+// ---------------------------------------------------------------------
+
+void
+CodeGen::layoutGlobals()
+{
+    // Scalars first (cheap gp-relative reach matters most for them),
+    // then aggregates, then string literals.
+    auto place = [&](const std::string &name, int size, int align) {
+        dataSize_ = static_cast<int32_t>(roundUp(dataSize_, align));
+        gpOffsets_[name] = dataSize_;
+        dataSize_ += size;
+    };
+    for (const GlobalDecl &g : prog_.globals)
+        if (!g.type->isArray() && !g.type->isStruct())
+            place(g.name, g.type->size(), g.type->align());
+    for (const GlobalDecl &g : prog_.globals)
+        if (g.type->isArray() || g.type->isStruct())
+            place(g.name, g.type->size(), std::max(g.type->align(), 4));
+    for (size_t i = 0; i < prog_.strings.size(); ++i) {
+        place(".Lstr" + std::to_string(i),
+              static_cast<int>(prog_.strings[i].size()) + 1, 1);
+    }
+}
+
+int32_t
+CodeGen::gpOffset(const std::string &sym) const
+{
+    auto it = gpOffsets_.find(sym);
+    panicIf(it == gpOffsets_.end(), "unknown global ", sym);
+    return it->second;
+}
+
+void
+CodeGen::emitData()
+{
+    items_.push_back(AsmItem::section(false));
+
+    auto emitScalar = [&](const Type *t, const Expr *init) {
+        AsmItem item;
+        switch (t->kind()) {
+          case TypeKind::Char: {
+            item.kind = assem::ItemKind::Byte;
+            const int64_t v =
+                init ? static_cast<int64_t>(evalConstNum(*init)) : 0;
+            item.values = {DataValue(v & 0xff)};
+            break;
+          }
+          case TypeKind::Float: {
+            const float f =
+                init ? static_cast<float>(evalConstNum(*init)) : 0.0f;
+            item.kind = assem::ItemKind::Word;
+            item.values = {
+                DataValue(static_cast<int64_t>(std::bit_cast<uint32_t>(f)))};
+            break;
+          }
+          case TypeKind::Double: {
+            const double d = init ? evalConstNum(*init) : 0.0;
+            const uint64_t bits = std::bit_cast<uint64_t>(d);
+            item.kind = assem::ItemKind::Word;
+            item.values = {
+                DataValue(static_cast<int64_t>(bits & 0xffffffff)),
+                DataValue(static_cast<int64_t>(bits >> 32))};
+            break;
+          }
+          case TypeKind::Pointer: {
+            item.kind = assem::ItemKind::Word;
+            if (!init) {
+                item.values = {DataValue(int64_t{0})};
+            } else if (init->kind == ExprKind::StringLit) {
+                item.values = {DataValue(
+                    ".Lstr" + std::to_string(init->intValue))};
+            } else if (init->kind == ExprKind::Ident) {
+                item.values = {DataValue(init->strValue)};
+            } else {
+                item.values = {DataValue(
+                    static_cast<int64_t>(evalConstNum(*init)))};
+            }
+            break;
+          }
+          default: {
+            item.kind = assem::ItemKind::Word;
+            const int64_t v =
+                init ? static_cast<int64_t>(evalConstNum(*init)) : 0;
+            item.values = {DataValue(static_cast<uint32_t>(v))};
+            break;
+          }
+        }
+        items_.push_back(std::move(item));
+    };
+
+    auto emitGlobal = [&](const GlobalDecl &g) {
+        items_.push_back(AsmItem::align(std::max(g.type->align(),
+                                                 g.type->isArray() ||
+                                                         g.type->isStruct()
+                                                     ? 4
+                                                     : g.type->align())));
+        items_.push_back(AsmItem::label(g.name));
+        if (g.hasStringInit) {
+            items_.push_back(AsmItem::ascii(g.stringInit));
+            const int used = static_cast<int>(g.stringInit.size()) + 1;
+            if (g.type->size() > used)
+                items_.push_back(AsmItem::space(g.type->size() - used));
+            return;
+        }
+        if (!g.initList.empty()) {
+            const Type *elem = g.type->isArray() ? g.type->pointee()
+                                                 : g.type;
+            int emitted = 0;
+            if (g.type->isStruct()) {
+                // Field-by-field, padding between as needed.
+                const StructInfo *rec = g.type->record();
+                int off = 0;
+                for (size_t i = 0; i < rec->fields.size(); ++i) {
+                    const StructField &f = rec->fields[i];
+                    if (f.offset > off) {
+                        items_.push_back(AsmItem::space(f.offset - off));
+                        off = f.offset;
+                    }
+                    const Expr *init = i < g.initList.size()
+                                           ? g.initList[i].get()
+                                           : nullptr;
+                    emitScalar(f.type, init);
+                    off += f.type->size();
+                }
+                if (g.type->size() > off)
+                    items_.push_back(AsmItem::space(g.type->size() - off));
+                return;
+            }
+            for (const ExprPtr &init : g.initList) {
+                emitScalar(elem, init.get());
+                emitted += elem->size();
+            }
+            if (g.type->size() > emitted)
+                items_.push_back(AsmItem::space(g.type->size() - emitted));
+            return;
+        }
+        if (g.init && g.type->isScalar()) {
+            emitScalar(g.type, g.init.get());
+            return;
+        }
+        items_.push_back(AsmItem::space(g.type->size()));
+    };
+
+    for (const GlobalDecl &g : prog_.globals)
+        if (!g.type->isArray() && !g.type->isStruct())
+            emitGlobal(g);
+    for (const GlobalDecl &g : prog_.globals)
+        if (g.type->isArray() || g.type->isStruct())
+            emitGlobal(g);
+    for (size_t i = 0; i < prog_.strings.size(); ++i) {
+        items_.push_back(AsmItem::label(".Lstr" + std::to_string(i)));
+        items_.push_back(AsmItem::ascii(prog_.strings[i]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Item plumbing
+// ---------------------------------------------------------------------
+
+void
+CodeGen::put(AsmInst inst)
+{
+    body_.push_back(AsmItem::instruction(std::move(inst)));
+}
+
+void
+CodeGen::putLabel(const std::string &name)
+{
+    body_.push_back(AsmItem::label(name));
+}
+
+std::string
+CodeGen::blockLabel(int bb) const
+{
+    return ".L" + fn_->name + "_" + std::to_string(bb);
+}
+
+// ---------------------------------------------------------------------
+// Constants, pools, addresses
+// ---------------------------------------------------------------------
+
+int
+CodeGen::poolIndex(const PoolEntry &e)
+{
+    for (size_t i = 0; i < pool_.size(); ++i) {
+        const PoolEntry &p = pool_[i];
+        if (p.isSymbol == e.isSymbol && p.value == e.value &&
+            p.sym == e.sym && p.addend == e.addend) {
+            return static_cast<int>(i);
+        }
+    }
+    pool_.push_back(e);
+    return static_cast<int>(pool_.size()) - 1;
+}
+
+std::string
+CodeGen::poolLabel(int index) const
+{
+    return ".LP" + fn_->name + "_" + std::to_string(index);
+}
+
+void
+CodeGen::emitLdcPool(int index)
+{
+    AsmInst ldc;
+    ldc.op = Op::Ldc;
+    ldc.label = poolLabel(index);
+    ldc.reloc = Reloc::PcRel;
+    put(std::move(ldc));
+}
+
+void
+CodeGen::materializeConst(int phys, int64_t v)
+{
+    if (env_.mviImmFits(v)) {
+        put(AsmInst::ri(Op::MvI, phys, -1, v));
+        return;
+    }
+    if (d16_) {
+        PoolEntry e;
+        e.value = v;
+        emitLdcPool(poolIndex(e));
+        if (phys != env_.atReg())
+            put(AsmInst::ri(Op::Mv, phys, env_.atReg(), 0));
+        return;
+    }
+    const uint32_t u = static_cast<uint32_t>(v);
+    put(AsmInst::ri(Op::MvHI, phys, -1, (u >> 16) & 0xffff));
+    if (u & 0xffff)
+        put(AsmInst::ri(Op::OrI, phys, phys, u & 0xffff));
+}
+
+void
+CodeGen::materializeSymbol(int phys, const std::string &sym,
+                           int64_t addend)
+{
+    if (d16_) {
+        PoolEntry e;
+        e.isSymbol = true;
+        e.sym = sym;
+        e.addend = addend;
+        emitLdcPool(poolIndex(e));
+        if (phys != env_.atReg())
+            put(AsmInst::ri(Op::Mv, phys, env_.atReg(), 0));
+        return;
+    }
+    AsmInst hi = AsmInst::ri(Op::MvHI, phys, -1, addend);
+    hi.label = sym;
+    hi.reloc = Reloc::Hi16;
+    put(std::move(hi));
+    AsmInst lo = AsmInst::ri(Op::OrI, phys, phys, addend);
+    lo.label = sym;
+    lo.reloc = Reloc::Lo16;
+    put(std::move(lo));
+}
+
+int32_t
+CodeGen::slotDisp(int frameSlot) const
+{
+    if (isOutgoingArgSlot(frameSlot))
+        return 4 * outgoingArgIndex(frameSlot);
+    if (isIncomingArgSlot(frameSlot))
+        return frameSize_ + 4 * incomingArgIndex(frameSlot);
+    panicIf(frameSlot < 0 ||
+                frameSlot >= static_cast<int>(slotOffsets_.size()),
+            "bad frame slot ", frameSlot);
+    return slotOffsets_[frameSlot];
+}
+
+CodeGen::MemTarget
+CodeGen::resolveAddress(Op op, const Address &addr)
+{
+    int base = 0;
+    int32_t disp = addr.offset;
+    switch (addr.kind) {
+      case AddrKind::Reg:
+        base = reg(addr.base);
+        break;
+      case AddrKind::Frame:
+        base = env_.spReg();
+        disp += slotDisp(addr.frameSlot);
+        break;
+      case AddrKind::Global:
+        base = env_.gpReg();
+        disp += gpOffset(addr.sym);
+        break;
+    }
+    if (env_.memOffsetFits(op, disp))
+        return {base, disp};
+
+    panicIf(!d16_, "DLXe displacement should have been legalized (",
+            disp, ")");
+
+    const int at = env_.atReg();
+    if (addr.kind == AddrKind::Global) {
+        // Absolute address from the constant pool.
+        PoolEntry e;
+        e.isSymbol = true;
+        e.sym = addr.sym;
+        e.addend = addr.offset;
+        emitLdcPool(poolIndex(e));
+        return {at, 0};
+    }
+    if (fitsSigned(disp, 9)) {
+        put(AsmInst::ri(Op::MvI, at, -1, disp));
+    } else {
+        PoolEntry e;
+        e.value = disp;
+        emitLdcPool(poolIndex(e));
+    }
+    put(AsmInst::r3(Op::Add, at, at, base));
+    return {at, 0};
+}
+
+// ---------------------------------------------------------------------
+// Instruction lowering
+// ---------------------------------------------------------------------
+
+int
+CodeGen::reg(VReg r) const
+{
+    panicIf(!r.valid(), "use of invalid vreg");
+    const int c = alloc_->color[r.id];
+    panicIf(c < 0, "use of uncolored vreg v", r.id, " in ", fn_->name);
+    return c;
+}
+
+void
+CodeGen::emitBinary(const IrInst &inst)
+{
+    static const std::map<IrOp, Op> regOps = {
+        {IrOp::Add, Op::Add},   {IrOp::Sub, Op::Sub},
+        {IrOp::And, Op::And},   {IrOp::Or, Op::Or},
+        {IrOp::Xor, Op::Xor},   {IrOp::Shl, Op::Shl},
+        {IrOp::ShrL, Op::Shr},  {IrOp::ShrA, Op::Shra},
+        {IrOp::FAdd, Op::FAddS}, {IrOp::FSub, Op::FSubS},
+        {IrOp::FMul, Op::FMulS}, {IrOp::FDiv, Op::FDivS},
+    };
+    const bool isFp = inst.op == IrOp::FAdd || inst.op == IrOp::FSub ||
+                      inst.op == IrOp::FMul || inst.op == IrOp::FDiv;
+    const int rd = reg(inst.dst);
+    const int ra = reg(inst.a);
+
+    if (isFp) {
+        Op op = regOps.at(inst.op);
+        if (!inst.isSingle) {
+            // The S/D pairs are adjacent in the Op enum.
+            op = static_cast<Op>(static_cast<int>(op) + 1);
+        }
+        put(AsmInst::r3(op, rd, ra, reg(inst.b.reg)));
+        return;
+    }
+
+    if (inst.b.isReg()) {
+        put(AsmInst::r3(regOps.at(inst.op), rd, ra, reg(inst.b.reg)));
+        return;
+    }
+
+    const int64_t imm = inst.b.imm;
+    switch (inst.op) {
+      case IrOp::Add:
+        if (env_.aluImmFits(Op::AddI, imm))
+            put(AsmInst::ri(Op::AddI, rd, ra, imm));
+        else
+            put(AsmInst::ri(Op::SubI, rd, ra, -imm));
+        return;
+      case IrOp::Sub:
+        if (env_.aluImmFits(Op::SubI, imm))
+            put(AsmInst::ri(Op::SubI, rd, ra, imm));
+        else
+            put(AsmInst::ri(Op::AddI, rd, ra, -imm));
+        return;
+      case IrOp::And:
+        put(AsmInst::ri(Op::AndI, rd, ra, imm));
+        return;
+      case IrOp::Or:
+        put(AsmInst::ri(Op::OrI, rd, ra, imm));
+        return;
+      case IrOp::Xor:
+        put(AsmInst::ri(Op::XorI, rd, ra, imm));
+        return;
+      case IrOp::Shl:
+        put(AsmInst::ri(Op::ShlI, rd, ra, imm));
+        return;
+      case IrOp::ShrL:
+        put(AsmInst::ri(Op::ShrI, rd, ra, imm));
+        return;
+      case IrOp::ShrA:
+        put(AsmInst::ri(Op::ShraI, rd, ra, imm));
+        return;
+      default:
+        panic("bad immediate binop");
+    }
+}
+
+void
+CodeGen::emitCompareValue(const IrInst &inst)
+{
+    if (inst.op == IrOp::FCmp) {
+        AsmInst cmp = AsmInst::r3(inst.isSingle ? Op::FCmpS : Op::FCmpD,
+                                  -1, reg(inst.a), reg(inst.b.reg));
+        cmp.cond = inst.cond;
+        put(std::move(cmp));
+        put(AsmInst::ri(Op::Rdsr, reg(inst.dst), -1, 0));
+        return;
+    }
+    if (inst.b.isImm()) {
+        AsmInst cmp = AsmInst::ri(Op::CmpI, reg(inst.dst), reg(inst.a),
+                                  inst.b.imm);
+        cmp.cond = inst.cond;
+        put(std::move(cmp));
+        return;
+    }
+    if (d16_) {
+        AsmInst cmp = AsmInst::cmp(inst.cond, 0, reg(inst.a),
+                                   reg(inst.b.reg));
+        put(std::move(cmp));
+        put(AsmInst::ri(Op::Mv, reg(inst.dst), env_.atReg(), 0));
+        return;
+    }
+    put(AsmInst::cmp(inst.cond, reg(inst.dst), reg(inst.a),
+                     reg(inst.b.reg)));
+}
+
+void
+CodeGen::emitCall(const IrInst &inst)
+{
+    if (inst.trapCode >= 0) {
+        AsmInst t;
+        t.op = Op::Trap;
+        t.imm = inst.trapCode;
+        put(std::move(t));
+        return;
+    }
+    if (d16_) {
+        PoolEntry e;
+        e.isSymbol = true;
+        e.sym = inst.sym;
+        emitLdcPool(poolIndex(e));
+        put(AsmInst::ri(Op::Jlr, -1, env_.atReg(), 0));
+        put(AsmInst::nop());  // delay slot
+        return;
+    }
+    AsmInst jl;
+    jl.op = Op::Jl;
+    jl.label = inst.sym;
+    jl.reloc = Reloc::PcRel;
+    put(std::move(jl));
+    put(AsmInst::nop());
+}
+
+void
+CodeGen::emitBranchShape(int testPhys, int thenBB, int elseBB, int nextBB)
+{
+    auto condBranch = [&](bool sense, int target) {
+        AsmInst b = AsmInst::branch(sense ? Op::Bnz : Op::Bz,
+                                    d16_ ? 0 : testPhys,
+                                    blockLabel(target));
+        put(std::move(b));
+        put(AsmInst::nop());  // delay slot
+    };
+    auto jump = [&](int target) {
+        AsmInst b;
+        b.op = Op::Br;
+        b.label = blockLabel(target);
+        b.reloc = Reloc::PcRel;
+        put(std::move(b));
+        put(AsmInst::nop());
+    };
+    if (elseBB == nextBB) {
+        condBranch(true, thenBB);
+    } else if (thenBB == nextBB) {
+        condBranch(false, elseBB);
+    } else {
+        condBranch(true, thenBB);
+        jump(elseBB);
+    }
+}
+
+void
+CodeGen::emitTerminator(const IrInst &inst, int nextBB)
+{
+    switch (inst.op) {
+      case IrOp::Ret:
+        emitEpilogue();
+        return;
+
+      case IrOp::Jmp:
+        if (inst.thenBB != nextBB) {
+            AsmInst b;
+            b.op = Op::Br;
+            b.label = blockLabel(inst.thenBB);
+            b.reloc = Reloc::PcRel;
+            put(std::move(b));
+            put(AsmInst::nop());
+        }
+        return;
+
+      case IrOp::Br: {
+        int testPhys = reg(inst.a);
+        if (d16_ && testPhys != env_.atReg()) {
+            put(AsmInst::ri(Op::Mv, env_.atReg(), testPhys, 0));
+            testPhys = env_.atReg();
+        }
+        emitBranchShape(testPhys, inst.thenBB, inst.elseBB, nextBB);
+        return;
+      }
+
+      case IrOp::BrCmp: {
+        int testPhys;
+        if (inst.b.isImm()) {
+            AsmInst cmp = AsmInst::ri(Op::CmpI, reg(inst.dst),
+                                      reg(inst.a), inst.b.imm);
+            cmp.cond = inst.cond;
+            put(std::move(cmp));
+            testPhys = reg(inst.dst);
+        } else if (d16_) {
+            put(AsmInst::cmp(inst.cond, 0, reg(inst.a),
+                             reg(inst.b.reg)));
+            testPhys = 0;
+        } else {
+            put(AsmInst::cmp(inst.cond, reg(inst.dst), reg(inst.a),
+                             reg(inst.b.reg)));
+            testPhys = reg(inst.dst);
+        }
+        emitBranchShape(testPhys, inst.thenBB, inst.elseBB, nextBB);
+        return;
+      }
+
+      case IrOp::BrFCmp: {
+        AsmInst cmp = AsmInst::r3(inst.isSingle ? Op::FCmpS : Op::FCmpD,
+                                  -1, reg(inst.a), reg(inst.b.reg));
+        cmp.cond = inst.cond;
+        put(std::move(cmp));
+        const int testPhys = d16_ ? env_.atReg() : reg(inst.dst);
+        put(AsmInst::ri(Op::Rdsr, testPhys, -1, 0));
+        emitBranchShape(testPhys, inst.thenBB, inst.elseBB, nextBB);
+        return;
+      }
+
+      default:
+        panic("not a terminator");
+    }
+}
+
+void
+CodeGen::emitInst(const IrInst &inst)
+{
+    // Skip pure instructions whose destination was never colored (it
+    // was unused and survived DCE in a corner case).
+    const VReg d = defOf(inst);
+    if (d.valid() && alloc_->color[d.id] < 0 && inst.op != IrOp::Call)
+        return;
+
+    switch (inst.op) {
+      case IrOp::Mov: {
+        const int rd = reg(inst.dst);
+        const int rs = reg(inst.a);
+        if (rd == rs)
+            return;  // coalesced away
+        if (inst.dst.cls == RegClass::Fp)
+            put(AsmInst::ri(Op::FMv, rd, rs, 0));
+        else
+            put(AsmInst::ri(Op::Mv, rd, rs, 0));
+        return;
+      }
+
+      case IrOp::MovImm:
+        materializeConst(reg(inst.dst), inst.imm);
+        return;
+
+      case IrOp::Add: case IrOp::Sub: case IrOp::And: case IrOp::Or:
+      case IrOp::Xor: case IrOp::Shl: case IrOp::ShrL: case IrOp::ShrA:
+      case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul: case IrOp::FDiv:
+        emitBinary(inst);
+        return;
+
+      case IrOp::Neg:
+        put(AsmInst::ri(Op::Neg, reg(inst.dst), reg(inst.a), 0));
+        return;
+      case IrOp::Not:
+        put(AsmInst::ri(Op::Inv, reg(inst.dst), reg(inst.a), 0));
+        return;
+
+      case IrOp::FNeg:
+        put(AsmInst::ri(inst.isSingle ? Op::FNegS : Op::FNegD,
+                        reg(inst.dst), reg(inst.a), 0));
+        return;
+
+      case IrOp::Cmp:
+      case IrOp::FCmp:
+        emitCompareValue(inst);
+        return;
+
+      case IrOp::Load: {
+        const Op op = loadOp(inst.size, inst.signedLoad);
+        const MemTarget m = resolveAddress(op, inst.addr);
+        put(AsmInst::ri(op, reg(inst.dst), m.base, m.disp));
+        return;
+      }
+
+      case IrOp::Store: {
+        const Op op = storeOp(inst.size);
+        const MemTarget m = resolveAddress(op, inst.addr);
+        AsmInst st;
+        st.op = op;
+        st.rs1 = m.base;
+        st.rs2 = reg(inst.a);
+        st.imm = m.disp;
+        put(std::move(st));
+        return;
+      }
+
+      case IrOp::AddrOf: {
+        const int rd = reg(inst.dst);
+        int base;
+        int32_t disp = inst.addr.offset;
+        if (inst.addr.kind == AddrKind::Frame) {
+            base = env_.spReg();
+            disp += slotDisp(inst.addr.frameSlot);
+        } else {
+            panicIf(inst.addr.kind != AddrKind::Global,
+                    "AddrOf of register address");
+            base = env_.gpReg();
+            disp += gpOffset(inst.addr.sym);
+        }
+        if (disp == 0) {
+            if (rd != base)
+                put(AsmInst::ri(Op::Mv, rd, base, 0));
+            return;
+        }
+        if (!d16_) {
+            if (fitsSigned(disp, 16)) {
+                put(AsmInst::ri(Op::AddI, rd, base, disp));
+            } else {
+                materializeConst(rd, disp);
+                put(AsmInst::r3(Op::Add, rd, rd, base));
+            }
+            return;
+        }
+        if (disp > 0 && disp <= 31) {
+            if (rd != base)
+                put(AsmInst::ri(Op::Mv, rd, base, 0));
+            put(AsmInst::ri(Op::AddI, rd, rd, disp));
+            return;
+        }
+        if (inst.addr.kind == AddrKind::Global) {
+            materializeSymbol(rd, inst.addr.sym, inst.addr.offset);
+            return;
+        }
+        materializeConst(rd, disp);
+        put(AsmInst::r3(Op::Add, rd, rd, base));
+        return;
+      }
+
+      case IrOp::MifL:
+        put(AsmInst::ri(Op::MifL, reg(inst.dst), reg(inst.a), 0));
+        return;
+      case IrOp::MifH:
+        put(AsmInst::ri(Op::MifH, reg(inst.dst), reg(inst.a), 0));
+        return;
+      case IrOp::MfiL:
+        put(AsmInst::ri(Op::MfiL, reg(inst.dst), reg(inst.a), 0));
+        return;
+      case IrOp::MfiH:
+        put(AsmInst::ri(Op::MfiH, reg(inst.dst), reg(inst.a), 0));
+        return;
+
+      case IrOp::CvtRawIF:
+        put(AsmInst::ri(inst.isSingle ? Op::CvtSiSf : Op::CvtSiDf,
+                        reg(inst.dst), reg(inst.a), 0));
+        return;
+      case IrOp::CvtRawFI:
+        put(AsmInst::ri(inst.srcSingle ? Op::CvtSfSi : Op::CvtDfSi,
+                        reg(inst.dst), reg(inst.a), 0));
+        return;
+      case IrOp::CvtFF:
+        put(AsmInst::ri(inst.isSingle ? Op::CvtDfSf : Op::CvtSfDf,
+                        reg(inst.dst), reg(inst.a), 0));
+        return;
+
+      case IrOp::Call:
+        emitCall(inst);
+        return;
+
+      default:
+        panic("unexpected IR op in emission: ", dumpInst(inst));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame, prologue, epilogue
+// ---------------------------------------------------------------------
+
+void
+CodeGen::frameStore(int phys, int32_t disp)
+{
+    const int sp = env_.spReg();
+    if (env_.memOffsetFits(Op::St, disp)) {
+        AsmInst st;
+        st.op = Op::St;
+        st.rs1 = sp;
+        st.rs2 = phys;
+        st.imm = disp;
+        put(std::move(st));
+        return;
+    }
+    panicIf(!d16_, "frame displacement should fit on DLXe");
+    panicIf(phys == env_.atReg(),
+            "cannot spill at through a far frame slot");
+    if (fitsSigned(disp, 9)) {
+        put(AsmInst::ri(Op::MvI, env_.atReg(), -1, disp));
+    } else {
+        PoolEntry e;
+        e.value = disp;
+        emitLdcPool(poolIndex(e));
+    }
+    put(AsmInst::r3(Op::Add, env_.atReg(), env_.atReg(), sp));
+    AsmInst st;
+    st.op = Op::St;
+    st.rs1 = env_.atReg();
+    st.rs2 = phys;
+    st.imm = 0;
+    put(std::move(st));
+}
+
+void
+CodeGen::frameLoad(int phys, int32_t disp)
+{
+    const int sp = env_.spReg();
+    if (env_.memOffsetFits(Op::Ld, disp)) {
+        put(AsmInst::ri(Op::Ld, phys, sp, disp));
+        return;
+    }
+    panicIf(!d16_, "frame displacement should fit on DLXe");
+    panicIf(phys == env_.atReg(),
+            "cannot reload at through a far frame slot");
+    if (fitsSigned(disp, 9)) {
+        put(AsmInst::ri(Op::MvI, env_.atReg(), -1, disp));
+    } else {
+        PoolEntry e;
+        e.value = disp;
+        emitLdcPool(poolIndex(e));
+    }
+    put(AsmInst::r3(Op::Add, env_.atReg(), env_.atReg(), sp));
+    put(AsmInst::ri(Op::Ld, phys, env_.atReg(), 0));
+}
+
+void
+CodeGen::emitPrologue()
+{
+    const int sp = env_.spReg();
+    if (frameSize_ > 0) {
+        if (env_.aluImmFits(Op::SubI, frameSize_)) {
+            put(AsmInst::ri(Op::SubI, sp, sp, frameSize_));
+        } else if (!d16_) {
+            put(AsmInst::ri(Op::AddI, sp, sp, -frameSize_));
+        } else {
+            materializeConst(env_.atReg(), frameSize_);
+            put(AsmInst::r3(Op::Sub, sp, sp, env_.atReg()));
+        }
+    }
+    for (const auto &[phys, disp] : savedInt_)
+        frameStore(phys, disp);
+    for (const auto &[phys, disp] : savedFp_) {
+        put(AsmInst::ri(Op::MfiL, fpSaveScratch_, phys, 0));
+        frameStore(fpSaveScratch_, disp);
+        put(AsmInst::ri(Op::MfiH, fpSaveScratch_, phys, 0));
+        frameStore(fpSaveScratch_, disp + 4);
+    }
+    if (raOffset_ >= 0)
+        frameStore(env_.raReg(), raOffset_);
+}
+
+void
+CodeGen::emitEpilogue()
+{
+    const int sp = env_.spReg();
+    // FP restores first (they clobber the integer scratch), then the
+    // integer callee-saved registers (restoring the scratch itself),
+    // then ra.
+    for (const auto &[phys, disp] : savedFp_) {
+        frameLoad(fpSaveScratch_, disp);
+        put(AsmInst::ri(Op::MifL, phys, fpSaveScratch_, 0));
+        frameLoad(fpSaveScratch_, disp + 4);
+        put(AsmInst::ri(Op::MifH, phys, fpSaveScratch_, 0));
+    }
+    for (const auto &[phys, disp] : savedInt_)
+        frameLoad(phys, disp);
+    if (raOffset_ >= 0)
+        frameLoad(env_.raReg(), raOffset_);
+    if (frameSize_ > 0) {
+        if (env_.aluImmFits(Op::AddI, frameSize_)) {
+            put(AsmInst::ri(Op::AddI, sp, sp, frameSize_));
+        } else if (!d16_) {
+            put(AsmInst::ri(Op::AddI, sp, sp, frameSize_));
+        } else {
+            materializeConst(env_.atReg(), frameSize_);
+            put(AsmInst::r3(Op::Add, sp, sp, env_.atReg()));
+        }
+    }
+    put(AsmInst::ri(Op::Jr, -1, env_.raReg(), 0));
+    put(AsmInst::nop());  // delay slot
+}
+
+void
+CodeGen::emitFunction(const IrFunction &fn, const Allocation &alloc)
+{
+    fn_ = &fn;
+    alloc_ = &alloc;
+    pool_.clear();
+    body_.clear();
+    savedInt_.clear();
+    savedFp_.clear();
+    raOffset_ = -1;
+
+    hasCalls_ = false;
+    for (const BasicBlock &bb : fn.blocks)
+        for (const IrInst &inst : bb.insts)
+            if (inst.op == IrOp::Call && inst.trapCode < 0)
+                hasCalls_ = true;
+
+    // Frame layout (low to high): outgoing args, saved registers, ra,
+    // then local slots. Keeping the save area low keeps its
+    // displacements inside D16's 124-byte window.
+    int32_t off = alloc.outgoingArgBytes;
+    std::vector<int> savedIntRegs = alloc.usedCalleeSavedInt;
+    if (!d16_ && !alloc.usedCalleeSavedFp.empty() && savedIntRegs.empty()) {
+        // Need an integer scratch to shuttle FP saves.
+        savedIntRegs.push_back(
+            env_.allocatable(RegClass::Int).back());
+    }
+    for (int phys : savedIntRegs) {
+        savedInt_.emplace_back(phys, off);
+        off += 4;
+    }
+    fpSaveScratch_ = d16_ ? env_.atReg()
+                          : (savedInt_.empty() ? -1 : savedInt_[0].first);
+    for (int phys : alloc.usedCalleeSavedFp) {
+        off = static_cast<int32_t>(roundUp(off, 8));
+        savedFp_.emplace_back(phys, off);
+        off += 8;
+    }
+    if (hasCalls_) {
+        raOffset_ = off;
+        off += 4;
+    }
+    slotOffsets_.assign(fn.slots.size(), 0);
+    for (size_t i = 0; i < fn.slots.size(); ++i) {
+        off = static_cast<int32_t>(roundUp(off, fn.slots[i].align));
+        slotOffsets_[i] = off;
+        off += fn.slots[i].size;
+    }
+    frameSize_ = static_cast<int>(roundUp(off, 8));
+
+    emitPrologue();
+    const int nBlocks = static_cast<int>(fn.blocks.size());
+    for (int b = 0; b < nBlocks; ++b) {
+        putLabel(blockLabel(b));
+        const BasicBlock &bb = fn.blocks[b];
+        panicIf(bb.insts.empty(), "empty block in emission");
+        for (size_t i = 0; i + 1 < bb.insts.size(); ++i)
+            emitInst(bb.insts[i]);
+        emitTerminator(bb.insts.back(), b + 1 < nBlocks ? b + 1 : -1);
+    }
+
+    // Splice: alignment, the function's constant pool (reachable
+    // backward from every ldc in the body), the entry label, the body.
+    items_.push_back(AsmItem::align(4));
+    for (size_t i = 0; i < pool_.size(); ++i) {
+        items_.push_back(AsmItem::label(poolLabel(static_cast<int>(i))));
+        const PoolEntry &e = pool_[i];
+        items_.push_back(AsmItem::word(
+            {e.isSymbol ? DataValue(e.sym, e.addend)
+                        : DataValue(e.value)}));
+    }
+    items_.push_back(AsmItem::label(fn.name));
+    for (AsmItem &item : body_)
+        items_.push_back(std::move(item));
+    fn_ = nullptr;
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Code generation: allocated IR -> assembler items.
+ *
+ * This is where the two encodings' costs diverge concretely:
+ *
+ *  - D16 materializes large constants and far addresses through its
+ *    per-function PC-relative constant pools (LDC), paying one pool
+ *    word plus an `ldc` (and often a `mv` from at); DLXe uses
+ *    mvhi/ori pairs.
+ *  - D16 word loads/stores reach only 124 bytes (sub-word: 0), so far
+ *    displacements cost an address computation through `at`; DLXe has
+ *    16-bit displacements everywhere (§3.3.3).
+ *  - D16 compares write r0/at and conditional branches test it; DLXe
+ *    compares target any register.
+ *  - Direct calls are `jl` on DLXe but `ldc + jlr at` on D16.
+ *
+ * Globals are laid out by the code generator itself (scalars first,
+ * then arrays, then string literals) so every gp-relative displacement
+ * is known exactly at code-generation time.
+ */
+
+#ifndef D16SIM_MC_CODEGEN_HH
+#define D16SIM_MC_CODEGEN_HH
+
+#include <vector>
+
+#include "asm/item.hh"
+#include "mc/ast.hh"
+#include "mc/ir.hh"
+#include "mc/machine_env.hh"
+#include "mc/regalloc.hh"
+
+namespace d16sim::mc
+{
+
+class CodeGen
+{
+  public:
+    CodeGen(const Program &prog, const MachineEnv &env);
+
+    /** Lay out the data section; must run before emitting functions. */
+    void layoutGlobals();
+
+    /** Emit one allocated function. */
+    void emitFunction(const IrFunction &fn, const Allocation &alloc);
+
+    /** Emit the .data section (globals + string literals). */
+    void emitData();
+
+    /** The accumulated module. */
+    std::vector<assem::AsmItem> take() { return std::move(items_); }
+
+    /** gp-relative offset of a global (after layoutGlobals). */
+    int32_t gpOffset(const std::string &sym) const;
+
+  private:
+    struct PoolEntry
+    {
+        bool isSymbol = false;
+        int64_t value = 0;
+        std::string sym;
+        int64_t addend = 0;
+    };
+
+    // --- item plumbing -------------------------------------------------
+    void put(isa::AsmInst inst);
+    void putLabel(const std::string &name);
+    std::string blockLabel(int bb) const;
+
+    // --- constants / addresses ------------------------------------------
+    int poolIndex(const PoolEntry &e);
+    std::string poolLabel(int index) const;
+    void emitLdcPool(int index);
+    void materializeConst(int phys, int64_t v);
+    void materializeSymbol(int phys, const std::string &sym,
+                           int64_t addend);
+
+    struct MemTarget
+    {
+        int base;       //!< physical base register
+        int32_t disp;   //!< displacement
+    };
+    /** Resolve an IR Address to base+disp and legalize the
+     *  displacement for `op`, possibly emitting address arithmetic
+     *  through `at` (D16). */
+    MemTarget resolveAddress(isa::Op op, const Address &addr);
+
+    // --- instruction lowering ---------------------------------------------
+    int reg(VReg r) const;
+    void emitInst(const IrInst &inst);
+    void emitBinary(const IrInst &inst);
+    void emitCompareValue(const IrInst &inst);
+    void emitTerminator(const IrInst &inst, int nextBB);
+    void emitBranchShape(int testPhys, int thenBB, int elseBB,
+                         int nextBB);
+    void emitCall(const IrInst &inst);
+    void emitPrologue();
+    void emitEpilogue();
+
+    // --- frame ------------------------------------------------------------
+    int32_t slotDisp(int frameSlot) const;
+    void frameStore(int phys, int32_t disp);
+    void frameLoad(int phys, int32_t disp);
+
+    const Program &prog_;
+    const MachineEnv &env_;
+    const isa::TargetInfo &t_;
+    bool d16_;
+
+    std::vector<assem::AsmItem> items_;
+
+    // Data layout.
+    std::map<std::string, int32_t> gpOffsets_;
+    int32_t dataSize_ = 0;
+
+    // Per-function state.
+    const IrFunction *fn_ = nullptr;
+    const Allocation *alloc_ = nullptr;
+    std::vector<PoolEntry> pool_;
+    std::vector<assem::AsmItem> body_;
+    std::vector<int32_t> slotOffsets_;
+    int frameSize_ = 0;
+    bool hasCalls_ = false;
+    std::vector<std::pair<int, int32_t>> savedInt_;  //!< (phys, disp)
+    std::vector<std::pair<int, int32_t>> savedFp_;
+    int32_t raOffset_ = -1;
+    int fpSaveScratch_ = -1;
+};
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_CODEGEN_HH

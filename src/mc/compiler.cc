@@ -1,0 +1,97 @@
+#include "mc/compiler.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "asm/parser.hh"
+#include "mc/codegen.hh"
+#include "mc/irgen.hh"
+#include "mc/legalize.hh"
+#include "mc/opt.hh"
+#include "mc/parser.hh"
+#include "mc/regalloc.hh"
+#include "mc/sema.hh"
+#include "mc/runtime.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+/** String literals can appear in global initializers, which sema does
+ *  not walk; pool them here. */
+void
+poolGlobalInitStrings(Program &prog)
+{
+    auto pool = [&](Expr &e) {
+        if (e.kind == ExprKind::StringLit) {
+            prog.strings.push_back(e.strValue);
+            e.intValue = static_cast<int64_t>(prog.strings.size()) - 1;
+        }
+    };
+    for (GlobalDecl &g : prog.globals) {
+        if (g.init)
+            pool(*g.init);
+        for (ExprPtr &e : g.initList)
+            pool(*e);
+    }
+}
+
+} // namespace
+
+CompileResult
+compile(std::string_view source, const CompileOptions &opts)
+{
+    Program prog = parseProgram(source);
+    poolGlobalInitStrings(prog);
+    analyze(prog);
+
+    IrModule mod = generateIr(prog);
+
+    const MachineEnv env(opts);
+    CodeGen cg(prog, env);
+    cg.layoutGlobals();
+    const GpOffsetFn gpOff = [&cg](const std::string &sym) {
+        return cg.gpOffset(sym);
+    };
+
+    CompileResult result;
+    for (IrFunction &fn : mod.functions) {
+        if (getenv("D16_DEBUG_COMPILE"))
+            fprintf(stderr, "[mc] %s: opt\n", fn.name.c_str());
+        optimize(fn, opts.optLevel);
+        if (getenv("D16_DEBUG_COMPILE"))
+            fprintf(stderr, "[mc] %s: legalize\n", fn.name.c_str());
+        legalize(fn, env, gpOff);
+        lowerCallsAbi(fn, env);
+        if (getenv("D16_DEBUG_COMPILE"))
+            fprintf(stderr, "[mc] %s: regalloc (%d vregs)\n",
+                    fn.name.c_str(), fn.numVRegs());
+        const Allocation alloc = allocateRegisters(fn, env);
+        result.spilledRegs += alloc.spilledRegs;
+        result.coalescedMoves += alloc.coalescedMoves;
+        cg.emitFunction(fn, alloc);
+    }
+    cg.emitData();
+
+    std::vector<assem::AsmItem> items;
+    items.push_back(assem::AsmItem::section(true));
+    for (assem::AsmItem &item : cg.take())
+        items.push_back(std::move(item));
+
+    // Runtime library (identical algorithms on both machines).
+    items.push_back(assem::AsmItem::section(true));
+    for (assem::AsmItem &item :
+         assem::parseAsm(env.target(), runtimeSource(opts.isa))) {
+        items.push_back(std::move(item));
+    }
+
+    if (opts.optLevel >= 2)
+        result.sched = schedule(items, env.target());
+
+    result.items = std::move(items);
+    return result;
+}
+
+} // namespace d16sim::mc

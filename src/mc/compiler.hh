@@ -1,0 +1,41 @@
+/**
+ * @file
+ * MiniC compiler facade: source text -> assembler items for one of the
+ * paper's five machine variants.
+ *
+ * Pipeline: lex/parse -> sema -> IR generation -> target-independent
+ * optimization -> target legalization -> ABI lowering -> graph-coloring
+ * register allocation -> code emission (with D16 constant pools) ->
+ * delay-slot and load-delay scheduling; the runtime library is appended
+ * to every module.
+ */
+
+#ifndef D16SIM_MC_COMPILER_HH
+#define D16SIM_MC_COMPILER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/item.hh"
+#include "mc/options.hh"
+#include "mc/sched.hh"
+
+namespace d16sim::mc
+{
+
+struct CompileResult
+{
+    std::vector<assem::AsmItem> items;
+    SchedStats sched;
+    int spilledRegs = 0;
+    int coalescedMoves = 0;
+};
+
+/** Compile a MiniC translation unit. Throws FatalError on any error. */
+CompileResult compile(std::string_view source,
+                      const CompileOptions &opts);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_COMPILER_HH

@@ -1,0 +1,225 @@
+#include "mc/ir.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+std::string
+regStr(VReg r)
+{
+    if (!r.valid())
+        return "_";
+    return (r.cls == RegClass::Int ? "v" : "f") + std::to_string(r.id);
+}
+
+std::string
+opndStr(const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::None: return "_";
+      case Operand::Kind::Reg: return regStr(o.reg);
+      case Operand::Kind::Imm: return "#" + std::to_string(o.imm);
+    }
+    return "?";
+}
+
+std::string
+addrStr(const Address &a)
+{
+    std::string base;
+    switch (a.kind) {
+      case AddrKind::Reg: base = "[" + regStr(a.base); break;
+      case AddrKind::Frame:
+        base = "[frame" + std::to_string(a.frameSlot);
+        break;
+      case AddrKind::Global: base = "[@" + a.sym; break;
+    }
+    if (a.offset)
+        base += "+" + std::to_string(a.offset);
+    return base + "]";
+}
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: return "add";
+      case IrOp::Sub: return "sub";
+      case IrOp::Mul: return "mul";
+      case IrOp::DivS: return "divs";
+      case IrOp::DivU: return "divu";
+      case IrOp::RemS: return "rems";
+      case IrOp::RemU: return "remu";
+      case IrOp::And: return "and";
+      case IrOp::Or: return "or";
+      case IrOp::Xor: return "xor";
+      case IrOp::Shl: return "shl";
+      case IrOp::ShrL: return "shrl";
+      case IrOp::ShrA: return "shra";
+      case IrOp::Neg: return "neg";
+      case IrOp::Not: return "not";
+      case IrOp::Cmp: return "cmp";
+      case IrOp::Mov: return "mov";
+      case IrOp::MovImm: return "movi";
+      case IrOp::FMovImm: return "fmovi";
+      case IrOp::FAdd: return "fadd";
+      case IrOp::FSub: return "fsub";
+      case IrOp::FMul: return "fmul";
+      case IrOp::FDiv: return "fdiv";
+      case IrOp::FNeg: return "fneg";
+      case IrOp::FCmp: return "fcmp";
+      case IrOp::CvtIF: return "cvtif";
+      case IrOp::CvtFI: return "cvtfi";
+      case IrOp::CvtFF: return "cvtff";
+      case IrOp::Load: return "load";
+      case IrOp::Store: return "store";
+      case IrOp::AddrOf: return "addrof";
+      case IrOp::Call: return "call";
+      case IrOp::Ret: return "ret";
+      case IrOp::Br: return "br";
+      case IrOp::Jmp: return "jmp";
+      case IrOp::MifL: return "mif.l";
+      case IrOp::MifH: return "mif.h";
+      case IrOp::MfiL: return "mfi.l";
+      case IrOp::MfiH: return "mfi.h";
+      case IrOp::CvtRawIF: return "cvtraw.if";
+      case IrOp::CvtRawFI: return "cvtraw.fi";
+      case IrOp::BrCmp: return "brcmp";
+      case IrOp::BrFCmp: return "brfcmp";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::vector<int>
+BasicBlock::successors() const
+{
+    panicIf(insts.empty(), "block ", id, " has no terminator");
+    const IrInst &t = insts.back();
+    switch (t.op) {
+      case IrOp::Jmp: return {t.thenBB};
+      case IrOp::Br:
+      case IrOp::BrCmp:
+      case IrOp::BrFCmp:
+        return {t.thenBB, t.elseBB};
+      case IrOp::Ret: return {};
+      default:
+        panic("block ", id, " ends in non-terminator");
+    }
+}
+
+std::string
+dumpInst(const IrInst &inst)
+{
+    std::ostringstream os;
+    os << irOpName(inst.op);
+    switch (inst.op) {
+      case IrOp::Cmp:
+      case IrOp::FCmp:
+      case IrOp::BrCmp:
+      case IrOp::BrFCmp:
+        os << "." << isa::condName(inst.cond);
+        break;
+      default:
+        break;
+    }
+    if ((inst.op >= IrOp::FMovImm && inst.op <= IrOp::CvtFF) ||
+        inst.op == IrOp::FMovImm) {
+        os << (inst.isSingle ? ".s" : ".d");
+    }
+    os << " ";
+    switch (inst.op) {
+      case IrOp::MovImm:
+        os << regStr(inst.dst) << ", #" << inst.imm;
+        break;
+      case IrOp::FMovImm:
+        os << regStr(inst.dst) << ", #" << inst.fimm;
+        break;
+      case IrOp::Neg: case IrOp::Not: case IrOp::Mov: case IrOp::FNeg:
+      case IrOp::CvtIF: case IrOp::CvtFI: case IrOp::CvtFF:
+        os << regStr(inst.dst) << ", " << regStr(inst.a);
+        break;
+      case IrOp::Load:
+        os << regStr(inst.dst) << ", " << addrStr(inst.addr) << " sz"
+           << inst.size << (inst.signedLoad ? "s" : "u");
+        break;
+      case IrOp::Store:
+        os << regStr(inst.a) << ", " << addrStr(inst.addr) << " sz"
+           << inst.size;
+        break;
+      case IrOp::AddrOf:
+        os << regStr(inst.dst) << ", " << addrStr(inst.addr);
+        break;
+      case IrOp::Call: {
+        if (inst.dst.valid())
+            os << regStr(inst.dst) << " = ";
+        os << inst.sym << "(";
+        for (size_t i = 0; i < inst.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << regStr(inst.args[i]);
+        }
+        os << ")";
+        break;
+      }
+      case IrOp::Ret:
+        if (inst.a.valid())
+            os << regStr(inst.a);
+        break;
+      case IrOp::Br:
+        os << regStr(inst.a) << ", bb" << inst.thenBB << ", bb"
+           << inst.elseBB;
+        break;
+      case IrOp::BrCmp:
+      case IrOp::BrFCmp:
+        os << regStr(inst.a) << ", " << opndStr(inst.b) << ", bb"
+           << inst.thenBB << ", bb" << inst.elseBB;
+        break;
+      case IrOp::MifL: case IrOp::MifH: case IrOp::MfiL:
+      case IrOp::MfiH: case IrOp::CvtRawIF: case IrOp::CvtRawFI:
+        os << regStr(inst.dst) << ", " << regStr(inst.a);
+        break;
+      case IrOp::Jmp:
+        os << "bb" << inst.thenBB;
+        break;
+      default:
+        os << regStr(inst.dst) << ", " << regStr(inst.a) << ", "
+           << opndStr(inst.b);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+IrFunction::dump() const
+{
+    std::ostringstream os;
+    os << "func " << name << " (";
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << regStr(params[i]);
+    }
+    os << ")\n";
+    for (size_t i = 0; i < slots.size(); ++i) {
+        os << "  slot" << i << ": " << slots[i].size << " bytes";
+        if (!slots[i].name.empty())
+            os << " (" << slots[i].name << ")";
+        os << "\n";
+    }
+    for (const BasicBlock &bb : blocks) {
+        os << "bb" << bb.id << ":\n";
+        for (const IrInst &inst : bb.insts)
+            os << "  " << dumpInst(inst) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace d16sim::mc

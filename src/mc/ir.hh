@@ -1,0 +1,297 @@
+/**
+ * @file
+ * MiniC intermediate representation.
+ *
+ * Three-address code over typed virtual registers, organized as a CFG
+ * of basic blocks. Deliberately *not* SSA: the register allocator is a
+ * Chaitin-style graph-coloring allocator (the technique the paper
+ * cites), which works from liveness over mutable virtual registers.
+ *
+ * Design notes that matter to the experiments:
+ *  - The second operand of integer ops may be an *immediate*; whether
+ *    an immediate is actually encodable is decided by the code
+ *    generator per target (paper §3.3.3 ablates exactly this).
+ *  - Loads/stores carry a symbolic Address (register base, frame slot,
+ *    or global) with a byte offset; displacement legality is likewise
+ *    a code-generation decision (§3.3.3, "address displacements").
+ *  - There are no integer multiply/divide machine ops: Mul/Div/Rem
+ *    survive to code generation, which strength-reduces constants and
+ *    otherwise calls the runtime routines.
+ */
+
+#ifndef D16SIM_MC_IR_HH
+#define D16SIM_MC_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/cond.hh"
+#include "mc/type.hh"
+
+namespace d16sim::mc
+{
+
+enum class RegClass : uint8_t { Int, Fp };
+
+struct VReg
+{
+    int id = -1;
+    RegClass cls = RegClass::Int;
+
+    bool valid() const { return id >= 0; }
+    bool operator==(const VReg &o) const
+    {
+        return id == o.id && cls == o.cls;
+    }
+};
+
+/** Integer second operand: register or immediate. */
+struct Operand
+{
+    enum class Kind : uint8_t { None, Reg, Imm };
+    Kind kind = Kind::None;
+    VReg reg;
+    int64_t imm = 0;
+
+    static Operand
+    ofReg(VReg r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    ofImm(int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = v;
+        return o;
+    }
+
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isReg() const { return kind == Kind::Reg; }
+};
+
+enum class AddrKind : uint8_t { Reg, Frame, Global };
+
+/** Symbolic memory address: base + constant byte offset. */
+struct Address
+{
+    AddrKind kind = AddrKind::Reg;
+    VReg base;          //!< Reg
+    int frameSlot = -1; //!< Frame
+    std::string sym;    //!< Global
+    int32_t offset = 0;
+
+    static Address
+    reg(VReg base, int32_t off = 0)
+    {
+        Address a;
+        a.kind = AddrKind::Reg;
+        a.base = base;
+        a.offset = off;
+        return a;
+    }
+
+    static Address
+    frame(int slot, int32_t off = 0)
+    {
+        Address a;
+        a.kind = AddrKind::Frame;
+        a.frameSlot = slot;
+        a.offset = off;
+        return a;
+    }
+
+    static Address
+    global(std::string sym, int32_t off = 0)
+    {
+        Address a;
+        a.kind = AddrKind::Global;
+        a.sym = std::move(sym);
+        a.offset = off;
+        return a;
+    }
+};
+
+enum class IrOp : uint8_t
+{
+    // Integer: dst = a op b (b may be an immediate).
+    Add, Sub, Mul, DivS, DivU, RemS, RemU,
+    And, Or, Xor, Shl, ShrL, ShrA,
+    Neg, Not,      //!< dst = op a
+    Cmp,           //!< dst = (a cond b), integer/pointer operands
+    Mov,           //!< dst = a (same class; fp uses this too)
+    MovImm,        //!< dst = imm (int class)
+    FMovImm,       //!< dst = fimm (fp class; isSingle selects width)
+    // Floating point: dst = a op b.reg; width from isSingle.
+    FAdd, FSub, FMul, FDiv, FNeg,
+    FCmp,          //!< dst(int) = (a cond b.reg), fp operands
+    CvtIF,         //!< dst(fp) = (fp)a(int)
+    CvtFI,         //!< dst(int) = (int)a(fp); srcSingle gives source width
+    CvtFF,         //!< dst(fp) = widen/narrow a(fp)
+    Load,          //!< dst = mem[addr]; size 1/2/4/8, signedLoad
+    Store,         //!< mem[addr] = a (or fp a); size
+    AddrOf,        //!< dst(int) = address of addr (Frame/Global)
+    Call,          //!< dst? = sym(args); trapCode >= 0 for builtins
+    Ret,           //!< optional a
+    Br,            //!< if (a != 0) goto thenBB else elseBB
+    Jmp,           //!< goto thenBB
+
+    // Post-legalization forms (inserted by mc/legalize; the 1:1 mirror
+    // of the machine's FPU interface and fused compare-and-branch).
+    MifL,          //!< dst(fp).lo32 = a(int); full def (written first)
+    MifH,          //!< dst(fp).hi32 = a(int); partial (reads dst)
+    MfiL,          //!< dst(int) = a(fp).lo32
+    MfiH,          //!< dst(int) = a(fp).hi32
+    CvtRawIF,      //!< dst(fp) = convert int bits in a(fp) (si2sf/si2df)
+    CvtRawFI,      //!< dst(fp) = int bits of a(fp) (sf2si/df2si)
+    BrCmp,         //!< if (a cond b) goto thenBB else elseBB
+                   //!< (dst = DLXe compare temp; invalid on D16)
+    BrFCmp,        //!< FP fused compare-and-branch (dst as above)
+};
+
+struct IrInst
+{
+    IrOp op = IrOp::Jmp;
+    isa::Cond cond = isa::Cond::Eq;
+
+    VReg dst;
+    VReg a;
+    Operand b;
+
+    int64_t imm = 0;    //!< MovImm
+    double fimm = 0;    //!< FMovImm
+    bool isSingle = false;   //!< fp ops: float (true) vs double
+    bool srcSingle = false;  //!< CvtFI/CvtFF source width
+    bool signedLoad = true;
+    int size = 4;       //!< Load/Store bytes
+
+    Address addr;       //!< Load/Store/AddrOf
+    std::string sym;    //!< Call target
+    int trapCode = -1;  //!< Call: >= 0 means a simulator trap builtin
+    std::vector<VReg> args;
+
+    int thenBB = -1;
+    int elseBB = -1;
+
+    bool
+    isTerminator() const
+    {
+        return op == IrOp::Br || op == IrOp::Jmp || op == IrOp::Ret ||
+               op == IrOp::BrCmp || op == IrOp::BrFCmp;
+    }
+};
+
+/** Visit every virtual register the instruction reads. */
+template <typename Fn>
+void
+forEachUse(const IrInst &inst, Fn &&fn)
+{
+    if (inst.a.valid())
+        fn(inst.a);
+    if (inst.b.isReg() && inst.b.reg.valid())
+        fn(inst.b.reg);
+    if (inst.addr.kind == AddrKind::Reg && inst.addr.base.valid() &&
+        (inst.op == IrOp::Load || inst.op == IrOp::Store ||
+         inst.op == IrOp::AddrOf)) {
+        fn(inst.addr.base);
+    }
+    for (const VReg &arg : inst.args)
+        fn(arg);
+    // MifH partially updates its destination (the low half written by
+    // the preceding MifL survives), so it reads it; MifL is always the
+    // first write of a pair and counts as a full definition.
+    if (inst.op == IrOp::MifH && inst.dst.valid())
+        fn(inst.dst);
+}
+
+/** The register the instruction writes, if any. */
+inline VReg
+defOf(const IrInst &inst)
+{
+    if (inst.op == IrOp::Store || inst.op == IrOp::Ret ||
+        inst.op == IrOp::Br || inst.op == IrOp::Jmp) {
+        return VReg{};
+    }
+    return inst.dst;
+}
+
+struct FrameSlot
+{
+    int size = 4;
+    int align = 4;
+    std::string name;  //!< for IR dumps
+};
+
+struct BasicBlock
+{
+    int id = 0;
+    std::vector<IrInst> insts;
+
+    /** Successor block ids (from the terminator). */
+    std::vector<int> successors() const;
+};
+
+struct IrFunction
+{
+    std::string name;
+    const Type *retType = nullptr;
+    std::vector<VReg> params;
+    std::vector<BasicBlock> blocks;
+    std::vector<RegClass> vregClass;
+    std::vector<FrameSlot> slots;
+
+    VReg
+    newReg(RegClass cls)
+    {
+        vregClass.push_back(cls);
+        return VReg{static_cast<int>(vregClass.size()) - 1, cls};
+    }
+
+    int numVRegs() const { return static_cast<int>(vregClass.size()); }
+
+    int
+    newSlot(int size, int align, std::string name = "")
+    {
+        slots.push_back({size, align, std::move(name)});
+        return static_cast<int>(slots.size()) - 1;
+    }
+
+    /** Fixed physical register of a vreg (-1 = none). Used by the ABI
+     *  lowering to pin argument/return registers. */
+    std::vector<int> precolor;
+
+    void
+    setPrecolor(VReg r, int phys)
+    {
+        if (static_cast<int>(precolor.size()) < numVRegs())
+            precolor.resize(numVRegs(), -1);
+        precolor[r.id] = phys;
+    }
+
+    int
+    precolorOf(int id) const
+    {
+        return id < static_cast<int>(precolor.size()) ? precolor[id] : -1;
+    }
+
+    /** Human-readable dump (for tests and debugging). */
+    std::string dump() const;
+};
+
+struct IrModule
+{
+    std::vector<IrFunction> functions;
+};
+
+/** Dump one instruction (used by IrFunction::dump and tests). */
+std::string dumpInst(const IrInst &inst);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_IR_HH

@@ -1,0 +1,1085 @@
+#include "mc/irgen.hh"
+
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+using isa::Cond;
+
+RegClass
+classOf(const Type *t)
+{
+    return t->isFp() ? RegClass::Fp : RegClass::Int;
+}
+
+Cond
+condOf(BinOp op, bool unsignedCmp)
+{
+    switch (op) {
+      case BinOp::Lt: return unsignedCmp ? Cond::Ltu : Cond::Lt;
+      case BinOp::Gt: return unsignedCmp ? Cond::Gtu : Cond::Gt;
+      case BinOp::Le: return unsignedCmp ? Cond::Leu : Cond::Le;
+      case BinOp::Ge: return unsignedCmp ? Cond::Geu : Cond::Ge;
+      case BinOp::Eq: return Cond::Eq;
+      case BinOp::Ne: return Cond::Ne;
+      default: panic("not a comparison");
+    }
+}
+
+bool
+isComparison(BinOp op)
+{
+    switch (op) {
+      case BinOp::Lt: case BinOp::Gt: case BinOp::Le: case BinOp::Ge:
+      case BinOp::Eq: case BinOp::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+struct IrGen
+{
+    const Program &prog;
+    const FuncDecl *fn = nullptr;
+    IrFunction *out = nullptr;
+    int curBB = 0;
+
+    std::vector<VReg> localReg;  //!< localId -> vreg (invalid if memory)
+    std::vector<int> localSlot;  //!< localId -> frame slot (-1 if reg)
+    std::vector<int> breakStack, continueStack;
+    int stringBase = 0;  //!< unused; strings are globally pooled
+
+    // ----- block plumbing ----------------------------------------------
+
+    BasicBlock &bb() { return out->blocks[curBB]; }
+
+    bool
+    terminated() const
+    {
+        const BasicBlock &b = out->blocks[curBB];
+        return !b.insts.empty() && b.insts.back().isTerminator();
+    }
+
+    void
+    emit(IrInst inst)
+    {
+        if (!terminated())
+            bb().insts.push_back(std::move(inst));
+    }
+
+    int
+    newBlock()
+    {
+        BasicBlock b;
+        b.id = static_cast<int>(out->blocks.size());
+        out->blocks.push_back(std::move(b));
+        return out->blocks.back().id;
+    }
+
+    void
+    jumpTo(int target)
+    {
+        IrInst j;
+        j.op = IrOp::Jmp;
+        j.thenBB = target;
+        emit(std::move(j));
+    }
+
+    void setBlock(int id) { curBB = id; }
+
+    VReg newInt() { return out->newReg(RegClass::Int); }
+    VReg newFp() { return out->newReg(RegClass::Fp); }
+
+    VReg
+    emitMovImm(int64_t v)
+    {
+        IrInst i;
+        i.op = IrOp::MovImm;
+        i.dst = newInt();
+        i.imm = v;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    VReg
+    emitBin(IrOp op, VReg a, Operand b)
+    {
+        IrInst i;
+        i.op = op;
+        i.dst = newInt();
+        i.a = a;
+        i.b = b;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    VReg
+    emitFpBin(IrOp op, VReg a, VReg b, bool single)
+    {
+        IrInst i;
+        i.op = op;
+        i.dst = newFp();
+        i.a = a;
+        i.b = Operand::ofReg(b);
+        i.isSingle = single;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    // ----- addresses ------------------------------------------------------
+
+    /** Compute the address of an lvalue (or of a string literal). */
+    Address
+    genAddr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::Ident: {
+            if (e.binding == Expr::Binding::Local) {
+                const int slot = localSlot[e.localId];
+                panicIf(slot < 0, "address of register-bound local");
+                return Address::frame(slot);
+            }
+            return Address::global(e.strValue);
+          }
+          case ExprKind::StringLit:
+            return Address::global(".Lstr" + std::to_string(e.intValue));
+          case ExprKind::Unary:
+            panicIf(e.unOp != UnOp::Deref, "genAddr on non-lvalue unary");
+            return Address::reg(genExpr(*e.a));
+          case ExprKind::Index: {
+            const Address base = genAddrOfPointerValue(*e.a);
+            const int esz = e.type->isArray() ? e.type->pointee()->size()
+                                              : e.type->size();
+            // Constant index folds into the displacement.
+            int64_t constIdx;
+            if (isConstInt(*e.b, constIdx)) {
+                Address a = base;
+                a.offset += static_cast<int32_t>(constIdx * esz);
+                return a;
+            }
+            const VReg idx = genExpr(*e.b);
+            const VReg scaled = emitBin(IrOp::Mul, idx,
+                                        Operand::ofImm(esz));
+            const VReg baseReg = materializeAddr(base);
+            return Address::reg(
+                emitBin(IrOp::Add, baseReg, Operand::ofReg(scaled)));
+          }
+          case ExprKind::Member: {
+            const StructField *f = nullptr;
+            Address a;
+            if (e.arrow) {
+                const Type *pt = e.a->type;  // pointer to struct
+                f = pt->pointee()->record()->findField(e.strValue);
+                a = Address::reg(genExpr(*e.a));
+            } else {
+                f = e.a->type->record()->findField(e.strValue);
+                a = genAddr(*e.a);
+            }
+            panicIf(!f, "field vanished after sema");
+            a.offset += f->offset;
+            return a;
+          }
+          default:
+            panic("genAddr on non-lvalue expression");
+        }
+    }
+
+    /** For Index bases: the pointer value's address arithmetic. The
+     *  base expression is a pointer rvalue (arrays were decayed). */
+    Address
+    genAddrOfPointerValue(const Expr &e)
+    {
+        // &arr decay nodes fold directly into the array's address.
+        if (e.kind == ExprKind::Unary && e.unOp == UnOp::AddrOf)
+            return genAddr(*e.a);
+        return Address::reg(genExpr(e));
+    }
+
+    /** Turn a symbolic address into a register holding it. */
+    VReg
+    materializeAddr(const Address &a)
+    {
+        if (a.kind == AddrKind::Reg && a.offset == 0)
+            return a.base;
+        if (a.kind == AddrKind::Reg)
+            return emitBin(IrOp::Add, a.base, Operand::ofImm(a.offset));
+        IrInst i;
+        i.op = IrOp::AddrOf;
+        i.dst = newInt();
+        i.addr = a;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    // ----- loads / stores -------------------------------------------------
+
+    VReg
+    emitLoad(const Address &a, const Type *t)
+    {
+        IrInst i;
+        i.op = IrOp::Load;
+        i.addr = a;
+        i.size = t->size();
+        i.signedLoad = !t->isUnsigned();
+        i.dst = out->newReg(classOf(t));
+        i.isSingle = t->kind() == TypeKind::Float;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    void
+    emitStore(const Address &a, const Type *t, VReg v)
+    {
+        IrInst i;
+        i.op = IrOp::Store;
+        i.addr = a;
+        i.size = t->size();
+        i.a = v;
+        i.isSingle = t->kind() == TypeKind::Float;
+        emit(std::move(i));
+    }
+
+    // ----- constants --------------------------------------------------------
+
+    bool
+    isConstInt(const Expr &e, int64_t &out_) const
+    {
+        if (e.kind == ExprKind::IntLit || e.kind == ExprKind::SizeofType) {
+            out_ = e.intValue;
+            return true;
+        }
+        if (e.kind == ExprKind::Cast && e.castType->isInteger())
+            return isConstInt(*e.a, out_);
+        return false;
+    }
+
+    // ----- expressions -------------------------------------------------------
+
+    /** Generate an rvalue. */
+    VReg
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+          case ExprKind::SizeofType:
+            return emitMovImm(e.intValue);
+
+          case ExprKind::FloatLit: {
+            IrInst i;
+            i.op = IrOp::FMovImm;
+            i.dst = newFp();
+            i.fimm = e.floatValue;
+            i.isSingle = e.type->kind() == TypeKind::Float;
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+          }
+
+          case ExprKind::StringLit:
+            return materializeAddr(genAddr(e));
+
+          case ExprKind::Ident: {
+            if (e.binding == Expr::Binding::Local &&
+                localReg[e.localId].valid()) {
+                return localReg[e.localId];
+            }
+            if (e.type->isArray() || e.type->isStruct())
+                return materializeAddr(genAddr(e));
+            return emitLoad(genAddr(e), e.type);
+          }
+
+          case ExprKind::Unary:
+            return genUnary(e);
+
+          case ExprKind::Binary:
+            return genBinary(e);
+
+          case ExprKind::Assign:
+            return genAssign(e);
+
+          case ExprKind::Cond: {
+            const int thenB = newBlock();
+            const int elseB = newBlock();
+            const int joinB = newBlock();
+            const VReg result = out->newReg(classOf(e.type));
+            genCond(*e.a, thenB, elseB);
+            setBlock(thenB);
+            moveInto(result, genExpr(*e.b));
+            jumpTo(joinB);
+            setBlock(elseB);
+            moveInto(result, genExpr(*e.c));
+            jumpTo(joinB);
+            setBlock(joinB);
+            return result;
+          }
+
+          case ExprKind::Call:
+            return genCall(e);
+
+          case ExprKind::Index:
+          case ExprKind::Member: {
+            if (e.type->isArray())
+                return materializeAddr(genAddr(e));
+            if (e.type->isStruct())
+                return materializeAddr(genAddr(e));
+            return emitLoad(genAddr(e), e.type);
+          }
+
+          case ExprKind::Cast:
+            return genCast(e);
+
+          case ExprKind::IncDec:
+            return genIncDec(e);
+        }
+        panic("unhandled expr kind in irgen");
+    }
+
+    void
+    moveInto(VReg dst, VReg src)
+    {
+        if (dst == src)
+            return;
+        IrInst i;
+        i.op = IrOp::Mov;
+        i.dst = dst;
+        i.a = src;
+        emit(std::move(i));
+    }
+
+    VReg
+    genUnary(const Expr &e)
+    {
+        switch (e.unOp) {
+          case UnOp::AddrOf:
+            return materializeAddr(genAddr(*e.a));
+          case UnOp::Deref:
+            if (e.type->isArray() || e.type->isStruct())
+                return materializeAddr(genAddr(e));
+            return emitLoad(genAddr(e), e.type);
+          case UnOp::Neg: {
+            if (e.type->isFp()) {
+                IrInst i;
+                i.op = IrOp::FNeg;
+                i.dst = newFp();
+                i.a = genExpr(*e.a);
+                i.isSingle = e.type->kind() == TypeKind::Float;
+                const VReg dst = i.dst;
+                emit(std::move(i));
+                return dst;
+            }
+            IrInst i;
+            i.op = IrOp::Neg;
+            i.dst = newInt();
+            i.a = genExpr(*e.a);
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+          }
+          case UnOp::BitNot: {
+            IrInst i;
+            i.op = IrOp::Not;
+            i.dst = newInt();
+            i.a = genExpr(*e.a);
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+          }
+          case UnOp::LogNot: {
+            // !x == (x == 0)
+            if (e.a->type->isFp()) {
+                const VReg zero = genFpZero(e.a->type);
+                return emitFpCmp(Cond::Eq, genExpr(*e.a), zero,
+                                 e.a->type->kind() == TypeKind::Float);
+            }
+            IrInst i;
+            i.op = IrOp::Cmp;
+            i.cond = Cond::Eq;
+            i.dst = newInt();
+            i.a = genExpr(*e.a);
+            i.b = Operand::ofImm(0);
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+          }
+          case UnOp::Plus:
+            return genExpr(*e.a);
+        }
+        panic("bad unop");
+    }
+
+    VReg
+    genFpZero(const Type *t)
+    {
+        IrInst i;
+        i.op = IrOp::FMovImm;
+        i.dst = newFp();
+        i.fimm = 0.0;
+        i.isSingle = t->kind() == TypeKind::Float;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    VReg
+    emitFpCmp(Cond c, VReg a, VReg b, bool single)
+    {
+        IrInst i;
+        i.op = IrOp::FCmp;
+        i.cond = c;
+        i.dst = newInt();
+        i.a = a;
+        i.b = Operand::ofReg(b);
+        i.isSingle = single;
+        const VReg dst = i.dst;
+        emit(std::move(i));
+        return dst;
+    }
+
+    /** Operand for the RHS of an integer op: immediate when constant. */
+    Operand
+    genOperand(const Expr &e)
+    {
+        int64_t v;
+        if (isConstInt(e, v))
+            return Operand::ofImm(v);
+        return Operand::ofReg(genExpr(e));
+    }
+
+    VReg
+    genBinary(const Expr &e)
+    {
+        const BinOp op = e.binOp;
+
+        if (op == BinOp::LogAnd || op == BinOp::LogOr) {
+            // Value form of short-circuit: result in a register.
+            const int thenB = newBlock();
+            const int elseB = newBlock();
+            const int joinB = newBlock();
+            const VReg result = newInt();
+            genCond(e, thenB, elseB);
+            setBlock(thenB);
+            {
+                IrInst i;
+                i.op = IrOp::MovImm;
+                i.dst = result;
+                i.imm = 1;
+                emit(std::move(i));
+            }
+            jumpTo(joinB);
+            setBlock(elseB);
+            {
+                IrInst i;
+                i.op = IrOp::MovImm;
+                i.dst = result;
+                i.imm = 0;
+                emit(std::move(i));
+            }
+            jumpTo(joinB);
+            setBlock(joinB);
+            return result;
+        }
+
+        const Type *ta = e.a->type;
+
+        if (isComparison(op)) {
+            if (ta->isFp()) {
+                const bool single = ta->kind() == TypeKind::Float;
+                return emitFpCmp(condOf(op, false), genExpr(*e.a),
+                                 genExpr(*e.b), single);
+            }
+            IrInst i;
+            i.op = IrOp::Cmp;
+            i.cond = condOf(op, ta->isUnsigned());
+            i.dst = newInt();
+            i.a = genExpr(*e.a);
+            i.b = genOperand(*e.b);
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+        }
+
+        if (ta->isFp()) {
+            const bool single = ta->kind() == TypeKind::Float;
+            IrOp fop;
+            switch (op) {
+              case BinOp::Add: fop = IrOp::FAdd; break;
+              case BinOp::Sub: fop = IrOp::FSub; break;
+              case BinOp::Mul: fop = IrOp::FMul; break;
+              case BinOp::Div: fop = IrOp::FDiv; break;
+              default: panic("bad fp binop");
+            }
+            return emitFpBin(fop, genExpr(*e.a), genExpr(*e.b), single);
+        }
+
+        // Pointer arithmetic: scale the integer side.
+        if (ta->isPointer() && (op == BinOp::Add || op == BinOp::Sub)) {
+            const int esz = ta->pointee()->size();
+            const VReg base = genExpr(*e.a);
+            if (e.b->type->isPointer()) {
+                // ptr - ptr: byte difference divided by element size.
+                const VReg diff = emitBin(IrOp::Sub, base,
+                                          Operand::ofReg(genExpr(*e.b)));
+                if (esz == 1)
+                    return diff;
+                return emitBin(IrOp::DivS, diff, Operand::ofImm(esz));
+            }
+            int64_t cidx;
+            if (isConstInt(*e.b, cidx)) {
+                const int64_t delta =
+                    (op == BinOp::Sub ? -cidx : cidx) * esz;
+                if (delta == 0)
+                    return base;
+                return emitBin(IrOp::Add, base, Operand::ofImm(delta));
+            }
+            VReg idx = genExpr(*e.b);
+            if (esz != 1)
+                idx = emitBin(IrOp::Mul, idx, Operand::ofImm(esz));
+            return emitBin(op == BinOp::Sub ? IrOp::Sub : IrOp::Add, base,
+                           Operand::ofReg(idx));
+        }
+
+        const bool un = ta->isUnsigned();
+        IrOp iop;
+        switch (op) {
+          case BinOp::Add: iop = IrOp::Add; break;
+          case BinOp::Sub: iop = IrOp::Sub; break;
+          case BinOp::Mul: iop = IrOp::Mul; break;
+          case BinOp::Div: iop = un ? IrOp::DivU : IrOp::DivS; break;
+          case BinOp::Rem: iop = un ? IrOp::RemU : IrOp::RemS; break;
+          case BinOp::And: iop = IrOp::And; break;
+          case BinOp::Or: iop = IrOp::Or; break;
+          case BinOp::Xor: iop = IrOp::Xor; break;
+          case BinOp::Shl: iop = IrOp::Shl; break;
+          case BinOp::Shr: iop = un ? IrOp::ShrL : IrOp::ShrA; break;
+          default: panic("bad int binop");
+        }
+        const VReg a = genExpr(*e.a);
+        return emitBin(iop, a, genOperand(*e.b));
+    }
+
+    /** Apply a binary IR op for compound assignment (int class). */
+    VReg
+    applyCompound(const Expr &e, VReg lhsVal)
+    {
+        const Type *lt = e.a->type;
+        if (lt->isFp()) {
+            const bool single = lt->kind() == TypeKind::Float;
+            VReg rhs = genExpr(*e.b);
+            IrOp fop;
+            switch (e.binOp) {
+              case BinOp::Add: fop = IrOp::FAdd; break;
+              case BinOp::Sub: fop = IrOp::FSub; break;
+              case BinOp::Mul: fop = IrOp::FMul; break;
+              case BinOp::Div: fop = IrOp::FDiv; break;
+              default: panic("bad fp compound op");
+            }
+            return emitFpBin(fop, lhsVal, rhs, single);
+        }
+        if (lt->isPointer()) {
+            const int esz = lt->pointee()->size();
+            int64_t c;
+            if (isConstInt(*e.b, c)) {
+                const int64_t delta =
+                    (e.binOp == BinOp::Sub ? -c : c) * esz;
+                return emitBin(IrOp::Add, lhsVal, Operand::ofImm(delta));
+            }
+            VReg idx = genExpr(*e.b);
+            if (esz != 1)
+                idx = emitBin(IrOp::Mul, idx, Operand::ofImm(esz));
+            return emitBin(e.binOp == BinOp::Sub ? IrOp::Sub : IrOp::Add,
+                           lhsVal, Operand::ofReg(idx));
+        }
+        const bool un = lt->isUnsigned();
+        IrOp iop;
+        switch (e.binOp) {
+          case BinOp::Add: iop = IrOp::Add; break;
+          case BinOp::Sub: iop = IrOp::Sub; break;
+          case BinOp::Mul: iop = IrOp::Mul; break;
+          case BinOp::Div: iop = un ? IrOp::DivU : IrOp::DivS; break;
+          case BinOp::Rem: iop = un ? IrOp::RemU : IrOp::RemS; break;
+          case BinOp::And: iop = IrOp::And; break;
+          case BinOp::Or: iop = IrOp::Or; break;
+          case BinOp::Xor: iop = IrOp::Xor; break;
+          case BinOp::Shl: iop = IrOp::Shl; break;
+          case BinOp::Shr: iop = un ? IrOp::ShrL : IrOp::ShrA; break;
+          default: panic("bad compound op");
+        }
+        VReg result = emitBin(iop, lhsVal, genOperand(*e.b));
+        // Narrow char results back to the invariant representation.
+        if (lt->kind() == TypeKind::Char)
+            result = normalizeChar(result);
+        return result;
+    }
+
+    VReg
+    normalizeChar(VReg v)
+    {
+        const VReg shifted = emitBin(IrOp::Shl, v, Operand::ofImm(24));
+        return emitBin(IrOp::ShrA, shifted, Operand::ofImm(24));
+    }
+
+    VReg
+    genAssign(const Expr &e)
+    {
+        const Expr &lhs = *e.a;
+
+        // Struct assignment: memberwise word copy.
+        if (lhs.type->isStruct()) {
+            const Address dst = genAddr(lhs);
+            const Address src = genAddr(*e.b);
+            copyAggregate(dst, src, lhs.type->size());
+            return VReg{};
+        }
+
+        // Register-bound local on the left: operate on the vreg.
+        if (lhs.kind == ExprKind::Ident &&
+            lhs.binding == Expr::Binding::Local &&
+            localReg[lhs.localId].valid()) {
+            const VReg target = localReg[lhs.localId];
+            VReg value;
+            if (e.compound)
+                value = applyCompound(e, target);
+            else
+                value = genExpr(*e.b);
+            moveInto(target, value);
+            return target;
+        }
+
+        const Address addr = genAddr(lhs);
+        VReg value;
+        if (e.compound) {
+            const VReg old = emitLoad(addr, lhs.type);
+            value = applyCompound(e, old);
+        } else {
+            value = genExpr(*e.b);
+        }
+        emitStore(addr, lhs.type, value);
+        return value;
+    }
+
+    void
+    copyAggregate(const Address &dst, const Address &src, int bytes)
+    {
+        const VReg d = materializeAddr(dst);
+        const VReg s = materializeAddr(src);
+        int off = 0;
+        const Type *word = prog.types.intTy();
+        const Type *byteTy = prog.types.charTy();
+        while (bytes - off >= 4) {
+            const VReg t = emitLoad(Address::reg(s, off), word);
+            emitStore(Address::reg(d, off), word, t);
+            off += 4;
+        }
+        while (bytes - off >= 1) {
+            const VReg t = emitLoad(Address::reg(s, off), byteTy);
+            emitStore(Address::reg(d, off), byteTy, t);
+            off += 1;
+        }
+    }
+
+    VReg
+    genCall(const Expr &e)
+    {
+        const FuncSig &sig = prog.signatures.at(e.strValue);
+        IrInst call;
+        call.op = IrOp::Call;
+        call.sym = e.strValue;
+        if (sig.isBuiltin)
+            call.trapCode = sig.trapCode;
+        for (const ExprPtr &arg : e.args)
+            call.args.push_back(genExpr(*arg));
+        if (!sig.retType->isVoid())
+            call.dst = out->newReg(classOf(sig.retType));
+        const VReg dst = call.dst;
+        emit(std::move(call));
+        return dst;
+    }
+
+    VReg
+    genCast(const Expr &e)
+    {
+        const Type *to = e.castType;
+        const Type *from = e.a->type;
+        if (to->isVoid()) {
+            genExpr(*e.a);
+            return VReg{};
+        }
+        const VReg src = genExpr(*e.a);
+        if (to == from)
+            return src;
+
+        const bool fromFp = from->isFp();
+        const bool toFp = to->isFp();
+        if (fromFp && toFp) {
+            IrInst i;
+            i.op = IrOp::CvtFF;
+            i.dst = newFp();
+            i.a = src;
+            i.isSingle = to->kind() == TypeKind::Float;
+            i.srcSingle = from->kind() == TypeKind::Float;
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+        }
+        if (!fromFp && toFp) {
+            IrInst i;
+            i.op = IrOp::CvtIF;
+            i.dst = newFp();
+            i.a = src;
+            i.isSingle = to->kind() == TypeKind::Float;
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+        }
+        if (fromFp && !toFp) {
+            IrInst i;
+            i.op = IrOp::CvtFI;
+            i.dst = newInt();
+            i.a = src;
+            i.srcSingle = from->kind() == TypeKind::Float;
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            VReg r = dst;
+            if (to->kind() == TypeKind::Char)
+                r = normalizeChar(r);
+            return r;
+        }
+        // Integer/pointer conversions: only char narrowing changes bits.
+        if (to->kind() == TypeKind::Char && from->kind() != TypeKind::Char)
+            return normalizeChar(src);
+        return src;
+    }
+
+    VReg
+    genIncDec(const Expr &e)
+    {
+        const Expr &lhs = *e.a;
+        int64_t delta = e.isIncrement ? 1 : -1;
+        if (lhs.type->isPointer())
+            delta *= lhs.type->pointee()->size();
+
+        if (lhs.kind == ExprKind::Ident &&
+            lhs.binding == Expr::Binding::Local &&
+            localReg[lhs.localId].valid()) {
+            const VReg target = localReg[lhs.localId];
+            VReg oldVal;
+            if (!e.isPrefix) {
+                oldVal = newInt();
+                moveInto(oldVal, target);
+            }
+            VReg updated =
+                emitBin(IrOp::Add, target, Operand::ofImm(delta));
+            if (lhs.type->kind() == TypeKind::Char)
+                updated = normalizeChar(updated);
+            moveInto(target, updated);
+            return e.isPrefix ? target : oldVal;
+        }
+
+        const Address addr = genAddr(lhs);
+        const VReg old = emitLoad(addr, lhs.type);
+        VReg updated = emitBin(IrOp::Add, old, Operand::ofImm(delta));
+        if (lhs.type->kind() == TypeKind::Char)
+            updated = normalizeChar(updated);
+        emitStore(addr, lhs.type, updated);
+        return e.isPrefix ? updated : old;
+    }
+
+    // ----- conditions ---------------------------------------------------------
+
+    void
+    genCond(const Expr &e, int thenB, int elseB)
+    {
+        // Logical connectives short-circuit through blocks.
+        if (e.kind == ExprKind::Binary && e.binOp == BinOp::LogAnd) {
+            const int mid = newBlock();
+            genCond(*e.a, mid, elseB);
+            setBlock(mid);
+            genCond(*e.b, thenB, elseB);
+            return;
+        }
+        if (e.kind == ExprKind::Binary && e.binOp == BinOp::LogOr) {
+            const int mid = newBlock();
+            genCond(*e.a, thenB, mid);
+            setBlock(mid);
+            genCond(*e.b, thenB, elseB);
+            return;
+        }
+        if (e.kind == ExprKind::Unary && e.unOp == UnOp::LogNot) {
+            genCond(*e.a, elseB, thenB);
+            return;
+        }
+        int64_t c;
+        if (isConstInt(e, c)) {
+            jumpTo(c ? thenB : elseB);
+            return;
+        }
+        IrInst br;
+        br.op = IrOp::Br;
+        br.a = genExpr(e);
+        br.thenBB = thenB;
+        br.elseBB = elseB;
+        emit(std::move(br));
+    }
+
+    // ----- statements ------------------------------------------------------------
+
+    void
+    genLocalDecl(const LocalDecl &d)
+    {
+        const FuncDecl::LocalVar &var = fn->locals[d.localId];
+        const bool inMemory = var.addressTaken || d.type->isArray() ||
+                              d.type->isStruct();
+        if (inMemory) {
+            localSlot[d.localId] =
+                out->newSlot(d.type->size(), d.type->align(), d.name);
+            localReg[d.localId] = VReg{};
+        } else {
+            localReg[d.localId] = out->newReg(classOf(d.type));
+            localSlot[d.localId] = -1;
+        }
+
+        if (d.init) {
+            const VReg v = genExpr(*d.init);
+            if (d.type->isStruct()) {
+                // init is a struct rvalue (an address).
+                const Address dst = Address::frame(localSlot[d.localId]);
+                copyAggregateFromReg(dst, v, d.type->size());
+            } else if (inMemory) {
+                emitStore(Address::frame(localSlot[d.localId]), d.type, v);
+            } else {
+                moveInto(localReg[d.localId], v);
+            }
+        }
+        if (!d.initList.empty()) {
+            const Type *elem =
+                d.type->isArray() ? d.type->pointee() : d.type;
+            int off = 0;
+            for (const ExprPtr &init : d.initList) {
+                const VReg v = genExpr(*init);
+                emitStore(Address::frame(localSlot[d.localId], off), elem,
+                          v);
+                off += elem->size();
+            }
+        }
+    }
+
+    void
+    copyAggregateFromReg(const Address &dst, VReg srcAddr, int bytes)
+    {
+        copyAggregate(dst, Address::reg(srcAddr), bytes);
+    }
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const StmtPtr &child : s.body) {
+                if (terminated())
+                    break;  // unreachable code after return/break
+                genStmt(*child);
+            }
+            break;
+
+          case StmtKind::If: {
+            const int thenB = newBlock();
+            const int elseB = s.elseStmt ? newBlock() : -1;
+            const int joinB = newBlock();
+            genCond(*s.cond, thenB, s.elseStmt ? elseB : joinB);
+            setBlock(thenB);
+            genStmt(*s.thenStmt);
+            jumpTo(joinB);
+            if (s.elseStmt) {
+                setBlock(elseB);
+                genStmt(*s.elseStmt);
+                jumpTo(joinB);
+            }
+            setBlock(joinB);
+            break;
+          }
+
+          case StmtKind::While: {
+            const int condB = newBlock();
+            const int bodyB = newBlock();
+            const int exitB = newBlock();
+            jumpTo(condB);
+            setBlock(condB);
+            genCond(*s.cond, bodyB, exitB);
+            breakStack.push_back(exitB);
+            continueStack.push_back(condB);
+            setBlock(bodyB);
+            genStmt(*s.loopBody);
+            jumpTo(condB);
+            breakStack.pop_back();
+            continueStack.pop_back();
+            setBlock(exitB);
+            break;
+          }
+
+          case StmtKind::DoWhile: {
+            const int bodyB = newBlock();
+            const int condB = newBlock();
+            const int exitB = newBlock();
+            jumpTo(bodyB);
+            breakStack.push_back(exitB);
+            continueStack.push_back(condB);
+            setBlock(bodyB);
+            genStmt(*s.loopBody);
+            jumpTo(condB);
+            breakStack.pop_back();
+            continueStack.pop_back();
+            setBlock(condB);
+            genCond(*s.cond, bodyB, exitB);
+            setBlock(exitB);
+            break;
+          }
+
+          case StmtKind::For: {
+            if (s.forInit)
+                genStmt(*s.forInit);
+            const int condB = newBlock();
+            const int bodyB = newBlock();
+            const int stepB = newBlock();
+            const int exitB = newBlock();
+            jumpTo(condB);
+            setBlock(condB);
+            if (s.cond)
+                genCond(*s.cond, bodyB, exitB);
+            else
+                jumpTo(bodyB);
+            breakStack.push_back(exitB);
+            continueStack.push_back(stepB);
+            setBlock(bodyB);
+            genStmt(*s.loopBody);
+            jumpTo(stepB);
+            breakStack.pop_back();
+            continueStack.pop_back();
+            setBlock(stepB);
+            if (s.forStep)
+                genExpr(*s.forStep);
+            jumpTo(condB);
+            setBlock(exitB);
+            break;
+          }
+
+          case StmtKind::Return: {
+            IrInst ret;
+            ret.op = IrOp::Ret;
+            if (s.expr)
+                ret.a = genExpr(*s.expr);
+            emit(std::move(ret));
+            break;
+          }
+
+          case StmtKind::Break:
+            panicIf(breakStack.empty(), "break outside loop after sema");
+            jumpTo(breakStack.back());
+            break;
+
+          case StmtKind::Continue:
+            jumpTo(continueStack.back());
+            break;
+
+          case StmtKind::ExprStmt:
+            genExpr(*s.expr);
+            break;
+
+          case StmtKind::Decl:
+            for (const LocalDecl &d : s.decls)
+                genLocalDecl(d);
+            break;
+
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    IrFunction
+    generate(const FuncDecl &f)
+    {
+        IrFunction irf;
+        irf.name = f.name;
+        irf.retType = f.retType;
+        fn = &f;
+        out = &irf;
+        curBB = 0;
+        out->blocks.clear();
+        newBlock();  // entry = bb0
+
+        localReg.assign(f.locals.size(), VReg{});
+        localSlot.assign(f.locals.size(), -1);
+
+        // Parameters arrive in fresh vregs; address-taken ones are
+        // spilled to slots at entry.
+        for (size_t i = 0; i < f.params.size(); ++i) {
+            const FuncDecl::LocalVar &var = f.locals[i];
+            const VReg p = out->newReg(classOf(var.type));
+            irf.params.push_back(p);
+            if (var.addressTaken) {
+                const int slot = out->newSlot(var.type->size(),
+                                              var.type->align(), var.name);
+                localSlot[i] = slot;
+                emitStore(Address::frame(slot), var.type, p);
+            } else {
+                localReg[i] = p;
+            }
+        }
+
+        genStmt(*f.body);
+
+        // Guarantee a terminator.
+        if (!terminated()) {
+            IrInst ret;
+            ret.op = IrOp::Ret;
+            if (!f.retType->isVoid()) {
+                // Falling off a non-void function returns 0.
+                ret.a = emitMovImm(0);
+            }
+            emit(std::move(ret));
+        }
+        // Every block needs a terminator (empty join blocks fall into
+        // a final ret; give them explicit rets).
+        for (BasicBlock &b : irf.blocks) {
+            if (b.insts.empty() || !b.insts.back().isTerminator()) {
+                IrInst ret;
+                ret.op = IrOp::Ret;
+                if (!f.retType->isVoid()) {
+                    IrInst zero;
+                    zero.op = IrOp::MovImm;
+                    zero.dst = irf.newReg(RegClass::Int);
+                    zero.imm = 0;
+                    ret.a = zero.dst;
+                    b.insts.push_back(std::move(zero));
+                }
+                b.insts.push_back(std::move(ret));
+            }
+        }
+        return irf;
+    }
+};
+
+} // namespace
+
+IrModule
+generateIr(const Program &prog)
+{
+    IrModule mod;
+    IrGen gen{prog};
+    for (const FuncDecl &f : prog.functions) {
+        if (f.body)
+            mod.functions.push_back(gen.generate(f));
+    }
+    return mod;
+}
+
+} // namespace d16sim::mc

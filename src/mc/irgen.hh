@@ -1,0 +1,20 @@
+/**
+ * @file
+ * MiniC IR generation (typed AST -> CFG of three-address code).
+ */
+
+#ifndef D16SIM_MC_IRGEN_HH
+#define D16SIM_MC_IRGEN_HH
+
+#include "mc/ast.hh"
+#include "mc/ir.hh"
+
+namespace d16sim::mc
+{
+
+/** Lower all function bodies of an analyzed program. */
+IrModule generateIr(const Program &prog);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_IRGEN_HH

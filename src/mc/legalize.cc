@@ -1,0 +1,636 @@
+#include "mc/legalize.hh"
+
+#include <bit>
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+using isa::Cond;
+
+/** Rewriter for one block: emits the legalized instruction stream. */
+struct Rewriter
+{
+    IrFunction &fn;
+    const MachineEnv &env;
+    const GpOffsetFn &gpOffset;
+    std::vector<IrInst> out;
+
+    void push(IrInst inst) { out.push_back(std::move(inst)); }
+
+    VReg
+    movImm(int64_t v)
+    {
+        IrInst i;
+        i.op = IrOp::MovImm;
+        i.dst = fn.newReg(RegClass::Int);
+        i.imm = v;
+        const VReg dst = i.dst;
+        push(std::move(i));
+        return dst;
+    }
+
+    VReg
+    bin(IrOp op, VReg a, Operand b)
+    {
+        IrInst i;
+        i.op = op;
+        i.dst = fn.newReg(RegClass::Int);
+        i.a = a;
+        i.b = b;
+        const VReg dst = i.dst;
+        legalizeImmediate(i);
+        push(std::move(i));
+        return dst;
+    }
+
+    void
+    binInto(VReg dst, IrOp op, VReg a, Operand b)
+    {
+        IrInst i;
+        i.op = op;
+        i.dst = dst;
+        i.a = a;
+        i.b = b;
+        legalizeImmediate(i);
+        push(std::move(i));
+    }
+
+    void
+    movInto(VReg dst, VReg src)
+    {
+        IrInst i;
+        i.op = IrOp::Mov;
+        i.dst = dst;
+        i.a = src;
+        push(std::move(i));
+    }
+
+    // ----- multiply / divide ------------------------------------------
+
+    /** dst = a * c via shifts and adds; returns false if too costly. */
+    bool
+    mulByConstant(VReg dst, VReg a, int64_t c)
+    {
+        const bool negate = c < 0;
+        uint32_t m = static_cast<uint32_t>(negate ? -c : c);
+        if (m == 0) {
+            IrInst i;
+            i.op = IrOp::MovImm;
+            i.dst = dst;
+            i.imm = 0;
+            push(std::move(i));
+            return true;
+        }
+        if (std::popcount(m) > 3)
+            return false;
+        VReg acc;
+        while (m) {
+            const int k = 31 - std::countl_zero(m);
+            m &= ~(uint32_t{1} << k);
+            VReg term = a;
+            if (k > 0)
+                term = bin(IrOp::Shl, a, Operand::ofImm(k));
+            acc = acc.valid()
+                      ? bin(IrOp::Add, acc, Operand::ofReg(term))
+                      : term;
+        }
+        if (negate) {
+            IrInst n;
+            n.op = IrOp::Neg;
+            n.dst = dst;
+            n.a = acc;
+            push(std::move(n));
+        } else {
+            movInto(dst, acc);
+        }
+        return true;
+    }
+
+    /** Runtime-library call: dst = sym(a, b). */
+    void
+    runtimeCall(VReg dst, const char *sym, VReg a, VReg b)
+    {
+        IrInst call;
+        call.op = IrOp::Call;
+        call.sym = sym;
+        call.args = {a, b};
+        call.dst = dst;
+        push(std::move(call));
+    }
+
+    VReg
+    operandToReg(const Operand &o)
+    {
+        if (o.isReg())
+            return o.reg;
+        return movImm(o.imm);
+    }
+
+    void
+    lowerMulDiv(IrInst inst)
+    {
+        const IrOp op = inst.op;
+        if (inst.b.isImm()) {
+            const int64_t c = inst.b.imm;
+            const uint64_t uc = static_cast<uint64_t>(c);
+            if (op == IrOp::Mul && mulByConstant(inst.dst, inst.a, c))
+                return;
+            if (c > 0 && isPowerOfTwo(uc)) {
+                const int k = static_cast<int>(floorLog2(uc));
+                switch (op) {
+                  case IrOp::DivU:
+                    binInto(inst.dst, IrOp::ShrL, inst.a,
+                            Operand::ofImm(k));
+                    return;
+                  case IrOp::RemU:
+                    binInto(inst.dst, IrOp::And, inst.a,
+                            Operand::ofImm(c - 1));
+                    return;
+                  case IrOp::DivS: {
+                    if (k == 0) {
+                        movInto(inst.dst, inst.a);
+                        return;
+                    }
+                    // Round-toward-zero adjustment:
+                    // t = a >> 31; t >>= (32-k); dst = (a + t) >> k.
+                    const VReg sign =
+                        bin(IrOp::ShrA, inst.a, Operand::ofImm(31));
+                    const VReg adj =
+                        bin(IrOp::ShrL, sign, Operand::ofImm(32 - k));
+                    const VReg sum =
+                        bin(IrOp::Add, inst.a, Operand::ofReg(adj));
+                    binInto(inst.dst, IrOp::ShrA, sum, Operand::ofImm(k));
+                    return;
+                  }
+                  case IrOp::RemS: {
+                    // dst = a - (a / 2^k) * 2^k.
+                    const VReg q = fn.newReg(RegClass::Int);
+                    IrInst div;
+                    div.op = IrOp::DivS;
+                    div.dst = q;
+                    div.a = inst.a;
+                    div.b = Operand::ofImm(c);
+                    lowerMulDiv(std::move(div));
+                    const VReg scaled =
+                        bin(IrOp::Shl, q, Operand::ofImm(k));
+                    binInto(inst.dst, IrOp::Sub, inst.a,
+                            Operand::ofReg(scaled));
+                    return;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+        const VReg b = operandToReg(inst.b);
+        const char *sym = nullptr;
+        switch (op) {
+          case IrOp::Mul: sym = "__mul"; break;
+          case IrOp::DivS: sym = "__div"; break;
+          case IrOp::DivU: sym = "__udiv"; break;
+          case IrOp::RemS: sym = "__rem"; break;
+          case IrOp::RemU: sym = "__urem"; break;
+          default: panic("not a muldiv op");
+        }
+        runtimeCall(inst.dst, sym, inst.a, b);
+    }
+
+    // ----- immediates ---------------------------------------------------
+
+    /** Is `imm` directly encodable as this IR op's immediate? */
+    bool
+    immLegal(IrOp op, int64_t imm) const
+    {
+        using isa::Op;
+        switch (op) {
+          case IrOp::Add:
+            return env.aluImmFits(Op::AddI, imm) ||
+                   env.aluImmFits(Op::SubI, -imm);
+          case IrOp::Sub:
+            return env.aluImmFits(Op::SubI, imm) ||
+                   env.aluImmFits(Op::AddI, -imm);
+          case IrOp::And:
+            return env.aluImmFits(Op::AndI, imm);
+          case IrOp::Or:
+            return env.aluImmFits(Op::OrI, imm);
+          case IrOp::Xor:
+            return env.aluImmFits(Op::XorI, imm);
+          case IrOp::Shl: case IrOp::ShrL: case IrOp::ShrA:
+            return imm >= 0 && imm < 32;
+          case IrOp::Cmp:
+          case IrOp::BrCmp:
+            return env.hasCmpImmediate() &&
+                   env.aluImmFits(Op::CmpI, imm);
+          default:
+            return false;
+        }
+    }
+
+    void
+    legalizeImmediate(IrInst &inst)
+    {
+        if (!inst.b.isImm())
+            return;
+        switch (inst.op) {
+          case IrOp::Add: case IrOp::Sub: case IrOp::And: case IrOp::Or:
+          case IrOp::Xor: case IrOp::Shl: case IrOp::ShrL:
+          case IrOp::ShrA: case IrOp::Cmp: case IrOp::BrCmp:
+            if (!immLegal(inst.op, inst.b.imm))
+                inst.b = Operand::ofReg(movImm(inst.b.imm));
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** D16 compare-condition availability: swap operands if needed. */
+    void
+    legalizeCondition(IrInst &inst)
+    {
+        if (inst.op == IrOp::Cmp || inst.op == IrOp::BrCmp) {
+            if (!env.hasIntCond(inst.cond)) {
+                // gt/gtu/ge/geu -> swap to lt/ltu/le/leu. The immediate
+                // (if any) moves to the left, so hoist it first.
+                if (inst.b.isImm())
+                    inst.b = Operand::ofReg(movImm(inst.b.imm));
+                std::swap(inst.a, inst.b.reg);
+                inst.cond = isa::swapCond(inst.cond);
+            }
+            return;
+        }
+        if (inst.op == IrOp::FCmp || inst.op == IrOp::BrFCmp) {
+            switch (inst.cond) {
+              case Cond::Gt: case Cond::Ge:
+                std::swap(inst.a, inst.b.reg);
+                inst.cond = isa::swapCond(inst.cond);
+                break;
+              case Cond::Ne:
+                if (inst.op == IrOp::BrFCmp) {
+                    // branch-sense flip
+                    inst.cond = Cond::Eq;
+                    std::swap(inst.thenBB, inst.elseBB);
+                } else {
+                    // dst = (a != b) as 1 - (a == b).
+                    const VReg eq = fn.newReg(RegClass::Int);
+                    IrInst cmp = inst;
+                    cmp.cond = Cond::Eq;
+                    cmp.dst = eq;
+                    push(std::move(cmp));
+                    IrInst x;
+                    x.op = IrOp::Xor;
+                    x.dst = inst.dst;
+                    x.a = eq;
+                    x.b = Operand::ofImm(1);
+                    legalizeImmediate(x);
+                    push(std::move(x));
+                    inst.op = IrOp::Jmp;  // marker: handled
+                    inst.thenBB = -2;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    // ----- floating point -----------------------------------------------
+
+    void
+    lowerFMovImm(const IrInst &inst)
+    {
+        if (inst.isSingle) {
+            const uint32_t bits = std::bit_cast<uint32_t>(
+                static_cast<float>(inst.fimm));
+            const VReg t = movImm(static_cast<int32_t>(bits));
+            IrInst mif;
+            mif.op = IrOp::MifL;
+            mif.dst = inst.dst;
+            mif.a = t;
+            push(std::move(mif));
+            return;
+        }
+        const uint64_t bits = std::bit_cast<uint64_t>(inst.fimm);
+        const VReg lo =
+            movImm(static_cast<int32_t>(static_cast<uint32_t>(bits)));
+        IrInst mifl;
+        mifl.op = IrOp::MifL;
+        mifl.dst = inst.dst;
+        mifl.a = lo;
+        push(std::move(mifl));
+        const VReg hi = movImm(static_cast<int32_t>(bits >> 32));
+        IrInst mifh;
+        mifh.op = IrOp::MifH;
+        mifh.dst = inst.dst;
+        mifh.a = hi;
+        push(std::move(mifh));
+    }
+
+    Address
+    offsetBy(const Address &a, int32_t delta)
+    {
+        Address r = a;
+        r.offset += delta;
+        return r;
+    }
+
+    void
+    lowerFpLoad(const IrInst &inst)
+    {
+        // Low word.
+        IrInst lo;
+        lo.op = IrOp::Load;
+        lo.dst = fn.newReg(RegClass::Int);
+        lo.addr = inst.addr;
+        lo.size = 4;
+        const VReg loReg = lo.dst;
+        push(std::move(lo));
+        IrInst mifl;
+        mifl.op = IrOp::MifL;
+        mifl.dst = inst.dst;
+        mifl.a = loReg;
+        push(std::move(mifl));
+        if (inst.size == 8) {
+            IrInst hi;
+            hi.op = IrOp::Load;
+            hi.dst = fn.newReg(RegClass::Int);
+            hi.addr = offsetBy(inst.addr, 4);
+            hi.size = 4;
+            const VReg hiReg = hi.dst;
+            push(std::move(hi));
+            IrInst mifh;
+            mifh.op = IrOp::MifH;
+            mifh.dst = inst.dst;
+            mifh.a = hiReg;
+            push(std::move(mifh));
+        }
+    }
+
+    void
+    lowerFpStore(const IrInst &inst)
+    {
+        IrInst mfil;
+        mfil.op = IrOp::MfiL;
+        mfil.dst = fn.newReg(RegClass::Int);
+        mfil.a = inst.a;
+        const VReg lo = mfil.dst;
+        push(std::move(mfil));
+        IrInst st;
+        st.op = IrOp::Store;
+        st.a = lo;
+        st.addr = inst.addr;
+        st.size = 4;
+        push(std::move(st));
+        if (inst.size == 8) {
+            IrInst mfih;
+            mfih.op = IrOp::MfiH;
+            mfih.dst = fn.newReg(RegClass::Int);
+            mfih.a = inst.a;
+            const VReg hi = mfih.dst;
+            push(std::move(mfih));
+            IrInst st2;
+            st2.op = IrOp::Store;
+            st2.a = hi;
+            st2.addr = offsetBy(inst.addr, 4);
+            st2.size = 4;
+            push(std::move(st2));
+        }
+    }
+
+    /** DLXe: a global whose gp displacement exceeds 16 bits needs its
+     *  address built in a register (D16 resolves this at emission
+     *  through at). */
+    void
+    legalizeGlobalDisp(IrInst &inst)
+    {
+        if (env.target().kind() == isa::IsaKind::D16 || !gpOffset)
+            return;
+        if (inst.addr.kind != AddrKind::Global)
+            return;
+        const int64_t disp = gpOffset(inst.addr.sym) + inst.addr.offset;
+        const isa::Op memOp = inst.op == IrOp::Store
+                                  ? isa::Op::St
+                                  : isa::Op::Ld;
+        if (env.memOffsetFits(memOp, disp))
+            return;
+        IrInst addr;
+        addr.op = IrOp::AddrOf;
+        addr.dst = fn.newReg(RegClass::Int);
+        addr.addr = inst.addr;
+        const VReg base = addr.dst;
+        push(std::move(addr));
+        inst.addr = Address::reg(base);
+    }
+
+    // ----- main rewrite ----------------------------------------------------
+
+    void
+    rewrite(IrInst inst)
+    {
+        switch (inst.op) {
+          case IrOp::Mul: case IrOp::DivS: case IrOp::DivU:
+          case IrOp::RemS: case IrOp::RemU:
+            lowerMulDiv(std::move(inst));
+            return;
+
+          case IrOp::FMovImm:
+            lowerFMovImm(inst);
+            return;
+
+          case IrOp::CvtIF: {
+            IrInst mif;
+            mif.op = IrOp::MifL;
+            mif.dst = inst.dst;
+            mif.a = inst.a;
+            push(std::move(mif));
+            IrInst cvt;
+            cvt.op = IrOp::CvtRawIF;
+            cvt.dst = inst.dst;
+            cvt.a = inst.dst;
+            cvt.isSingle = inst.isSingle;
+            push(std::move(cvt));
+            return;
+          }
+
+          case IrOp::CvtFI: {
+            IrInst cvt;
+            cvt.op = IrOp::CvtRawFI;
+            cvt.dst = fn.newReg(RegClass::Fp);
+            cvt.a = inst.a;
+            cvt.srcSingle = inst.srcSingle;
+            const VReg tmp = cvt.dst;
+            push(std::move(cvt));
+            IrInst mfi;
+            mfi.op = IrOp::MfiL;
+            mfi.dst = inst.dst;
+            mfi.a = tmp;
+            push(std::move(mfi));
+            return;
+          }
+
+          case IrOp::Load:
+            if (inst.dst.cls == RegClass::Fp) {
+                lowerFpLoad(inst);
+                return;
+            }
+            legalizeGlobalDisp(inst);
+            push(std::move(inst));
+            return;
+
+          case IrOp::Store:
+            if (inst.a.cls == RegClass::Fp) {
+                lowerFpStore(inst);
+                return;
+            }
+            legalizeGlobalDisp(inst);
+            push(std::move(inst));
+            return;
+
+          case IrOp::Cmp:
+          case IrOp::BrCmp:
+          case IrOp::FCmp:
+          case IrOp::BrFCmp:
+            legalizeCondition(inst);
+            if (inst.op == IrOp::Jmp && inst.thenBB == -2)
+                return;  // fully handled (fp-ne value form)
+            legalizeImmediate(inst);
+            push(std::move(inst));
+            return;
+
+          default:
+            legalizeImmediate(inst);
+            push(std::move(inst));
+            return;
+        }
+    }
+};
+
+/** Fuse a Cmp/FCmp immediately preceding the Br that tests it. */
+void
+fuseCompareBranches(IrFunction &fn, const MachineEnv &env)
+{
+    // Count uses of every vreg.
+    std::vector<int> uses(fn.numVRegs(), 0);
+    for (const BasicBlock &bb : fn.blocks)
+        for (const IrInst &inst : bb.insts)
+            forEachUse(inst, [&](VReg r) { ++uses[r.id]; });
+
+    const bool d16 = env.target().kind() == isa::IsaKind::D16;
+    for (BasicBlock &bb : fn.blocks) {
+        if (bb.insts.size() < 2)
+            continue;
+        IrInst &term = bb.insts.back();
+        IrInst &prev = bb.insts[bb.insts.size() - 2];
+        if (term.op != IrOp::Br)
+            continue;
+        if (prev.op != IrOp::Cmp && prev.op != IrOp::FCmp)
+            continue;
+        if (!(prev.dst == term.a) || uses[prev.dst.id] != 1)
+            continue;
+        term.op = prev.op == IrOp::Cmp ? IrOp::BrCmp : IrOp::BrFCmp;
+        term.cond = prev.cond;
+        term.a = prev.a;
+        term.b = prev.b;
+        term.isSingle = prev.isSingle;
+        // DLXe compares still need a destination register; D16 writes
+        // r0 implicitly.
+        term.dst = d16 ? VReg{} : prev.dst;
+        bb.insts.erase(bb.insts.end() - 2);
+    }
+}
+
+/** Two-address tying: dst = a op b  =>  mov dst, a; dst = dst op b. */
+void
+tieTwoAddress(IrFunction &fn)
+{
+    auto isTied = [](IrOp op) {
+        switch (op) {
+          case IrOp::Add: case IrOp::Sub: case IrOp::And: case IrOp::Or:
+          case IrOp::Xor: case IrOp::Shl: case IrOp::ShrL:
+          case IrOp::ShrA:
+          case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul:
+          case IrOp::FDiv:
+            return true;
+          default:
+            return false;
+        }
+    };
+    auto isCommutative = [](IrOp op) {
+        switch (op) {
+          case IrOp::Add: case IrOp::And: case IrOp::Or: case IrOp::Xor:
+          case IrOp::FAdd: case IrOp::FMul:
+            return true;
+          default:
+            return false;
+        }
+    };
+
+    for (BasicBlock &bb : fn.blocks) {
+        std::vector<IrInst> out;
+        out.reserve(bb.insts.size());
+        for (IrInst &inst : bb.insts) {
+            if (!isTied(inst.op) || inst.dst == inst.a) {
+                out.push_back(std::move(inst));
+                continue;
+            }
+            if (inst.b.isReg() && inst.b.reg == inst.dst) {
+                if (isCommutative(inst.op)) {
+                    std::swap(inst.a, inst.b.reg);
+                    out.push_back(std::move(inst));
+                    continue;
+                }
+                // dst aliases b: go through a fresh temp.
+                const VReg t = fn.newReg(inst.dst.cls);
+                IrInst mov;
+                mov.op = IrOp::Mov;
+                mov.dst = t;
+                mov.a = inst.a;
+                out.push_back(std::move(mov));
+                IrInst op = inst;
+                op.dst = t;
+                op.a = t;
+                out.push_back(std::move(op));
+                IrInst mov2;
+                mov2.op = IrOp::Mov;
+                mov2.dst = inst.dst;
+                mov2.a = t;
+                out.push_back(std::move(mov2));
+                continue;
+            }
+            IrInst mov;
+            mov.op = IrOp::Mov;
+            mov.dst = inst.dst;
+            mov.a = inst.a;
+            out.push_back(std::move(mov));
+            inst.a = inst.dst;
+            out.push_back(std::move(inst));
+        }
+        bb.insts = std::move(out);
+    }
+}
+
+} // namespace
+
+void
+legalize(IrFunction &fn, const MachineEnv &env, const GpOffsetFn &gpOffset)
+{
+    fuseCompareBranches(fn, env);
+
+    for (BasicBlock &bb : fn.blocks) {
+        Rewriter rw{fn, env, gpOffset};
+        rw.out.reserve(bb.insts.size());
+        for (IrInst &inst : bb.insts)
+            rw.rewrite(std::move(inst));
+        bb.insts = std::move(rw.out);
+    }
+
+    if (env.twoAddress())
+        tieTwoAddress(fn);
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Target-aware IR legalization — where the paper's encoding
+ * restrictions become extra instructions.
+ *
+ * After this pass the IR is machine-shaped for the selected variant:
+ *
+ *  - compare-and-branch pairs are fused (BrCmp/BrFCmp);
+ *  - integer multiply/divide are strength-reduced or turned into
+ *    runtime calls (__mul, __div, __udiv, __rem, __urem) — neither
+ *    machine has integer multiply/divide hardware (Table 1);
+ *  - immediates the target cannot encode are hoisted into MovImm
+ *    registers (D16: 5-bit unsigned ALU immediates, no logical or
+ *    compare immediates; DLXe: 16-bit) — the §3.3.3 effect;
+ *  - D16-unavailable compare conditions are handled by operand swap,
+ *    FP `ne` by an eq + xor;
+ *  - FP values move between memory/GPRs/FPRs through explicit
+ *    MifL/MifH/MfiL/MfiH (no direct FP loads/stores, §2);
+ *  - two-address targets tie destinations to first sources via movs
+ *    that the coalescing allocator usually eliminates (§3.3.2).
+ */
+
+#ifndef D16SIM_MC_LEGALIZE_HH
+#define D16SIM_MC_LEGALIZE_HH
+
+#include <functional>
+
+#include "mc/ir.hh"
+#include "mc/machine_env.hh"
+
+namespace d16sim::mc
+{
+
+/** gpOffset callback: data-section offset of a global symbol. Needed
+ *  to rewrite DLXe accesses whose gp displacement exceeds 16 bits into
+ *  explicit address arithmetic (D16 handles far displacements at
+ *  emission through its `at` scratch instead). */
+using GpOffsetFn = std::function<int32_t(const std::string &)>;
+
+void legalize(IrFunction &fn, const MachineEnv &env,
+              const GpOffsetFn &gpOffset = {});
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_LEGALIZE_HH

@@ -1,0 +1,332 @@
+#include "mc/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+const std::unordered_map<std::string_view, Tok> keywords = {
+    {"int", Tok::KwInt},       {"unsigned", Tok::KwUnsigned},
+    {"char", Tok::KwChar},     {"float", Tok::KwFloat},
+    {"double", Tok::KwDouble}, {"void", Tok::KwVoid},
+    {"struct", Tok::KwStruct}, {"if", Tok::KwIf},
+    {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},       {"do", Tok::KwDo},
+    {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue}, {"sizeof", Tok::KwSizeof},
+};
+
+struct Lexer
+{
+    std::string_view src;
+    size_t pos = 0;
+    int line = 1;
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("minic line ", line, ": ", msg);
+    }
+
+    char peek(int ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = src[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+
+    bool
+    match(char c)
+    {
+        if (peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    escape()
+    {
+        const char c = advance();
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default: err("unknown escape sequence");
+        }
+    }
+};
+
+} // namespace
+
+std::string
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::CharLit: return "char literal";
+      case Tok::StringLit: return "string literal";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Semi: return "';'";
+      case Tok::Comma: return "','";
+      case Tok::Assign: return "'='";
+      case Tok::Colon: return "':'";
+      default: return "token#" + std::to_string(static_cast<int>(t));
+    }
+}
+
+std::vector<Token>
+lex(std::string_view source)
+{
+    Lexer lx{source};
+    std::vector<Token> out;
+
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = lx.line;
+        out.push_back(std::move(t));
+    };
+
+    while (lx.pos < source.size()) {
+        const char c = lx.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            lx.advance();
+            continue;
+        }
+        // Comments.
+        if (c == '/' && lx.peek(1) == '/') {
+            while (lx.pos < source.size() && lx.peek() != '\n')
+                lx.advance();
+            continue;
+        }
+        if (c == '/' && lx.peek(1) == '*') {
+            lx.advance();
+            lx.advance();
+            while (lx.pos < source.size() &&
+                   !(lx.peek() == '*' && lx.peek(1) == '/')) {
+                lx.advance();
+            }
+            if (lx.pos >= source.size())
+                lx.err("unterminated block comment");
+            lx.advance();
+            lx.advance();
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            const int startLine = lx.line;
+            size_t start = lx.pos;
+            while (std::isalnum(static_cast<unsigned char>(lx.peek())) ||
+                   lx.peek() == '_') {
+                lx.advance();
+            }
+            const std::string_view word =
+                source.substr(start, lx.pos - start);
+            Token t;
+            t.line = startLine;
+            auto kw = keywords.find(word);
+            if (kw != keywords.end()) {
+                t.kind = kw->second;
+            } else {
+                t.kind = Tok::Ident;
+                t.text = std::string(word);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Numbers.
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const int startLine = lx.line;
+            size_t start = lx.pos;
+            bool isFloat = false;
+            if (c == '0' && (lx.peek(1) == 'x' || lx.peek(1) == 'X')) {
+                lx.advance();
+                lx.advance();
+                while (std::isxdigit(static_cast<unsigned char>(lx.peek())))
+                    lx.advance();
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(lx.peek())))
+                    lx.advance();
+                if (lx.peek() == '.' &&
+                    std::isdigit(static_cast<unsigned char>(lx.peek(1)))) {
+                    isFloat = true;
+                    lx.advance();
+                    while (std::isdigit(
+                        static_cast<unsigned char>(lx.peek()))) {
+                        lx.advance();
+                    }
+                }
+                if (lx.peek() == 'e' || lx.peek() == 'E') {
+                    const char sign = lx.peek(1);
+                    if (std::isdigit(static_cast<unsigned char>(sign)) ||
+                        ((sign == '+' || sign == '-') &&
+                         std::isdigit(
+                             static_cast<unsigned char>(lx.peek(2))))) {
+                        isFloat = true;
+                        lx.advance();
+                        if (lx.peek() == '+' || lx.peek() == '-')
+                            lx.advance();
+                        while (std::isdigit(
+                            static_cast<unsigned char>(lx.peek()))) {
+                            lx.advance();
+                        }
+                    }
+                }
+            }
+            const std::string text(source.substr(start, lx.pos - start));
+            Token t;
+            t.line = startLine;
+            if (isFloat) {
+                t.kind = Tok::FloatLit;
+                t.floatValue = std::strtod(text.c_str(), nullptr);
+                if (lx.peek() == 'f' || lx.peek() == 'F') {
+                    lx.advance();
+                    t.floatIsSingle = true;
+                }
+            } else {
+                t.kind = Tok::IntLit;
+                t.intValue = std::strtoll(text.c_str(), nullptr, 0);
+                if (lx.peek() == 'u' || lx.peek() == 'U')
+                    lx.advance();  // accepted; type handled by sema
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Char literal.
+        if (c == '\'') {
+            const int startLine = lx.line;
+            lx.advance();
+            char v = lx.advance();
+            if (v == '\\')
+                v = lx.escape();
+            if (lx.advance() != '\'')
+                lx.err("unterminated char literal");
+            Token t;
+            t.kind = Tok::CharLit;
+            t.intValue = static_cast<unsigned char>(v);
+            t.line = startLine;
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // String literal (adjacent strings concatenate).
+        if (c == '"') {
+            const int startLine = lx.line;
+            std::string body;
+            while (lx.peek() == '"') {
+                lx.advance();
+                while (lx.peek() != '"') {
+                    if (lx.pos >= source.size())
+                        lx.err("unterminated string literal");
+                    char v = lx.advance();
+                    if (v == '\\')
+                        v = lx.escape();
+                    body.push_back(v);
+                }
+                lx.advance();
+                // Skip whitespace to allow "a" "b" concatenation.
+                while (std::isspace(static_cast<unsigned char>(lx.peek())))
+                    lx.advance();
+            }
+            Token t;
+            t.kind = Tok::StringLit;
+            t.text = std::move(body);
+            t.line = startLine;
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Operators / punctuation.
+        lx.advance();
+        switch (c) {
+          case '(': push(Tok::LParen); break;
+          case ')': push(Tok::RParen); break;
+          case '{': push(Tok::LBrace); break;
+          case '}': push(Tok::RBrace); break;
+          case '[': push(Tok::LBracket); break;
+          case ']': push(Tok::RBracket); break;
+          case ';': push(Tok::Semi); break;
+          case ',': push(Tok::Comma); break;
+          case '?': push(Tok::Question); break;
+          case ':': push(Tok::Colon); break;
+          case '~': push(Tok::Tilde); break;
+          case '.': push(Tok::Dot); break;
+          case '+':
+            push(lx.match('+') ? Tok::PlusPlus
+                 : lx.match('=') ? Tok::PlusEq : Tok::Plus);
+            break;
+          case '-':
+            push(lx.match('-') ? Tok::MinusMinus
+                 : lx.match('=') ? Tok::MinusEq
+                 : lx.match('>') ? Tok::Arrow : Tok::Minus);
+            break;
+          case '*': push(lx.match('=') ? Tok::StarEq : Tok::Star); break;
+          case '/': push(lx.match('=') ? Tok::SlashEq : Tok::Slash); break;
+          case '%':
+            push(lx.match('=') ? Tok::PercentEq : Tok::Percent);
+            break;
+          case '&':
+            push(lx.match('&') ? Tok::AndAnd
+                 : lx.match('=') ? Tok::AmpEq : Tok::Amp);
+            break;
+          case '|':
+            push(lx.match('|') ? Tok::OrOr
+                 : lx.match('=') ? Tok::PipeEq : Tok::Pipe);
+            break;
+          case '^': push(lx.match('=') ? Tok::CaretEq : Tok::Caret); break;
+          case '=': push(lx.match('=') ? Tok::EqEq : Tok::Assign); break;
+          case '!': push(lx.match('=') ? Tok::NotEq : Tok::Not); break;
+          case '<':
+            if (lx.match('<'))
+                push(lx.match('=') ? Tok::ShlEq : Tok::Shl);
+            else
+                push(lx.match('=') ? Tok::Le : Tok::Lt);
+            break;
+          case '>':
+            if (lx.match('>'))
+                push(lx.match('=') ? Tok::ShrEq : Tok::Shr);
+            else
+                push(lx.match('=') ? Tok::Ge : Tok::Gt);
+            break;
+          default:
+            lx.err(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    push(Tok::End);
+    return out;
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * MiniC lexer.
+ */
+
+#ifndef D16SIM_MC_LEXER_HH
+#define D16SIM_MC_LEXER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "mc/token.hh"
+
+namespace d16sim::mc
+{
+
+/** Tokenize MiniC source; the result ends with a Tok::End token.
+ *  Throws FatalError with line info on malformed input. */
+std::vector<Token> lex(std::string_view source);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_LEXER_HH

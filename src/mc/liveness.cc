@@ -1,0 +1,54 @@
+#include "mc/liveness.hh"
+
+namespace d16sim::mc
+{
+
+Liveness
+computeLiveness(const IrFunction &fn)
+{
+    const int n = static_cast<int>(fn.blocks.size());
+    const int regs = fn.numVRegs();
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegSet> gen(n, RegSet(regs));
+    std::vector<RegSet> kill(n, RegSet(regs));
+    for (int b = 0; b < n; ++b) {
+        for (const IrInst &inst : fn.blocks[b].insts) {
+            forEachUse(inst, [&](VReg r) {
+                if (!kill[b].contains(r.id))
+                    gen[b].add(r.id);
+            });
+            const VReg d = defOf(inst);
+            if (d.valid())
+                kill[b].add(d.id);
+        }
+    }
+
+    Liveness lv;
+    lv.liveIn.assign(n, RegSet(regs));
+    lv.liveOut.assign(n, RegSet(regs));
+
+    // Iterate to fixpoint (reverse order converges fast).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = n - 1; b >= 0; --b) {
+            RegSet out(regs);
+            for (int s : fn.blocks[b].successors())
+                out.unionWith(lv.liveIn[s]);
+            if (lv.liveOut[b].unionWith(out))
+                changed = true;
+            // liveIn = gen U (liveOut - kill)
+            RegSet in = gen[b];
+            lv.liveOut[b].forEach([&](int id) {
+                if (!kill[b].contains(id))
+                    in.add(id);
+            });
+            if (lv.liveIn[b].unionWith(in))
+                changed = true;
+        }
+    }
+    return lv;
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Backward dataflow liveness over virtual registers.
+ *
+ * Feeds the interference graph of the Chaitin-style allocator and the
+ * dead-code elimination pass. Register sets are bitsets indexed by
+ * vreg id (the id space is shared across register classes).
+ */
+
+#ifndef D16SIM_MC_LIVENESS_HH
+#define D16SIM_MC_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/ir.hh"
+
+namespace d16sim::mc
+{
+
+/** Dense bitset sized to a function's vreg count. */
+class RegSet
+{
+  public:
+    RegSet() = default;
+    explicit RegSet(int bits) : words_((bits + 63) / 64, 0) {}
+
+    void
+    add(int id)
+    {
+        words_[id / 64] |= (uint64_t{1} << (id % 64));
+    }
+
+    void
+    remove(int id)
+    {
+        words_[id / 64] &= ~(uint64_t{1} << (id % 64));
+    }
+
+    bool
+    contains(int id) const
+    {
+        return (words_[id / 64] >> (id % 64)) & 1;
+    }
+
+    /** this |= other; returns true if this changed. */
+    bool
+    unionWith(const RegSet &other)
+    {
+        bool changed = false;
+        for (size_t i = 0; i < words_.size(); ++i) {
+            const uint64_t merged = words_[i] | other.words_[i];
+            if (merged != words_[i]) {
+                words_[i] = merged;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t bits = words_[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                fn(static_cast<int>(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    int
+    count() const
+    {
+        int n = 0;
+        for (uint64_t w : words_)
+            n += __builtin_popcountll(w);
+        return n;
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+};
+
+struct Liveness
+{
+    std::vector<RegSet> liveIn;   //!< per block
+    std::vector<RegSet> liveOut;  //!< per block
+};
+
+/** Compute liveness for the whole function. */
+Liveness computeLiveness(const IrFunction &fn);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_LIVENESS_HH

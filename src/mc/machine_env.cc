@@ -1,0 +1,108 @@
+#include "mc/machine_env.hh"
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+std::string
+CompileOptions::name() const
+{
+    if (isa == isa::IsaKind::D16)
+        return "D16";
+    std::string n = "DLXe/" + std::to_string(gprCount) + "/" +
+                    (threeAddress ? "3" : "2");
+    if (narrowImmediates)
+        n += "/ni";
+    return n;
+}
+
+MachineEnv::MachineEnv(const CompileOptions &opts)
+    : target_(&opts.target()), opts_(opts)
+{
+    const bool d16 = opts.isa == isa::IsaKind::D16;
+    if (d16) {
+        panicIf(opts.gprCount != 16 || opts.fprCount != 16,
+                "D16 has exactly 16 registers per class");
+        panicIf(opts.threeAddress, "D16 hardware is two-address");
+    }
+    panicIf(opts.gprCount < 8 || opts.gprCount > target_->numGpr(),
+            "unsupported register restriction");
+
+    // Integer: r2..r(argEnd) args/ret + caller temps, then callee-saved
+    // up to the restriction; at/ra/gp/sp are dedicated.
+    const int intArgCount = d16 ? 4 : 8;
+    for (int r = 2; r < 2 + intArgCount; ++r)
+        intArgs_.push_back(r);
+    // Allocatable: r2 .. (gprCount - 3) — the top two names of the
+    // *visible* set are gp and sp on D16 / full DLXe; for restricted
+    // DLXe the hardware gp=r30/sp=r31 stay outside the visible pool
+    // and the restricted set is r0, r1, r2..r13, gp, sp (16 names).
+    const int lastAlloc = d16 ? 13 : (opts.gprCount == 32 ? 29 : 13);
+    for (int r = 2; r <= lastAlloc; ++r)
+        intAlloc_.push_back(r);
+    // Callee-saved: the top third-ish of the pool, matching the
+    // convention in isa/target.hh.
+    intCalleeFirst_ = d16 ? 10 : (opts.gprCount == 32 ? 16 : 10);
+
+    // FP: f0 scratch; args f2..; callee-saved upper half.
+    const int fpArgCount = d16 ? 4 : 8;
+    for (int r = 2; r < 2 + fpArgCount; ++r)
+        fpArgs_.push_back(r);
+    const int lastFp = d16 ? 15 : (opts.fprCount == 32 ? 31 : 15);
+    for (int r = 1; r <= lastFp; ++r)
+        fpAlloc_.push_back(r);
+    fpCalleeFirst_ = d16 ? 10 : (opts.fprCount == 32 ? 16 : 10);
+}
+
+bool
+MachineEnv::isCalleeSaved(int reg, RegClass cls) const
+{
+    if (cls == RegClass::Int)
+        return reg >= intCalleeFirst_ &&
+               reg <= intAlloc_.back();
+    return reg >= fpCalleeFirst_ && reg <= fpAlloc_.back();
+}
+
+bool
+MachineEnv::aluImmFits(isa::Op op, int64_t v) const
+{
+    if (opts_.narrowImmediates)
+        return isa::TargetInfo::d16().aluImmFits(op, v) &&
+               target_->hasOp(op);
+    return target_->aluImmFits(op, v);
+}
+
+bool
+MachineEnv::mviImmFits(int64_t v) const
+{
+    if (opts_.narrowImmediates)
+        return isa::TargetInfo::d16().mviImmFits(v);
+    return target_->mviImmFits(v);
+}
+
+bool
+MachineEnv::memOffsetFits(isa::Op op, int64_t v) const
+{
+    // The narrowImmediates ablation is scoped to ALU/compare/move
+    // immediates; displacements keep the real encoding's reach (DLXe
+    // has no scratch register to legalize frame displacements with).
+    return target_->memOffsetFits(op, v);
+}
+
+bool
+MachineEnv::hasCmpImmediate() const
+{
+    if (opts_.narrowImmediates)
+        return false;
+    return target_->kind() == isa::IsaKind::DLXe;
+}
+
+bool
+MachineEnv::hasIntCond(isa::Cond c) const
+{
+    return target_->hasIntCond(c);
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MachineEnv — the register convention the code generator and the
+ * register allocator agree on (a reconstruction; see isa/target.hh).
+ *
+ * Dedicated registers (at, ra, gp, sp) are never allocatable. The
+ * D16 `at` register doubles as the emission-time scratch for address
+ * and constant materialization; DLXe never needs one (16-bit
+ * displacements and mvhi/ori pairs build everything in the
+ * destination). f0 is reserved on both machines as the FP scratch.
+ */
+
+#ifndef D16SIM_MC_MACHINE_ENV_HH
+#define D16SIM_MC_MACHINE_ENV_HH
+
+#include <vector>
+
+#include "isa/target.hh"
+#include "mc/ir.hh"
+#include "mc/options.hh"
+
+namespace d16sim::mc
+{
+
+class MachineEnv
+{
+  public:
+    explicit MachineEnv(const CompileOptions &opts);
+
+    const isa::TargetInfo &target() const { return *target_; }
+    const CompileOptions &options() const { return opts_; }
+
+    /** Two-address emission (D16 always; DLXe when restricted). */
+    bool twoAddress() const { return !opts_.threeAddress; }
+
+    const std::vector<int> &allocatable(RegClass cls) const
+    {
+        return cls == RegClass::Int ? intAlloc_ : fpAlloc_;
+    }
+
+    bool isCalleeSaved(int reg, RegClass cls) const;
+
+    const std::vector<int> &argRegs(RegClass cls) const
+    {
+        return cls == RegClass::Int ? intArgs_ : fpArgs_;
+    }
+
+    int retReg(RegClass) const { return 2; }
+
+    int atReg() const { return target_->atReg(); }
+    int raReg() const { return target_->raReg(); }
+    int gpReg() const { return target_->gpReg(); }
+    int spReg() const { return target_->spReg(); }
+    int fpScratch() const { return 0; }  //!< f0
+
+    /** Immediate legality honoring the narrowImmediates ablation. */
+    bool aluImmFits(isa::Op op, int64_t v) const;
+    bool mviImmFits(int64_t v) const;
+    bool memOffsetFits(isa::Op op, int64_t v) const;
+    bool hasCmpImmediate() const;
+    bool hasIntCond(isa::Cond c) const;
+
+  private:
+    const isa::TargetInfo *target_;
+    CompileOptions opts_;
+    std::vector<int> intAlloc_, fpAlloc_;
+    std::vector<int> intArgs_, fpArgs_;
+    int intCalleeFirst_ = 0;  //!< callee-saved int regs are >= this
+    int fpCalleeFirst_ = 0;
+};
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_MACHINE_ENV_HH

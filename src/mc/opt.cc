@@ -1,0 +1,624 @@
+#include "mc/opt.hh"
+
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "mc/liveness.hh"
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+bool
+isPure(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::Store: case IrOp::Call: case IrOp::Ret:
+      case IrOp::Br: case IrOp::Jmp: case IrOp::BrCmp: case IrOp::BrFCmp:
+        return false;
+      case IrOp::Load:
+        return false;  // removable only via the load-CSE machinery
+      default:
+        return true;
+    }
+}
+
+int64_t
+foldBinary(IrOp op, isa::Cond cond, int64_t av, int64_t bv, bool &ok)
+{
+    const auto a = static_cast<uint32_t>(av);
+    const auto b = static_cast<uint32_t>(bv);
+    const auto sa = static_cast<int32_t>(a);
+    const auto sb = static_cast<int32_t>(b);
+    ok = true;
+    switch (op) {
+      case IrOp::Add: return static_cast<int32_t>(a + b);
+      case IrOp::Sub: return static_cast<int32_t>(a - b);
+      case IrOp::Mul: return static_cast<int32_t>(a * b);
+      case IrOp::DivS:
+        if (sb == 0 || (sa == INT32_MIN && sb == -1)) {
+            ok = false;
+            return 0;
+        }
+        return sa / sb;
+      case IrOp::DivU:
+        if (b == 0) {
+            ok = false;
+            return 0;
+        }
+        return static_cast<int32_t>(a / b);
+      case IrOp::RemS:
+        if (sb == 0 || (sa == INT32_MIN && sb == -1)) {
+            ok = false;
+            return 0;
+        }
+        return sa % sb;
+      case IrOp::RemU:
+        if (b == 0) {
+            ok = false;
+            return 0;
+        }
+        return static_cast<int32_t>(a % b);
+      case IrOp::And: return static_cast<int32_t>(a & b);
+      case IrOp::Or: return static_cast<int32_t>(a | b);
+      case IrOp::Xor: return static_cast<int32_t>(a ^ b);
+      case IrOp::Shl: return static_cast<int32_t>(a << (b & 31));
+      case IrOp::ShrL: return static_cast<int32_t>(a >> (b & 31));
+      case IrOp::ShrA: return sa >> (b & 31);
+      case IrOp::Cmp: return isa::evalCond(cond, a, b) ? 1 : 0;
+      default:
+        ok = false;
+        return 0;
+    }
+}
+
+/** Per-block value tracking for constants and copies. */
+struct BlockValues
+{
+    // vreg id -> known constant
+    std::map<int, int64_t> constants;
+    // vreg id -> vreg it copies (same class)
+    std::map<int, VReg> copies;
+
+    void
+    invalidate(int id)
+    {
+        constants.erase(id);
+        copies.erase(id);
+        for (auto it = copies.begin(); it != copies.end();) {
+            if (it->second.id == id)
+                it = copies.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    VReg
+    resolveCopy(VReg r) const
+    {
+        auto it = copies.find(r.id);
+        int hops = 0;
+        while (it != copies.end() && hops++ < 8) {
+            r = it->second;
+            it = copies.find(r.id);
+        }
+        return r;
+    }
+
+    std::optional<int64_t>
+    constOf(VReg r) const
+    {
+        auto it = constants.find(resolveCopy(r).id);
+        if (it != constants.end())
+            return it->second;
+        it = constants.find(r.id);
+        if (it != constants.end())
+            return it->second;
+        return std::nullopt;
+    }
+};
+
+} // namespace
+
+void
+foldConstants(IrFunction &fn)
+{
+    for (BasicBlock &bb : fn.blocks) {
+        BlockValues vals;
+        for (IrInst &inst : bb.insts) {
+            // Rewrite register uses through known copies; immediates
+            // replace register operands that are known constants.
+            if (inst.a.valid() && inst.a.cls == RegClass::Int)
+                inst.a = vals.resolveCopy(inst.a);
+            if (inst.a.valid() && inst.a.cls == RegClass::Fp)
+                inst.a = vals.resolveCopy(inst.a);
+            if (inst.b.isReg()) {
+                inst.b.reg = vals.resolveCopy(inst.b.reg);
+                if (inst.b.reg.cls == RegClass::Int) {
+                    if (auto c = vals.constOf(inst.b.reg))
+                        inst.b = Operand::ofImm(*c);
+                }
+            }
+            if (inst.addr.kind == AddrKind::Reg && inst.addr.base.valid())
+                inst.addr.base = vals.resolveCopy(inst.addr.base);
+            for (VReg &arg : inst.args)
+                arg = vals.resolveCopy(arg);
+
+            // Folding.
+            switch (inst.op) {
+              case IrOp::Add: case IrOp::Sub: case IrOp::Mul:
+              case IrOp::DivS: case IrOp::DivU:
+              case IrOp::RemS: case IrOp::RemU:
+              case IrOp::And: case IrOp::Or: case IrOp::Xor:
+              case IrOp::Shl: case IrOp::ShrL: case IrOp::ShrA:
+              case IrOp::Cmp: {
+                auto ca = vals.constOf(inst.a);
+                std::optional<int64_t> cb;
+                if (inst.b.isImm())
+                    cb = inst.b.imm;
+                else if (inst.b.isReg())
+                    cb = vals.constOf(inst.b.reg);
+                if (ca && cb) {
+                    bool ok = false;
+                    const int64_t v =
+                        foldBinary(inst.op, inst.cond, *ca, *cb, ok);
+                    if (ok) {
+                        inst.op = IrOp::MovImm;
+                        inst.imm = v;
+                        inst.a = VReg{};
+                        inst.b = Operand{};
+                        break;
+                    }
+                }
+                // Algebraic identities with a constant RHS.
+                if (cb) {
+                    const int64_t c = *cb;
+                    const bool isAddSub =
+                        inst.op == IrOp::Add || inst.op == IrOp::Sub;
+                    const bool isShift = inst.op == IrOp::Shl ||
+                                         inst.op == IrOp::ShrL ||
+                                         inst.op == IrOp::ShrA;
+                    if ((isAddSub || isShift || inst.op == IrOp::Or ||
+                         inst.op == IrOp::Xor) &&
+                        c == 0) {
+                        inst.op = IrOp::Mov;
+                        inst.b = Operand{};
+                        break;
+                    }
+                    if (inst.op == IrOp::Mul && c == 1) {
+                        inst.op = IrOp::Mov;
+                        inst.b = Operand{};
+                        break;
+                    }
+                    if ((inst.op == IrOp::DivS || inst.op == IrOp::DivU) &&
+                        c == 1) {
+                        inst.op = IrOp::Mov;
+                        inst.b = Operand{};
+                        break;
+                    }
+                    if ((inst.op == IrOp::Mul || inst.op == IrOp::And) &&
+                        c == 0) {
+                        inst.op = IrOp::MovImm;
+                        inst.imm = 0;
+                        inst.a = VReg{};
+                        inst.b = Operand{};
+                        break;
+                    }
+                }
+                break;
+              }
+              case IrOp::Neg: case IrOp::Not: {
+                if (auto c = vals.constOf(inst.a)) {
+                    const bool isNeg = inst.op == IrOp::Neg;
+                    inst.op = IrOp::MovImm;
+                    inst.imm = isNeg ? -static_cast<int32_t>(*c)
+                                     : ~static_cast<int32_t>(*c);
+                    inst.a = VReg{};
+                }
+                break;
+              }
+              case IrOp::Br: {
+                if (auto c = vals.constOf(inst.a)) {
+                    inst.op = IrOp::Jmp;
+                    inst.thenBB = *c ? inst.thenBB : inst.elseBB;
+                    inst.a = VReg{};
+                }
+                break;
+              }
+              default:
+                break;
+            }
+
+            // Record new facts.
+            const VReg d = defOf(inst);
+            if (d.valid()) {
+                vals.invalidate(d.id);
+                if (inst.op == IrOp::MovImm)
+                    vals.constants[d.id] = inst.imm;
+                else if (inst.op == IrOp::Mov && inst.a.valid() &&
+                         !(inst.a == d)) {
+                    vals.copies[d.id] = inst.a;
+                }
+            }
+        }
+    }
+}
+
+void
+localCse(IrFunction &fn)
+{
+    using Key = std::tuple<int, int, int, int, int64_t, int, int,
+                           std::string, int64_t>;
+    for (BasicBlock &bb : fn.blocks) {
+        std::map<Key, VReg> available;
+        std::map<Key, VReg> loads;
+        // vreg id -> keys that mention it (for invalidation).
+        auto invalidateUses = [&](int id) {
+            auto mentions = [id](const Key &key) {
+                const auto &[op, cond, aId, bKind, bVal, ak, slot, sym,
+                             off] = key;
+                (void)op; (void)cond; (void)sym; (void)off;
+                if (aId == id)
+                    return true;
+                if (bKind == 1 && bVal == id)
+                    return true;
+                // Register-based addresses key their base in `slot`.
+                if (ak == static_cast<int>(AddrKind::Reg) && slot == id)
+                    return true;
+                return false;
+            };
+            for (auto it = available.begin(); it != available.end();) {
+                if (mentions(it->first))
+                    it = available.erase(it);
+                else
+                    ++it;
+            }
+            for (auto it = loads.begin(); it != loads.end();) {
+                if (mentions(it->first))
+                    it = loads.erase(it);
+                else
+                    ++it;
+            }
+        };
+
+        auto makeKey = [](const IrInst &inst) -> Key {
+            int bKind = 0;
+            int64_t bVal = 0;
+            if (inst.b.isReg()) {
+                bKind = 1;
+                bVal = inst.b.reg.id;
+            } else if (inst.b.isImm()) {
+                bKind = 2;
+                bVal = inst.b.imm;
+            }
+            return {static_cast<int>(inst.op),
+                    static_cast<int>(inst.cond),
+                    inst.a.valid() ? inst.a.id : -1,
+                    bKind,
+                    bVal,
+                    static_cast<int>(inst.addr.kind),
+                    inst.addr.kind == AddrKind::Reg
+                        ? inst.addr.base.id
+                        : inst.addr.frameSlot,
+                    inst.addr.sym,
+                    (static_cast<int64_t>(inst.addr.offset) << 8) |
+                        (inst.size & 0xff)};
+        };
+
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            IrInst &inst = bb.insts[i];
+            const bool pure = isPure(inst) && inst.op != IrOp::Mov &&
+                              inst.op != IrOp::MovImm &&
+                              inst.op != IrOp::FMovImm &&
+                              inst.op != IrOp::MifL &&
+                              inst.op != IrOp::MifH;
+            if (pure && defOf(inst).valid()) {
+                const Key key = makeKey(inst);
+                auto it = available.find(key);
+                if (it != available.end()) {
+                    IrInst mov;
+                    mov.op = IrOp::Mov;
+                    mov.dst = inst.dst;
+                    mov.a = it->second;
+                    inst = std::move(mov);
+                } else {
+                    available[key] = inst.dst;
+                }
+            } else if (inst.op == IrOp::Load) {
+                const Key key = makeKey(inst);
+                auto it = loads.find(key);
+                if (it != loads.end() &&
+                    it->second.cls == inst.dst.cls) {
+                    IrInst mov;
+                    mov.op = IrOp::Mov;
+                    mov.dst = inst.dst;
+                    mov.a = it->second;
+                    inst = std::move(mov);
+                } else {
+                    loads[key] = inst.dst;
+                }
+            } else if (inst.op == IrOp::Store || inst.op == IrOp::Call) {
+                // Conservative: memory changed.
+                loads.clear();
+            }
+
+            const VReg d = defOf(inst);
+            if (d.valid())
+                invalidateUses(d.id);
+        }
+    }
+}
+
+void
+eliminateDeadCode(IrFunction &fn)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<int> uses(fn.numVRegs(), 0);
+        for (const BasicBlock &bb : fn.blocks)
+            for (const IrInst &inst : bb.insts)
+                forEachUse(inst, [&](VReg r) { ++uses[r.id]; });
+
+        for (BasicBlock &bb : fn.blocks) {
+            std::vector<IrInst> kept;
+            kept.reserve(bb.insts.size());
+            for (IrInst &inst : bb.insts) {
+                const VReg d = defOf(inst);
+                const bool removable =
+                    d.valid() && uses[d.id] == 0 &&
+                    (isPure(inst) || inst.op == IrOp::Load);
+                if (removable) {
+                    changed = true;
+                    continue;
+                }
+                // A call whose result is unused keeps running but
+                // drops its destination.
+                if (inst.op == IrOp::Call && inst.dst.valid() &&
+                    uses[inst.dst.id] == 0) {
+                    inst.dst = VReg{};
+                }
+                kept.push_back(std::move(inst));
+            }
+            bb.insts = std::move(kept);
+        }
+    }
+}
+
+void
+simplifyCfg(IrFunction &fn)
+{
+    const int n = static_cast<int>(fn.blocks.size());
+
+    // Thread jumps through empty forwarding blocks.
+    std::vector<int> forward(n);
+    for (int b = 0; b < n; ++b) {
+        forward[b] = b;
+        const BasicBlock &bb = fn.blocks[b];
+        if (bb.insts.size() == 1 && bb.insts[0].op == IrOp::Jmp)
+            forward[b] = bb.insts[0].thenBB;
+    }
+    auto resolve = [&](int b) {
+        int hops = 0;
+        while (forward[b] != b && hops++ < n)
+            b = forward[b];
+        return b;
+    };
+    for (BasicBlock &bb : fn.blocks) {
+        if (bb.insts.empty())
+            continue;
+        IrInst &t = bb.insts.back();
+        if (t.op == IrOp::Jmp || t.op == IrOp::Br ||
+            t.op == IrOp::BrCmp || t.op == IrOp::BrFCmp) {
+            t.thenBB = resolve(t.thenBB);
+            if (t.op != IrOp::Jmp)
+                t.elseBB = resolve(t.elseBB);
+            // A conditional with equal targets is a jump.
+            if (t.op == IrOp::Br && t.thenBB == t.elseBB) {
+                t.op = IrOp::Jmp;
+                t.a = VReg{};
+            }
+        }
+    }
+
+    // Drop unreachable blocks, remapping ids.
+    std::vector<bool> reachable(n, false);
+    std::vector<int> stack = {0};
+    reachable[0] = true;
+    while (!stack.empty()) {
+        const int b = stack.back();
+        stack.pop_back();
+        for (int s : fn.blocks[b].successors()) {
+            if (!reachable[s]) {
+                reachable[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    std::vector<int> remap(n, -1);
+    std::vector<BasicBlock> kept;
+    for (int b = 0; b < n; ++b) {
+        if (reachable[b]) {
+            remap[b] = static_cast<int>(kept.size());
+            kept.push_back(std::move(fn.blocks[b]));
+        }
+    }
+    for (size_t b = 0; b < kept.size(); ++b) {
+        kept[b].id = static_cast<int>(b);
+        IrInst &t = kept[b].insts.back();
+        if (t.op == IrOp::Jmp || t.op == IrOp::Br ||
+            t.op == IrOp::BrCmp || t.op == IrOp::BrFCmp) {
+            t.thenBB = remap[t.thenBB];
+            if (t.op != IrOp::Jmp)
+                t.elseBB = remap[t.elseBB];
+        }
+    }
+    fn.blocks = std::move(kept);
+}
+
+void
+hoistLoopInvariants(IrFunction &fn)
+{
+    const int n = static_cast<int>(fn.blocks.size());
+    if (n == 0)
+        return;
+
+    // Predecessors.
+    std::vector<std::vector<int>> preds(n);
+    for (int b = 0; b < n; ++b)
+        for (int s : fn.blocks[b].successors())
+            preds[s].push_back(b);
+
+    // Iterative dominator computation (entry = block 0).
+    std::vector<std::vector<bool>> dom(n, std::vector<bool>(n, true));
+    dom[0].assign(n, false);
+    dom[0][0] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 1; b < n; ++b) {
+            std::vector<bool> next(n, true);
+            bool any = false;
+            for (int p : preds[b]) {
+                any = true;
+                for (int i = 0; i < n; ++i)
+                    next[i] = next[i] && dom[p][i];
+            }
+            if (!any)
+                next.assign(n, false);
+            next[b] = true;
+            if (next != dom[b]) {
+                dom[b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+
+    // Global def counts: we only hoist registers with exactly one
+    // definition in the whole function (then partial redundancy of a
+    // pure instruction is harmless).
+    std::vector<int> defCount(fn.numVRegs(), 0);
+    for (const BasicBlock &bb : fn.blocks)
+        for (const IrInst &inst : bb.insts)
+            if (defOf(inst).valid())
+                ++defCount[defOf(inst).id];
+
+    // Natural loops from back edges (latch -> header it is dominated
+    // by).
+    for (int header = 0; header < n; ++header) {
+        std::vector<int> latches;
+        for (int p : preds[header])
+            if (dom[p][header])
+                latches.push_back(p);
+        if (latches.empty())
+            continue;
+
+        std::vector<bool> inLoop(n, false);
+        inLoop[header] = true;
+        std::vector<int> work;
+        for (int l : latches) {
+            if (!inLoop[l]) {
+                inLoop[l] = true;
+                work.push_back(l);
+            }
+        }
+        while (!work.empty()) {
+            const int b = work.back();
+            work.pop_back();
+            if (b == header)
+                continue;
+            for (int p : preds[b]) {
+                if (!inLoop[p]) {
+                    inLoop[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+
+        // Preheader: the unique predecessor of the header from outside
+        // the loop, ending in an unconditional jump to the header.
+        int preheader = -1;
+        int outsidePreds = 0;
+        for (int p : preds[header]) {
+            if (!inLoop[p]) {
+                ++outsidePreds;
+                preheader = p;
+            }
+        }
+        if (outsidePreds != 1 || preheader < 0)
+            continue;
+        BasicBlock &ph = fn.blocks[preheader];
+        if (ph.insts.empty() || ph.insts.back().op != IrOp::Jmp ||
+            ph.insts.back().thenBB != header) {
+            continue;
+        }
+
+        // Registers defined anywhere in the loop.
+        RegSet definedInLoop(fn.numVRegs());
+        for (int b = 0; b < n; ++b) {
+            if (!inLoop[b])
+                continue;
+            for (const IrInst &inst : fn.blocks[b].insts) {
+                const VReg d = defOf(inst);
+                if (d.valid())
+                    definedInLoop.add(d.id);
+            }
+        }
+
+        for (int b = 0; b < n; ++b) {
+            if (!inLoop[b])
+                continue;
+            BasicBlock &bb = fn.blocks[b];
+            std::vector<IrInst> kept;
+            for (IrInst &inst : bb.insts) {
+                const VReg d = defOf(inst);
+                bool hoistable = d.valid() && isPure(inst) &&
+                                 inst.op != IrOp::Mov &&
+                                 inst.op != IrOp::MifL &&
+                                 inst.op != IrOp::MifH &&
+                                 defCount[d.id] == 1;
+                if (hoistable) {
+                    forEachUse(inst, [&](VReg r) {
+                        if (definedInLoop.contains(r.id) &&
+                            !(r == d)) {
+                            hoistable = false;
+                        }
+                        if (r == d)
+                            hoistable = false;  // self-dependent
+                    });
+                }
+                if (hoistable) {
+                    ph.insts.insert(ph.insts.end() - 1, inst);
+                } else {
+                    kept.push_back(std::move(inst));
+                }
+            }
+            bb.insts = std::move(kept);
+        }
+    }
+}
+
+void
+optimize(IrFunction &fn, int level)
+{
+    if (level <= 0)
+        return;
+    for (int round = 0; round < 3; ++round) {
+        foldConstants(fn);
+        localCse(fn);
+        eliminateDeadCode(fn);
+        simplifyCfg(fn);
+    }
+    if (level >= 2) {
+        hoistLoopInvariants(fn);
+        foldConstants(fn);
+        eliminateDeadCode(fn);
+        simplifyCfg(fn);
+    }
+}
+
+} // namespace d16sim::mc

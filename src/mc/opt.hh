@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Target-independent IR optimizations.
+ *
+ * The suite corresponds to what the paper's GCC 2.1 baseline would do
+ * at -O: constant folding and propagation, copy propagation, local
+ * common-subexpression elimination (including redundant loads), dead
+ * code elimination, branch folding, jump threading, and unreachable
+ * code removal. Loop-invariant code motion is run at opt level 2.
+ */
+
+#ifndef D16SIM_MC_OPT_HH
+#define D16SIM_MC_OPT_HH
+
+#include "mc/ir.hh"
+
+namespace d16sim::mc
+{
+
+/** Run the optimization pipeline in place. level: 0 none, 1 local,
+ *  2 adds loop-invariant code motion. */
+void optimize(IrFunction &fn, int level);
+
+// Individual passes, exposed for unit testing.
+void foldConstants(IrFunction &fn);     //!< const/copy prop + folding
+void localCse(IrFunction &fn);
+void eliminateDeadCode(IrFunction &fn);
+void simplifyCfg(IrFunction &fn);       //!< threading + unreachable
+void hoistLoopInvariants(IrFunction &fn);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_OPT_HH

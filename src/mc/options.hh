@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compiler configuration — the knobs the paper's experiments turn.
+ *
+ * The five machine variants of the study (Tables 5-7):
+ *
+ *   D16                       CompileOptions::d16()
+ *   DLXe / 16 regs / 2-addr   dlxe(16, false)
+ *   DLXe / 16 regs / 3-addr   dlxe(16, true)
+ *   DLXe / 32 regs / 2-addr   dlxe(32, false)
+ *   DLXe (32 regs, 3-addr)    dlxe()
+ *
+ * `narrowImmediates` is an extension ablation (not one of the paper's
+ * measured variants): it restricts DLXe code generation to D16's
+ * immediate and displacement widths, isolating the immediate-field
+ * effect of §3.3.3 directly.
+ */
+
+#ifndef D16SIM_MC_OPTIONS_HH
+#define D16SIM_MC_OPTIONS_HH
+
+#include "isa/target.hh"
+
+namespace d16sim::mc
+{
+
+struct CompileOptions
+{
+    isa::IsaKind isa = isa::IsaKind::DLXe;
+
+    /** Registers visible to the compiler per class (16 or 32 for DLXe;
+     *  D16 is always 16). Counts include the dedicated registers. */
+    int gprCount = 32;
+    int fprCount = 32;
+
+    /** Three-address code generation (D16 hardware is two-address;
+     *  setting this false on DLXe ties destinations to first sources,
+     *  the paper's two-address restriction). */
+    bool threeAddress = true;
+
+    /** Extension ablation: restrict DLXe ALU/compare/move immediates
+     *  to D16 widths (displacements keep their native reach). */
+    bool narrowImmediates = false;
+
+    /** 0 = no optimization, 1 = local optimizations,
+     *  2 = + branch fusion and instruction scheduling (default). */
+    int optLevel = 2;
+
+    static CompileOptions
+    d16()
+    {
+        CompileOptions o;
+        o.isa = isa::IsaKind::D16;
+        o.gprCount = 16;
+        o.fprCount = 16;
+        o.threeAddress = false;
+        return o;
+    }
+
+    static CompileOptions
+    dlxe(int regs = 32, bool threeAddr = true)
+    {
+        CompileOptions o;
+        o.isa = isa::IsaKind::DLXe;
+        o.gprCount = regs;
+        o.fprCount = regs;
+        o.threeAddress = threeAddr;
+        return o;
+    }
+
+    const isa::TargetInfo &target() const
+    {
+        return isa::TargetInfo::get(isa);
+    }
+
+    /** Short tag used in reports: "D16", "DLXe/16/2", ... */
+    std::string name() const;
+};
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_OPTIONS_HH

@@ -1,0 +1,739 @@
+#include "mc/parser.hh"
+
+#include "mc/lexer.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+struct Parser
+{
+    std::vector<Token> toks;
+    size_t pos = 0;
+    Program *prog = nullptr;
+
+    const Token &peek(int ahead = 0) const
+    {
+        const size_t i = pos + ahead;
+        return i < toks.size() ? toks[i] : toks.back();
+    }
+
+    const Token &advance() { return toks[pos < toks.size() - 1 ? pos++ : pos]; }
+
+    bool check(Tok k) const { return peek().kind == k; }
+
+    bool
+    match(Tok k)
+    {
+        if (check(k)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("minic line ", peek().line, ": ", msg);
+    }
+
+    const Token &
+    expect(Tok k, const char *what)
+    {
+        if (!check(k))
+            err(std::string("expected ") + what + ", got " +
+                tokName(peek().kind));
+        return toks[pos++];
+    }
+
+    // ----- types ------------------------------------------------------
+
+    bool
+    startsType() const
+    {
+        switch (peek().kind) {
+          case Tok::KwInt: case Tok::KwUnsigned: case Tok::KwChar:
+          case Tok::KwFloat: case Tok::KwDouble: case Tok::KwVoid:
+          case Tok::KwStruct:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Base type + leading '*'s. */
+    const Type *
+    parseType()
+    {
+        const Type *base = nullptr;
+        switch (advance().kind) {
+          case Tok::KwInt: base = prog->types.intTy(); break;
+          case Tok::KwUnsigned:
+            match(Tok::KwInt);  // allow "unsigned int"
+            base = prog->types.uintTy();
+            break;
+          case Tok::KwChar: base = prog->types.charTy(); break;
+          case Tok::KwFloat: base = prog->types.floatTy(); break;
+          case Tok::KwDouble: base = prog->types.doubleTy(); break;
+          case Tok::KwVoid: base = prog->types.voidTy(); break;
+          case Tok::KwStruct: {
+            const Token &tag = expect(Tok::Ident, "struct tag");
+            StructInfo *info = prog->types.declareStruct(tag.text);
+            base = prog->types.structType(info);
+            break;
+          }
+          default:
+            err("expected type");
+        }
+        while (match(Tok::Star))
+            base = prog->types.pointerTo(base);
+        return base;
+    }
+
+    /** Trailing array dimensions on a declarator. */
+    const Type *
+    parseArraySuffix(const Type *t)
+    {
+        std::vector<int> dims;
+        while (match(Tok::LBracket)) {
+            ExprPtr sizeExpr = parseConditional();
+            dims.push_back(static_cast<int>(evalConstInt(*sizeExpr)));
+            expect(Tok::RBracket, "']'");
+        }
+        for (auto it = dims.rbegin(); it != dims.rend(); ++it)
+            t = prog->types.arrayOf(t, *it);
+        return t;
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    ExprPtr
+    makeExpr(ExprKind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::IntLit: {
+            auto e = makeExpr(ExprKind::IntLit);
+            e->intValue = t.intValue;
+            advance();
+            return e;
+          }
+          case Tok::CharLit: {
+            auto e = makeExpr(ExprKind::IntLit);
+            e->intValue = t.intValue;
+            advance();
+            return e;
+          }
+          case Tok::FloatLit: {
+            auto e = makeExpr(ExprKind::FloatLit);
+            e->floatValue = t.floatValue;
+            e->floatIsSingle = t.floatIsSingle;
+            advance();
+            return e;
+          }
+          case Tok::StringLit: {
+            auto e = makeExpr(ExprKind::StringLit);
+            e->strValue = t.text;
+            advance();
+            return e;
+          }
+          case Tok::Ident: {
+            if (peek(1).kind == Tok::LParen) {
+                auto e = makeExpr(ExprKind::Call);
+                e->strValue = t.text;
+                advance();
+                advance();
+                if (!check(Tok::RParen)) {
+                    do {
+                        e->args.push_back(parseAssignment());
+                    } while (match(Tok::Comma));
+                }
+                expect(Tok::RParen, "')'");
+                return e;
+            }
+            auto e = makeExpr(ExprKind::Ident);
+            e->strValue = t.text;
+            advance();
+            return e;
+          }
+          case Tok::LParen: {
+            advance();
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          default:
+            err("expected expression, got " + tokName(t.kind));
+        }
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            if (match(Tok::LBracket)) {
+                auto idx = makeExpr(ExprKind::Index);
+                idx->a = std::move(e);
+                idx->b = parseExpr();
+                expect(Tok::RBracket, "']'");
+                e = std::move(idx);
+            } else if (check(Tok::Dot) || check(Tok::Arrow)) {
+                const bool arrow = advance().kind == Tok::Arrow;
+                auto m = makeExpr(ExprKind::Member);
+                m->arrow = arrow;
+                m->a = std::move(e);
+                m->strValue = expect(Tok::Ident, "field name").text;
+                e = std::move(m);
+            } else if (check(Tok::PlusPlus) || check(Tok::MinusMinus)) {
+                const bool inc = advance().kind == Tok::PlusPlus;
+                auto p = makeExpr(ExprKind::IncDec);
+                p->isIncrement = inc;
+                p->isPrefix = false;
+                p->a = std::move(e);
+                e = std::move(p);
+            } else {
+                break;
+            }
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        switch (peek().kind) {
+          case Tok::Minus: case Tok::Not: case Tok::Tilde:
+          case Tok::Star: case Tok::Amp: case Tok::Plus: {
+            const Tok k = advance().kind;
+            auto e = makeExpr(ExprKind::Unary);
+            switch (k) {
+              case Tok::Minus: e->unOp = UnOp::Neg; break;
+              case Tok::Not: e->unOp = UnOp::LogNot; break;
+              case Tok::Tilde: e->unOp = UnOp::BitNot; break;
+              case Tok::Star: e->unOp = UnOp::Deref; break;
+              case Tok::Amp: e->unOp = UnOp::AddrOf; break;
+              default: e->unOp = UnOp::Plus; break;
+            }
+            e->a = parseUnary();
+            return e;
+          }
+          case Tok::PlusPlus:
+          case Tok::MinusMinus: {
+            const bool inc = advance().kind == Tok::PlusPlus;
+            auto e = makeExpr(ExprKind::IncDec);
+            e->isIncrement = inc;
+            e->isPrefix = true;
+            e->a = parseUnary();
+            return e;
+          }
+          case Tok::KwSizeof: {
+            advance();
+            auto e = makeExpr(ExprKind::SizeofType);
+            expect(Tok::LParen, "'('");
+            if (startsType()) {
+                e->sizeofType = parseArraySuffixFree(parseType());
+            } else {
+                // sizeof(expr): keep the expression; sema sizes it.
+                e->a = parseExpr();
+            }
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          case Tok::LParen:
+            // Cast?
+            if (startsTypeAt(1)) {
+                advance();
+                const Type *t = parseType();
+                expect(Tok::RParen, "')'");
+                auto e = makeExpr(ExprKind::Cast);
+                e->castType = t;
+                e->a = parseUnary();
+                return e;
+            }
+            return parsePostfix();
+          default:
+            return parsePostfix();
+        }
+    }
+
+    bool
+    startsTypeAt(int ahead) const
+    {
+        switch (peek(ahead).kind) {
+          case Tok::KwInt: case Tok::KwUnsigned: case Tok::KwChar:
+          case Tok::KwFloat: case Tok::KwDouble: case Tok::KwVoid:
+          case Tok::KwStruct:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    const Type *
+    parseArraySuffixFree(const Type *t)
+    {
+        // sizeof(int[10]) style suffix.
+        return parseArraySuffix(t);
+    }
+
+    struct OpLevel
+    {
+        Tok tok;
+        BinOp op;
+        int prec;
+    };
+
+    static int
+    precedence(Tok k, BinOp &op)
+    {
+        switch (k) {
+          case Tok::Star: op = BinOp::Mul; return 10;
+          case Tok::Slash: op = BinOp::Div; return 10;
+          case Tok::Percent: op = BinOp::Rem; return 10;
+          case Tok::Plus: op = BinOp::Add; return 9;
+          case Tok::Minus: op = BinOp::Sub; return 9;
+          case Tok::Shl: op = BinOp::Shl; return 8;
+          case Tok::Shr: op = BinOp::Shr; return 8;
+          case Tok::Lt: op = BinOp::Lt; return 7;
+          case Tok::Gt: op = BinOp::Gt; return 7;
+          case Tok::Le: op = BinOp::Le; return 7;
+          case Tok::Ge: op = BinOp::Ge; return 7;
+          case Tok::EqEq: op = BinOp::Eq; return 6;
+          case Tok::NotEq: op = BinOp::Ne; return 6;
+          case Tok::Amp: op = BinOp::And; return 5;
+          case Tok::Caret: op = BinOp::Xor; return 4;
+          case Tok::Pipe: op = BinOp::Or; return 3;
+          case Tok::AndAnd: op = BinOp::LogAnd; return 2;
+          case Tok::OrOr: op = BinOp::LogOr; return 1;
+          default: return 0;
+        }
+    }
+
+    ExprPtr
+    parseBinary(int minPrec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            BinOp op;
+            const int prec = precedence(peek().kind, op);
+            if (prec == 0 || prec < minPrec)
+                return lhs;
+            const int line = peek().line;
+            advance();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Binary;
+            e->line = line;
+            e->binOp = op;
+            e->a = std::move(lhs);
+            e->b = std::move(rhs);
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseConditional()
+    {
+        ExprPtr cond = parseBinary(1);
+        if (!match(Tok::Question))
+            return cond;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Cond;
+        e->line = cond->line;
+        e->a = std::move(cond);
+        e->b = parseAssignment();
+        expect(Tok::Colon, "':'");
+        e->c = parseConditional();
+        return e;
+    }
+
+    ExprPtr
+    parseAssignment()
+    {
+        ExprPtr lhs = parseConditional();
+        BinOp op = BinOp::None;
+        bool compound = true;
+        switch (peek().kind) {
+          case Tok::Assign: compound = false; break;
+          case Tok::PlusEq: op = BinOp::Add; break;
+          case Tok::MinusEq: op = BinOp::Sub; break;
+          case Tok::StarEq: op = BinOp::Mul; break;
+          case Tok::SlashEq: op = BinOp::Div; break;
+          case Tok::PercentEq: op = BinOp::Rem; break;
+          case Tok::AmpEq: op = BinOp::And; break;
+          case Tok::PipeEq: op = BinOp::Or; break;
+          case Tok::CaretEq: op = BinOp::Xor; break;
+          case Tok::ShlEq: op = BinOp::Shl; break;
+          case Tok::ShrEq: op = BinOp::Shr; break;
+          default:
+            return lhs;
+        }
+        const int line = peek().line;
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Assign;
+        e->line = line;
+        e->binOp = op;
+        e->compound = compound;
+        e->a = std::move(lhs);
+        e->b = parseAssignment();
+        return e;
+    }
+
+    ExprPtr parseExpr() { return parseAssignment(); }
+
+    // ----- statements ---------------------------------------------------
+
+    StmtPtr
+    makeStmt(StmtKind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->line = peek().line;
+        return s;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        auto block = makeStmt(StmtKind::Block);
+        expect(Tok::LBrace, "'{'");
+        while (!check(Tok::RBrace)) {
+            if (check(Tok::End))
+                err("unterminated block");
+            block->body.push_back(parseStatement());
+        }
+        advance();
+        return block;
+    }
+
+    StmtPtr
+    parseLocalDecl()
+    {
+        auto s = makeStmt(StmtKind::Decl);
+        const Type *base = parseType();
+        do {
+            LocalDecl d;
+            d.line = peek().line;
+            const Type *t = base;
+            while (match(Tok::Star))
+                t = prog->types.pointerTo(t);
+            d.name = expect(Tok::Ident, "variable name").text;
+            t = parseArraySuffix(t);
+            d.type = t;
+            if (match(Tok::Assign)) {
+                if (check(Tok::LBrace)) {
+                    advance();
+                    do {
+                        d.initList.push_back(parseAssignment());
+                    } while (match(Tok::Comma) && !check(Tok::RBrace));
+                    expect(Tok::RBrace, "'}'");
+                } else {
+                    d.init = parseAssignment();
+                }
+            }
+            s->decls.push_back(std::move(d));
+        } while (match(Tok::Comma));
+        expect(Tok::Semi, "';'");
+        return s;
+    }
+
+    StmtPtr
+    parseStatement()
+    {
+        switch (peek().kind) {
+          case Tok::LBrace:
+            return parseBlock();
+          case Tok::Semi:
+            advance();
+            return makeStmt(StmtKind::Empty);
+          case Tok::KwIf: {
+            auto s = makeStmt(StmtKind::If);
+            advance();
+            expect(Tok::LParen, "'('");
+            s->cond = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStatement();
+            if (match(Tok::KwElse))
+                s->elseStmt = parseStatement();
+            return s;
+          }
+          case Tok::KwWhile: {
+            auto s = makeStmt(StmtKind::While);
+            advance();
+            expect(Tok::LParen, "'('");
+            s->cond = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->loopBody = parseStatement();
+            return s;
+          }
+          case Tok::KwDo: {
+            auto s = makeStmt(StmtKind::DoWhile);
+            advance();
+            s->loopBody = parseStatement();
+            expect(Tok::KwWhile, "'while'");
+            expect(Tok::LParen, "'('");
+            s->cond = parseExpr();
+            expect(Tok::RParen, "')'");
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwFor: {
+            auto s = makeStmt(StmtKind::For);
+            advance();
+            expect(Tok::LParen, "'('");
+            if (!check(Tok::Semi)) {
+                if (startsType()) {
+                    s->forInit = parseLocalDecl();
+                } else {
+                    auto init = makeStmt(StmtKind::ExprStmt);
+                    init->expr = parseExpr();
+                    expect(Tok::Semi, "';'");
+                    s->forInit = std::move(init);
+                }
+            } else {
+                advance();
+            }
+            if (!check(Tok::Semi))
+                s->cond = parseExpr();
+            expect(Tok::Semi, "';'");
+            if (!check(Tok::RParen))
+                s->forStep = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->loopBody = parseStatement();
+            return s;
+          }
+          case Tok::KwReturn: {
+            auto s = makeStmt(StmtKind::Return);
+            advance();
+            if (!check(Tok::Semi))
+                s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwBreak: {
+            auto s = makeStmt(StmtKind::Break);
+            advance();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwContinue: {
+            auto s = makeStmt(StmtKind::Continue);
+            advance();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          default:
+            if (startsType())
+                return parseLocalDecl();
+            auto s = makeStmt(StmtKind::ExprStmt);
+            s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+    }
+
+    // ----- top level ------------------------------------------------------
+
+    void
+    parseStructDefinition()
+    {
+        advance();  // struct
+        const Token &tag = expect(Tok::Ident, "struct tag");
+        StructInfo *info = prog->types.declareStruct(tag.text);
+        if (info->complete)
+            err("struct '" + tag.text + "' redefined");
+        expect(Tok::LBrace, "'{'");
+        int offset = 0;
+        int align = 1;
+        while (!match(Tok::RBrace)) {
+            const Type *base = parseType();
+            do {
+                StructField f;
+                const Type *t = base;
+                while (match(Tok::Star))
+                    t = prog->types.pointerTo(t);
+                f.name = expect(Tok::Ident, "field name").text;
+                t = parseArraySuffix(t);
+                f.type = t;
+                const int a = t->align();
+                offset = static_cast<int>(roundUp(offset, a));
+                f.offset = offset;
+                offset += t->size();
+                align = std::max(align, a);
+                info->fields.push_back(std::move(f));
+            } while (match(Tok::Comma));
+            expect(Tok::Semi, "';'");
+        }
+        expect(Tok::Semi, "';'");
+        info->size = static_cast<int>(roundUp(offset, align));
+        info->align = align;
+        info->complete = true;
+    }
+
+    void
+    parseTopLevel()
+    {
+        if (check(Tok::KwStruct) && peek(2).kind == Tok::LBrace) {
+            parseStructDefinition();
+            return;
+        }
+        const int line = peek().line;
+        const Type *base = parseType();
+        const std::string name = expect(Tok::Ident, "declarator name").text;
+
+        if (check(Tok::LParen)) {
+            // Function.
+            advance();
+            FuncDecl fn;
+            fn.name = name;
+            fn.retType = base;
+            fn.line = line;
+            if (!check(Tok::RParen) && !check(Tok::KwVoid)) {
+                do {
+                    Param p;
+                    p.line = peek().line;
+                    p.type = parseType();
+                    p.name = expect(Tok::Ident, "parameter name").text;
+                    fn.params.push_back(std::move(p));
+                } while (match(Tok::Comma));
+            } else {
+                match(Tok::KwVoid);
+            }
+            expect(Tok::RParen, "')'");
+            if (match(Tok::Semi)) {
+                prog->functions.push_back(std::move(fn));  // prototype
+                return;
+            }
+            fn.body = parseBlock();
+            prog->functions.push_back(std::move(fn));
+            return;
+        }
+
+        // Global variable(s).
+        std::string declName = name;
+        const Type *declBase = base;
+        while (true) {
+            GlobalDecl g;
+            g.name = declName;
+            g.line = line;
+            g.type = parseArraySuffix(declBase);
+            if (match(Tok::Assign)) {
+                if (check(Tok::LBrace)) {
+                    advance();
+                    do {
+                        g.initList.push_back(parseAssignment());
+                    } while (match(Tok::Comma) && !check(Tok::RBrace));
+                    expect(Tok::RBrace, "'}'");
+                } else if (check(Tok::StringLit) && g.type->isArray()) {
+                    g.stringInit = peek().text;
+                    g.hasStringInit = true;
+                    advance();
+                } else {
+                    g.init = parseAssignment();
+                }
+            }
+            prog->globals.push_back(std::move(g));
+            if (!match(Tok::Comma))
+                break;
+            declBase = base;
+            while (match(Tok::Star))
+                declBase = prog->types.pointerTo(declBase);
+            declName = expect(Tok::Ident, "declarator name").text;
+        }
+        expect(Tok::Semi, "';'");
+    }
+};
+
+} // namespace
+
+int64_t
+evalConstInt(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return e.intValue;
+      case ExprKind::SizeofType:
+        if (e.sizeofType)
+            return e.sizeofType->size();
+        fatal("minic line ", e.line, ": sizeof(expr) not constant here");
+      case ExprKind::Unary:
+        switch (e.unOp) {
+          case UnOp::Neg: return -evalConstInt(*e.a);
+          case UnOp::BitNot: return ~evalConstInt(*e.a);
+          case UnOp::Plus: return evalConstInt(*e.a);
+          case UnOp::LogNot: return !evalConstInt(*e.a);
+          default: break;
+        }
+        break;
+      case ExprKind::Binary: {
+        const int64_t a = evalConstInt(*e.a);
+        const int64_t b = evalConstInt(*e.b);
+        switch (e.binOp) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div:
+            if (!b)
+                fatal("minic line ", e.line, ": division by zero");
+            return a / b;
+          case BinOp::Rem:
+            if (!b)
+                fatal("minic line ", e.line, ": division by zero");
+            return a % b;
+          case BinOp::And: return a & b;
+          case BinOp::Or: return a | b;
+          case BinOp::Xor: return a ^ b;
+          case BinOp::Shl: return a << (b & 31);
+          case BinOp::Shr: return a >> (b & 31);
+          case BinOp::Lt: return a < b;
+          case BinOp::Gt: return a > b;
+          case BinOp::Le: return a <= b;
+          case BinOp::Ge: return a >= b;
+          case BinOp::Eq: return a == b;
+          case BinOp::Ne: return a != b;
+          default: break;
+        }
+        break;
+      }
+      case ExprKind::Cast:
+        if (e.castType && e.castType->isInteger())
+            return evalConstInt(*e.a);
+        break;
+      default:
+        break;
+    }
+    fatal("minic line ", e.line, ": expression is not an integer constant");
+}
+
+Program
+parseProgram(std::string_view source)
+{
+    Program prog;
+    Parser p;
+    p.toks = lex(source);
+    p.prog = &prog;
+    while (!p.check(Tok::End))
+        p.parseTopLevel();
+    return prog;
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * MiniC recursive-descent parser.
+ */
+
+#ifndef D16SIM_MC_PARSER_HH
+#define D16SIM_MC_PARSER_HH
+
+#include <string_view>
+
+#include "mc/ast.hh"
+
+namespace d16sim::mc
+{
+
+/** Parse a MiniC translation unit. Throws FatalError on syntax errors.
+ *  The returned Program is unresolved; run Sema next. */
+Program parseProgram(std::string_view source);
+
+/** Fold a constant integer expression (literals, sizeof, arithmetic).
+ *  Throws FatalError if the expression is not constant. */
+int64_t evalConstInt(const Expr &e);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_PARSER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chaitin-style graph-coloring register allocation (the approach the
+ * paper cites for its compilers, [CAC+81]), with conservative Briggs
+ * coalescing and iterated spilling.
+ *
+ * ABI lowering happens first (lowerCallsAbi): call arguments become
+ * moves into fresh *precolored* virtual registers, results move out of
+ * the precolored return register, function parameters move in from
+ * precolored entry registers, and excess arguments go through the
+ * outgoing-argument area of the frame. The allocator then colors
+ * everything at once; coalescing deletes most ABI moves, and the
+ * caller-saved convention is enforced by restricting any register live
+ * across a call to callee-saved colors.
+ *
+ * Spilled registers are rewritten to short load/use/store ranges over
+ * fresh temporaries and allocation repeats ("spills are to stack frame
+ * variables", paper §3.3.1).
+ */
+
+#ifndef D16SIM_MC_REGALLOC_HH
+#define D16SIM_MC_REGALLOC_HH
+
+#include <vector>
+
+#include "mc/ir.hh"
+#include "mc/machine_env.hh"
+
+namespace d16sim::mc
+{
+
+/** Pseudo frame-slot ids used in Address::frame by the ABI lowering:
+ *  outgoingArgSlot(k) is the k-th outgoing stack argument (at sp+4k),
+ *  incomingArgSlot(k) the k-th incoming one (above the frame). */
+constexpr int outgoingArgSlot(int k) { return -100 - k; }
+constexpr int incomingArgSlot(int k) { return -2 - k; }
+constexpr bool isOutgoingArgSlot(int s) { return s <= -100; }
+constexpr bool isIncomingArgSlot(int s) { return s <= -2 && s > -100; }
+constexpr int outgoingArgIndex(int s) { return -100 - s; }
+constexpr int incomingArgIndex(int s) { return -2 - s; }
+
+struct Allocation
+{
+    /** vreg id -> physical register number. */
+    std::vector<int> color;
+
+    /** Callee-saved registers actually used, per class. */
+    std::vector<int> usedCalleeSavedInt;
+    std::vector<int> usedCalleeSavedFp;
+
+    /** Bytes of outgoing stack-argument area required. */
+    int outgoingArgBytes = 0;
+
+    /** Number of coalesced (deleted) moves, for diagnostics. */
+    int coalescedMoves = 0;
+    int spilledRegs = 0;
+};
+
+/** Rewrite calls/params/returns into precolored-move form. */
+void lowerCallsAbi(IrFunction &fn, const MachineEnv &env);
+
+/** Color every virtual register; rewrites spills into fn (new slots,
+ *  new temporaries). Must run after lowerCallsAbi. */
+Allocation allocateRegisters(IrFunction &fn, const MachineEnv &env);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_REGALLOC_HH

@@ -1,0 +1,358 @@
+#include "mc/runtime.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+// D16: two-address; compares and conditional branches go through at.
+constexpr std::string_view runtimeD16 = R"(
+; D16 integer multiply/divide runtime (shift-add / restoring division).
+    .text
+__mul:
+    mvi r4, 0
+__mul_loop:
+    mvi r5, 1
+    and r5, r3
+    mv at, r5
+    bz __mul_skip
+    nop
+    add r4, r2
+__mul_skip:
+    shli r2, 1
+    shri r3, 1
+    mv at, r3
+    bnz __mul_loop
+    nop
+    mv r2, r4
+    ret
+    nop
+
+__udiv:
+    mv at, r3
+    bnz __udiv_go
+    nop
+    mvi r2, 0
+    ret
+    nop
+__udiv_go:
+    mvi r4, 0
+    mvi r6, 0
+    mvi r5, 32
+__udiv_loop:
+    shli r6, 1
+    mv r7, r2
+    shri r7, 31
+    or r6, r7
+    shli r2, 1
+    shli r4, 1
+    cmp.leu r3, r6
+    bz __udiv_skip
+    nop
+    sub r6, r3
+    addi r4, 1
+__udiv_skip:
+    subi r5, 1
+    mv at, r5
+    bnz __udiv_loop
+    nop
+    mv r2, r4
+    ret
+    nop
+
+__urem:
+    mv at, r3
+    bnz __urem_go
+    nop
+    ret
+    nop
+__urem_go:
+    mvi r4, 0
+    mvi r6, 0
+    mvi r5, 32
+__urem_loop:
+    shli r6, 1
+    mv r7, r2
+    shri r7, 31
+    or r6, r7
+    shli r2, 1
+    shli r4, 1
+    cmp.leu r3, r6
+    bz __urem_skip
+    nop
+    sub r6, r3
+    addi r4, 1
+__urem_skip:
+    subi r5, 1
+    mv at, r5
+    bnz __urem_loop
+    nop
+    mv r2, r6
+    ret
+    nop
+
+__div:
+    mv r6, r2
+    xor r6, r3
+    shri r6, 31
+    mv r7, r2
+    shrai r7, 31
+    xor r2, r7
+    sub r2, r7
+    mv r7, r3
+    shrai r7, 31
+    xor r3, r7
+    sub r3, r7
+    mv at, r3
+    bnz __div_go
+    nop
+    mvi r2, 0
+    ret
+    nop
+__div_go:
+    mvi r4, 0
+    mvi r5, 32
+    mvi r8, 0
+__div_loop:
+    shli r8, 1
+    mv r7, r2
+    shri r7, 31
+    or r8, r7
+    shli r2, 1
+    shli r4, 1
+    cmp.leu r3, r8
+    bz __div_skip
+    nop
+    sub r8, r3
+    addi r4, 1
+__div_skip:
+    subi r5, 1
+    mv at, r5
+    bnz __div_loop
+    nop
+    mv r2, r4
+    mv at, r6
+    bz __div_done
+    nop
+    neg r2, r2
+__div_done:
+    ret
+    nop
+
+__rem:
+    mv r6, r2
+    shri r6, 31
+    mv r7, r2
+    shrai r7, 31
+    xor r2, r7
+    sub r2, r7
+    mv r7, r3
+    shrai r7, 31
+    xor r3, r7
+    sub r3, r7
+    mv at, r3
+    bnz __rem_go
+    nop
+    br __rem_sign
+    nop
+__rem_go:
+    mvi r4, 0
+    mvi r5, 32
+    mvi r8, 0
+__rem_loop:
+    shli r8, 1
+    mv r7, r2
+    shri r7, 31
+    or r8, r7
+    shli r2, 1
+    shli r4, 1
+    cmp.leu r3, r8
+    bz __rem_skip
+    nop
+    sub r8, r3
+    addi r4, 1
+__rem_skip:
+    subi r5, 1
+    mv at, r5
+    bnz __rem_loop
+    nop
+    mv r2, r8
+__rem_sign:
+    mv at, r6
+    bz __rem_done
+    nop
+    neg r2, r2
+__rem_done:
+    ret
+    nop
+)";
+
+// DLXe: three-address transliteration of the same algorithms.
+constexpr std::string_view runtimeDLXe = R"(
+; DLXe integer multiply/divide runtime (shift-add / restoring division).
+    .text
+__mul:
+    mvi r4, 0
+__mul_loop:
+    andi r5, r3, 1
+    bz r5, __mul_skip
+    nop
+    add r4, r4, r2
+__mul_skip:
+    shli r2, r2, 1
+    shri r3, r3, 1
+    bnz r3, __mul_loop
+    nop
+    mv r2, r4
+    ret
+    nop
+
+__udiv:
+    bnz r3, __udiv_go
+    nop
+    mvi r2, 0
+    ret
+    nop
+__udiv_go:
+    mvi r4, 0
+    mvi r6, 0
+    mvi r5, 32
+__udiv_loop:
+    shli r6, r6, 1
+    shri r7, r2, 31
+    or r6, r6, r7
+    shli r2, r2, 1
+    shli r4, r4, 1
+    cmp.leu r7, r3, r6
+    bz r7, __udiv_skip
+    nop
+    sub r6, r6, r3
+    addi r4, r4, 1
+__udiv_skip:
+    subi r5, r5, 1
+    bnz r5, __udiv_loop
+    nop
+    mv r2, r4
+    ret
+    nop
+
+__urem:
+    bnz r3, __urem_go
+    nop
+    ret
+    nop
+__urem_go:
+    mvi r4, 0
+    mvi r6, 0
+    mvi r5, 32
+__urem_loop:
+    shli r6, r6, 1
+    shri r7, r2, 31
+    or r6, r6, r7
+    shli r2, r2, 1
+    shli r4, r4, 1
+    cmp.leu r7, r3, r6
+    bz r7, __urem_skip
+    nop
+    sub r6, r6, r3
+    addi r4, r4, 1
+__urem_skip:
+    subi r5, r5, 1
+    bnz r5, __urem_loop
+    nop
+    mv r2, r6
+    ret
+    nop
+
+__div:
+    xor r6, r2, r3
+    shri r6, r6, 31
+    shrai r7, r2, 31
+    xor r2, r2, r7
+    sub r2, r2, r7
+    shrai r7, r3, 31
+    xor r3, r3, r7
+    sub r3, r3, r7
+    bnz r3, __div_go
+    nop
+    mvi r2, 0
+    ret
+    nop
+__div_go:
+    mvi r4, 0
+    mvi r5, 32
+    mvi r8, 0
+__div_loop:
+    shli r8, r8, 1
+    shri r7, r2, 31
+    or r8, r8, r7
+    shli r2, r2, 1
+    shli r4, r4, 1
+    cmp.leu r7, r3, r8
+    bz r7, __div_skip
+    nop
+    sub r8, r8, r3
+    addi r4, r4, 1
+__div_skip:
+    subi r5, r5, 1
+    bnz r5, __div_loop
+    nop
+    mv r2, r4
+    bz r6, __div_done
+    nop
+    neg r2, r2
+__div_done:
+    ret
+    nop
+
+__rem:
+    shri r6, r2, 31
+    shrai r7, r2, 31
+    xor r2, r2, r7
+    sub r2, r2, r7
+    shrai r7, r3, 31
+    xor r3, r3, r7
+    sub r3, r3, r7
+    bnz r3, __rem_go
+    nop
+    br __rem_sign
+    nop
+__rem_go:
+    mvi r4, 0
+    mvi r5, 32
+    mvi r8, 0
+__rem_loop:
+    shli r8, r8, 1
+    shri r7, r2, 31
+    or r8, r8, r7
+    shli r2, r2, 1
+    shli r4, r4, 1
+    cmp.leu r7, r3, r8
+    bz r7, __rem_skip
+    nop
+    sub r8, r8, r3
+    addi r4, r4, 1
+__rem_skip:
+    subi r5, r5, 1
+    bnz r5, __rem_loop
+    nop
+    mv r2, r8
+__rem_sign:
+    bz r6, __rem_done
+    nop
+    neg r2, r2
+__rem_done:
+    ret
+    nop
+)";
+
+} // namespace
+
+std::string_view
+runtimeSource(isa::IsaKind kind)
+{
+    return kind == isa::IsaKind::D16 ? runtimeD16 : runtimeDLXe;
+}
+
+} // namespace d16sim::mc

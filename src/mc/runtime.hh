@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Integer multiply/divide runtime routines.
+ *
+ * Neither instruction set has integer multiply or divide (paper
+ * Table 1); the compiler calls these hand-written assembly routines.
+ * "Library source is identical" across machines in the paper; here
+ * each ISA gets a direct transliteration of the same algorithms
+ * (shift-add multiply, restoring division) using only caller-saved
+ * registers r2..r8, so the routines need no stack frame.
+ *
+ * ABI: arguments r2, r3; result r2. Division by zero returns 0 for the
+ * quotient and the dividend for the remainder (defined here; C leaves
+ * it undefined).
+ */
+
+#ifndef D16SIM_MC_RUNTIME_HH
+#define D16SIM_MC_RUNTIME_HH
+
+#include <string_view>
+
+#include "isa/target.hh"
+
+namespace d16sim::mc
+{
+
+/** Assembly source of the runtime library for the given encoding. */
+std::string_view runtimeSource(isa::IsaKind kind);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_RUNTIME_HH

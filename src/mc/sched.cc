@@ -1,0 +1,281 @@
+#include "mc/sched.hh"
+
+#include <cstdint>
+
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+using assem::AsmItem;
+using assem::ItemKind;
+using isa::AsmInst;
+using isa::Op;
+using isa::OpClass;
+
+/** Register-resource coding: GPR i -> i, FPR i -> 32+i, status -> 64. */
+constexpr int kFprBase = 32;
+constexpr int kStatus = 64;
+
+struct Effects
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t readsHi = 0;   //!< bit i: resource 64+i
+    uint64_t writesHi = 0;
+    bool memRead = false;
+    bool memWrite = false;
+
+    void
+    read(int res)
+    {
+        if (res < 64)
+            reads |= uint64_t{1} << res;
+        else
+            readsHi |= uint64_t{1} << (res - 64);
+    }
+
+    void
+    write(int res)
+    {
+        if (res < 64)
+            writes |= uint64_t{1} << res;
+        else
+            writesHi |= uint64_t{1} << (res - 64);
+    }
+};
+
+Effects
+effectsOf(const AsmInst &inst)
+{
+    Effects e;
+    auto g = [](int r) { return r; };
+    auto f = [](int r) { return kFprBase + r; };
+
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra:
+        e.read(g(inst.rs1));
+        e.read(g(inst.rs2));
+        e.write(g(inst.rd));
+        break;
+      case Op::Neg: case Op::Inv: case Op::Mv:
+        e.read(g(inst.rs1));
+        e.write(g(inst.rd));
+        break;
+      case Op::AddI: case Op::SubI: case Op::ShlI: case Op::ShrI:
+      case Op::ShraI: case Op::AndI: case Op::OrI: case Op::XorI:
+        e.read(g(inst.rs1));
+        e.write(g(inst.rd));
+        break;
+      case Op::MvI: case Op::MvHI:
+        e.write(g(inst.rd));
+        break;
+      case Op::Cmp:
+        e.read(g(inst.rs1));
+        e.read(g(inst.rs2));
+        e.write(g(inst.rd < 0 ? 0 : inst.rd));
+        break;
+      case Op::CmpI:
+        e.read(g(inst.rs1));
+        e.write(g(inst.rd));
+        break;
+      case Op::Ld: case Op::Ldh: case Op::Ldhu: case Op::Ldb:
+      case Op::Ldbu:
+        e.read(g(inst.rs1));
+        e.write(g(inst.rd));
+        e.memRead = true;
+        break;
+      case Op::St: case Op::Sth: case Op::Stb:
+        e.read(g(inst.rs1));
+        e.read(g(inst.rs2));
+        e.memWrite = true;
+        break;
+      case Op::Ldc:
+        e.write(g(0));
+        e.memRead = true;
+        break;
+      case Op::Br:
+        break;
+      case Op::Bz: case Op::Bnz:
+        e.read(g(inst.rs1 < 0 ? 0 : inst.rs1));
+        break;
+      case Op::J:
+        break;
+      case Op::Jl:
+        e.write(g(1));
+        break;
+      case Op::Jr:
+        e.read(g(inst.rs1));
+        break;
+      case Op::Jlr:
+        e.read(g(inst.rs1));
+        e.write(g(1));
+        break;
+      case Op::Jrz: case Op::Jrnz:
+        e.read(g(inst.rs1));
+        e.read(g(inst.rs2 < 0 ? 0 : inst.rs2));
+        break;
+      case Op::FAddS: case Op::FAddD: case Op::FSubS: case Op::FSubD:
+      case Op::FMulS: case Op::FMulD: case Op::FDivS: case Op::FDivD:
+        e.read(f(inst.rs1));
+        e.read(f(inst.rs2));
+        e.write(f(inst.rd));
+        break;
+      case Op::FNegS: case Op::FNegD: case Op::FMv:
+      case Op::CvtSiSf: case Op::CvtSiDf: case Op::CvtSfDf:
+      case Op::CvtDfSf: case Op::CvtSfSi: case Op::CvtDfSi:
+        e.read(f(inst.rs1));
+        e.write(f(inst.rd));
+        break;
+      case Op::FCmpS: case Op::FCmpD:
+        e.read(f(inst.rs1));
+        e.read(f(inst.rs2));
+        e.write(kStatus);
+        break;
+      case Op::MifL:
+        e.read(g(inst.rs1));
+        e.write(f(inst.rd));
+        break;
+      case Op::MifH:
+        e.read(g(inst.rs1));
+        e.read(f(inst.rd));  // partial update
+        e.write(f(inst.rd));
+        break;
+      case Op::MfiL: case Op::MfiH:
+        e.read(f(inst.rs1));
+        e.write(g(inst.rd));
+        break;
+      case Op::Trap:
+        e.read(g(2));
+        e.read(f(2));
+        e.write(g(2));
+        e.memRead = true;
+        e.memWrite = true;
+        break;
+      case Op::Rdsr:
+        e.read(kStatus);
+        e.write(g(inst.rd));
+        break;
+      case Op::Nop:
+        break;
+      default:
+        break;
+    }
+    return e;
+}
+
+/** Do the two instructions commute (can their order swap)? */
+bool
+commute(const Effects &a, const Effects &b)
+{
+    if ((a.writes & b.writes) || (a.writesHi & b.writesHi))
+        return false;
+    if ((a.writes & b.reads) || (a.writesHi & b.readsHi))
+        return false;
+    if ((a.reads & b.writes) || (a.readsHi & b.writesHi))
+        return false;
+    if (a.memWrite && (b.memRead || b.memWrite))
+        return false;
+    if (b.memWrite && (a.memRead || a.memWrite))
+        return false;
+    return true;
+}
+
+bool
+isBranchInst(const AsmItem &item)
+{
+    return item.kind == ItemKind::Inst &&
+           isControlFlow(item.inst.op);
+}
+
+bool
+isNopSlot(const AsmItem &item)
+{
+    return item.kind == ItemKind::Inst && item.inst.op == Op::Nop;
+}
+
+bool
+isPlainInst(const AsmItem &item)
+{
+    return item.kind == ItemKind::Inst && !isControlFlow(item.inst.op) &&
+           item.inst.op != Op::Nop && item.inst.op != Op::Trap;
+}
+
+} // namespace
+
+SchedStats
+schedule(std::vector<assem::AsmItem> &items, const isa::TargetInfo &target)
+{
+    (void)target;
+    SchedStats stats;
+
+    // ---- branch delay-slot filling -----------------------------------
+    for (size_t i = 1; i + 1 < items.size(); ++i) {
+        if (!isBranchInst(items[i]) || !isNopSlot(items[i + 1]))
+            continue;
+        AsmItem &cand = items[i - 1];
+        if (!isPlainInst(cand)) {
+            stats.slotsLeftNop += 1;
+            continue;
+        }
+        // The candidate must not be a branch target (label right
+        // before it) and must not itself sit in a delay slot.
+        if (i < 2 || items[i - 2].kind == ItemKind::Label ||
+            isBranchInst(items[i - 2])) {
+            stats.slotsLeftNop += 1;
+            continue;
+        }
+        const Effects branchFx = effectsOf(items[i].inst);
+        const Effects candFx = effectsOf(cand.inst);
+        if (!commute(branchFx, candFx)) {
+            stats.slotsLeftNop += 1;
+            continue;
+        }
+        // Move the candidate into the slot.
+        items[i + 1] = std::move(items[i - 1]);
+        items.erase(items.begin() + (i - 1));
+        stats.slotsFilled += 1;
+        --i;  // re-examine from the branch's new position
+    }
+
+    // ---- load-delay scheduling ----------------------------------------
+    // Pattern [load, use, independent] -> [load, independent, use].
+    for (size_t i = 0; i + 2 < items.size(); ++i) {
+        if (items[i].kind != ItemKind::Inst)
+            continue;
+        const AsmInst &load = items[i].inst;
+        if (opClass(load.op) != OpClass::Load &&
+            opClass(load.op) != OpClass::LoadConst) {
+            continue;
+        }
+        if (!isPlainInst(items[i + 1]) || !isPlainInst(items[i + 2]))
+            continue;
+        // No labels in between (straight-line only).
+        const Effects loadFx = effectsOf(load);
+        const Effects useFx = effectsOf(items[i + 1].inst);
+        const Effects thirdFx = effectsOf(items[i + 2].inst);
+        const bool usesLoad =
+            (loadFx.writes & useFx.reads) ||
+            (loadFx.writesHi & useFx.readsHi);
+        if (!usesLoad)
+            continue;
+        const bool thirdUsesLoad =
+            (loadFx.writes & thirdFx.reads) ||
+            (loadFx.writesHi & thirdFx.readsHi) ||
+            (loadFx.writes & thirdFx.writes);
+        if (thirdUsesLoad)
+            continue;
+        if (!commute(useFx, thirdFx))
+            continue;
+        std::swap(items[i + 1], items[i + 2]);
+        stats.loadsSeparated += 1;
+    }
+
+    return stats;
+}
+
+} // namespace d16sim::mc

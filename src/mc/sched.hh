@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Post-emission instruction scheduling ("all optimizations enabled,
+ * including instruction scheduling", paper §3):
+ *
+ *  - branch delay-slot filling: the instruction preceding a branch
+ *    moves into its delay slot when the two commute and the candidate
+ *    is not itself a branch target;
+ *  - load-delay scheduling: an independent instruction is hoisted
+ *    between a load and its first use to hide the one-cycle
+ *    delayed-load interlock.
+ */
+
+#ifndef D16SIM_MC_SCHED_HH
+#define D16SIM_MC_SCHED_HH
+
+#include <vector>
+
+#include "asm/item.hh"
+#include "isa/target.hh"
+
+namespace d16sim::mc
+{
+
+struct SchedStats
+{
+    int slotsFilled = 0;
+    int slotsLeftNop = 0;
+    int loadsSeparated = 0;
+};
+
+/** Schedule a whole module in place. */
+SchedStats schedule(std::vector<assem::AsmItem> &items,
+                    const isa::TargetInfo &target);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_SCHED_HH

@@ -1,0 +1,714 @@
+#include "mc/sema.hh"
+
+#include <unordered_map>
+
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+namespace
+{
+
+struct Builtin
+{
+    const char *name;
+    int trapCode;
+};
+
+constexpr Builtin builtins[] = {
+    {"print_int", 1}, {"print_char", 2}, {"print_str", 3},
+    {"print_f64", 4}, {"halt", 5},       {"alloc", 6},
+    {"print_uint", 7},
+};
+
+struct Sema
+{
+    Program &prog;
+    FuncDecl *fn = nullptr;
+
+    /** Scope stack: name -> localId. */
+    std::vector<std::unordered_map<std::string, int>> scopes;
+
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("minic line ", line, ": ", msg);
+    }
+
+    // ----- helpers -----------------------------------------------------
+
+    const Type *intTy() const { return prog.types.intTy(); }
+
+    int
+    findLocal(const std::string &name) const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return f->second;
+        }
+        return -1;
+    }
+
+    int
+    declareLocal(const std::string &name, const Type *type, bool isParam,
+                 int line)
+    {
+        if (scopes.back().count(name))
+            err(line, "redeclaration of '" + name + "'");
+        FuncDecl::LocalVar v;
+        v.name = name;
+        v.type = type;
+        v.isParam = isParam;
+        fn->locals.push_back(std::move(v));
+        const int id = static_cast<int>(fn->locals.size()) - 1;
+        scopes.back()[name] = id;
+        return id;
+    }
+
+    const GlobalDecl *
+    findGlobal(const std::string &name) const
+    {
+        for (const GlobalDecl &g : prog.globals)
+            if (g.name == name)
+                return &g;
+        return nullptr;
+    }
+
+    /** Wrap e in a Cast node targeting t (no-op if already t). */
+    ExprPtr
+    castTo(ExprPtr e, const Type *t)
+    {
+        if (e->type == t)
+            return e;
+        auto c = std::make_unique<Expr>();
+        c->kind = ExprKind::Cast;
+        c->line = e->line;
+        c->castType = t;
+        c->type = t;
+        c->a = std::move(e);
+        return c;
+    }
+
+    /** Array-to-pointer decay for rvalue use. */
+    ExprPtr
+    decay(ExprPtr e)
+    {
+        if (e->type && e->type->isArray()) {
+            auto addr = std::make_unique<Expr>();
+            addr->kind = ExprKind::Unary;
+            addr->unOp = UnOp::AddrOf;
+            addr->line = e->line;
+            addr->type = prog.types.pointerTo(e->type->pointee());
+            addr->a = std::move(e);
+            return addr;
+        }
+        return e;
+    }
+
+    /** Usual arithmetic conversions. */
+    const Type *
+    commonType(const Type *a, const Type *b, int line)
+    {
+        if (!a->isArith() || !b->isArith())
+            err(line, "arithmetic operands required");
+        if (a->kind() == TypeKind::Double || b->kind() == TypeKind::Double)
+            return prog.types.doubleTy();
+        if (a->kind() == TypeKind::Float || b->kind() == TypeKind::Float)
+            return prog.types.floatTy();
+        if (a->isUnsigned() || b->isUnsigned())
+            return prog.types.uintTy();
+        return intTy();
+    }
+
+    void
+    requireScalar(const Expr &e, const char *what)
+    {
+        if (!e.type || !e.type->isScalar())
+            err(e.line, std::string(what) + " requires a scalar value");
+    }
+
+    // ----- expressions --------------------------------------------------
+
+    /** Check an expression; returns the (possibly rewritten) node. */
+    ExprPtr
+    check(ExprPtr e)
+    {
+        switch (e->kind) {
+          case ExprKind::IntLit:
+            e->type = intTy();
+            return e;
+
+          case ExprKind::FloatLit:
+            e->type = e->floatIsSingle ? prog.types.floatTy()
+                                       : prog.types.doubleTy();
+            return e;
+
+          case ExprKind::StringLit: {
+            prog.strings.push_back(e->strValue);
+            e->intValue = static_cast<int64_t>(prog.strings.size()) - 1;
+            e->type = prog.types.pointerTo(prog.types.charTy());
+            return e;
+          }
+
+          case ExprKind::Ident: {
+            const int local = findLocal(e->strValue);
+            if (local >= 0) {
+                e->binding = Expr::Binding::Local;
+                e->localId = local;
+                e->type = fn->locals[local].type;
+                e->lvalue = true;
+                return e;
+            }
+            if (const GlobalDecl *g = findGlobal(e->strValue)) {
+                e->binding = Expr::Binding::Global;
+                e->type = g->type;
+                e->lvalue = true;
+                return e;
+            }
+            err(e->line, "undeclared identifier '" + e->strValue + "'");
+          }
+
+          case ExprKind::Unary:
+            return checkUnary(std::move(e));
+
+          case ExprKind::Binary:
+            return checkBinary(std::move(e));
+
+          case ExprKind::Assign:
+            return checkAssign(std::move(e));
+
+          case ExprKind::Cond: {
+            e->a = decay(check(std::move(e->a)));
+            requireScalar(*e->a, "?: condition");
+            e->b = decay(check(std::move(e->b)));
+            e->c = decay(check(std::move(e->c)));
+            const Type *bt = e->b->type;
+            const Type *ct = e->c->type;
+            if (bt->isArith() && ct->isArith()) {
+                const Type *t = commonType(bt, ct, e->line);
+                e->b = castTo(std::move(e->b), t);
+                e->c = castTo(std::move(e->c), t);
+                e->type = t;
+            } else if (bt->isPointer() && ct->isPointer()) {
+                e->type = bt;
+            } else if (bt == ct) {
+                e->type = bt;
+            } else {
+                err(e->line, "incompatible ?: operand types");
+            }
+            return e;
+          }
+
+          case ExprKind::Call:
+            return checkCall(std::move(e));
+
+          case ExprKind::Index: {
+            e->a = decay(check(std::move(e->a)));
+            e->b = decay(check(std::move(e->b)));
+            if (!e->a->type->isPointer())
+                err(e->line, "subscripted value is not a pointer/array");
+            if (!e->b->type->isInteger())
+                err(e->line, "array index must be an integer");
+            e->b = castTo(std::move(e->b), intTy());
+            e->type = e->a->type->pointee();
+            e->lvalue = true;
+            return e;
+          }
+
+          case ExprKind::Member: {
+            e->a = check(std::move(e->a));
+            const Type *base = e->a->type;
+            if (e->arrow) {
+                e->a = decay(std::move(e->a));
+                base = e->a->type;
+                if (!base->isPointer() || !base->pointee()->isStruct())
+                    err(e->line, "-> applied to non-struct-pointer");
+                base = base->pointee();
+            } else if (!base->isStruct()) {
+                err(e->line, ". applied to non-struct");
+            }
+            const StructField *f = base->record()->findField(e->strValue);
+            if (!f)
+                err(e->line, "no field '" + e->strValue + "' in struct " +
+                                 base->record()->name);
+            e->type = f->type;
+            e->lvalue = true;
+            return e;
+          }
+
+          case ExprKind::Cast: {
+            e->a = decay(check(std::move(e->a)));
+            const Type *to = e->castType;
+            const Type *from = e->a->type;
+            const bool ok =
+                (to->isScalar() && from->isScalar()) || to->isVoid();
+            if (!ok)
+                err(e->line, "invalid cast from " + from->str() + " to " +
+                                 to->str());
+            if (to->isPointer() && from->isFp())
+                err(e->line, "cannot cast floating point to pointer");
+            if (from->isPointer() && to->isFp())
+                err(e->line, "cannot cast pointer to floating point");
+            e->type = to;
+            return e;
+          }
+
+          case ExprKind::SizeofType: {
+            if (!e->sizeofType) {
+                e->a = check(std::move(e->a));
+                e->sizeofType = e->a->type;
+                e->a.reset();
+            }
+            e->type = intTy();
+            e->intValue = e->sizeofType->size();
+            return e;
+          }
+
+          case ExprKind::IncDec: {
+            e->a = check(std::move(e->a));
+            if (!e->a->lvalue || !e->a->type->isScalar())
+                err(e->line, "++/-- requires a scalar lvalue");
+            e->type = e->a->type;
+            return e;
+          }
+        }
+        panic("unhandled expr kind");
+    }
+
+    ExprPtr
+    checkUnary(ExprPtr e)
+    {
+        if (e->unOp == UnOp::AddrOf) {
+            e->a = check(std::move(e->a));
+            if (!e->a->lvalue)
+                err(e->line, "& requires an lvalue");
+            markAddressTaken(*e->a);
+            e->type = prog.types.pointerTo(e->a->type->isArray()
+                                               ? e->a->type->pointee()
+                                               : e->a->type);
+            // &array decays to pointer-to-element for simplicity.
+            return e;
+        }
+        e->a = decay(check(std::move(e->a)));
+        const Type *t = e->a->type;
+        switch (e->unOp) {
+          case UnOp::Deref:
+            if (!t->isPointer())
+                err(e->line, "* requires a pointer");
+            e->type = t->pointee();
+            e->lvalue = true;
+            return e;
+          case UnOp::Neg:
+          case UnOp::Plus:
+            if (!t->isArith())
+                err(e->line, "unary +/- requires arithmetic type");
+            if (t->isInteger())
+                e->a = castTo(std::move(e->a),
+                              t->isUnsigned() ? prog.types.uintTy()
+                                              : intTy());
+            e->type = e->a->type;
+            if (e->unOp == UnOp::Plus)
+                return std::move(e->a);
+            return e;
+          case UnOp::BitNot:
+            if (!t->isInteger())
+                err(e->line, "~ requires an integer");
+            e->a = castTo(std::move(e->a), t->isUnsigned()
+                                               ? prog.types.uintTy()
+                                               : intTy());
+            e->type = e->a->type;
+            return e;
+          case UnOp::LogNot:
+            requireScalar(*e->a, "!");
+            e->type = intTy();
+            return e;
+          default:
+            panic("bad unop");
+        }
+    }
+
+    void
+    markAddressTaken(Expr &e)
+    {
+        if (e.kind == ExprKind::Ident &&
+            e.binding == Expr::Binding::Local) {
+            fn->locals[e.localId].addressTaken = true;
+        }
+        // Address of members/indexes roots at the base expression.
+        if ((e.kind == ExprKind::Member && !e.arrow) ||
+            e.kind == ExprKind::Index) {
+            if (e.a)
+                markAddressTaken(*e.a);
+        }
+    }
+
+    ExprPtr
+    checkBinary(ExprPtr e)
+    {
+        const BinOp op = e->binOp;
+        if (op == BinOp::LogAnd || op == BinOp::LogOr) {
+            e->a = decay(check(std::move(e->a)));
+            e->b = decay(check(std::move(e->b)));
+            requireScalar(*e->a, "logical operator");
+            requireScalar(*e->b, "logical operator");
+            e->type = intTy();
+            return e;
+        }
+
+        e->a = decay(check(std::move(e->a)));
+        e->b = decay(check(std::move(e->b)));
+        const Type *ta = e->a->type;
+        const Type *tb = e->b->type;
+
+        // Pointer arithmetic and comparisons.
+        if (op == BinOp::Add || op == BinOp::Sub) {
+            if (ta->isPointer() && tb->isInteger()) {
+                e->b = castTo(std::move(e->b), intTy());
+                e->type = ta;
+                return e;
+            }
+            if (op == BinOp::Add && ta->isInteger() && tb->isPointer()) {
+                std::swap(e->a, e->b);
+                e->b = castTo(std::move(e->b), intTy());
+                e->type = e->a->type;
+                return e;
+            }
+            if (op == BinOp::Sub && ta->isPointer() && tb->isPointer()) {
+                if (ta->pointee() != tb->pointee())
+                    err(e->line, "pointer subtraction type mismatch");
+                e->type = intTy();
+                return e;
+            }
+        }
+        if (op == BinOp::Lt || op == BinOp::Gt || op == BinOp::Le ||
+            op == BinOp::Ge || op == BinOp::Eq || op == BinOp::Ne) {
+            if (ta->isPointer() || tb->isPointer()) {
+                if (!(ta->isPointer() && tb->isPointer()) &&
+                    !(ta->isPointer() && tb->isInteger()) &&
+                    !(ta->isInteger() && tb->isPointer())) {
+                    err(e->line, "invalid pointer comparison");
+                }
+                // Compare as unsigned words.
+                e->a = castTo(std::move(e->a), prog.types.uintTy());
+                e->b = castTo(std::move(e->b), prog.types.uintTy());
+                e->type = intTy();
+                return e;
+            }
+            const Type *t = commonType(ta, tb, e->line);
+            e->a = castTo(std::move(e->a), t);
+            e->b = castTo(std::move(e->b), t);
+            e->type = intTy();
+            return e;
+        }
+
+        // Shifts: result has the promoted type of the left operand.
+        if (op == BinOp::Shl || op == BinOp::Shr) {
+            if (!ta->isInteger() || !tb->isInteger())
+                err(e->line, "shift requires integers");
+            e->a = castTo(std::move(e->a),
+                          ta->isUnsigned() ? prog.types.uintTy() : intTy());
+            e->b = castTo(std::move(e->b), intTy());
+            e->type = e->a->type;
+            return e;
+        }
+
+        // Bitwise ops: integers only.
+        if (op == BinOp::And || op == BinOp::Or || op == BinOp::Xor) {
+            if (!ta->isInteger() || !tb->isInteger())
+                err(e->line, "bitwise operator requires integers");
+            const Type *t = commonType(ta, tb, e->line);
+            e->a = castTo(std::move(e->a), t);
+            e->b = castTo(std::move(e->b), t);
+            e->type = t;
+            return e;
+        }
+
+        // Remaining arithmetic.
+        if (op == BinOp::Rem && (!ta->isInteger() || !tb->isInteger()))
+            err(e->line, "% requires integers");
+        const Type *t = commonType(ta, tb, e->line);
+        e->a = castTo(std::move(e->a), t);
+        e->b = castTo(std::move(e->b), t);
+        e->type = t;
+        return e;
+    }
+
+    ExprPtr
+    checkAssign(ExprPtr e)
+    {
+        e->a = check(std::move(e->a));
+        if (!e->a->lvalue)
+            err(e->line, "assignment requires an lvalue");
+        if (e->a->type->isArray())
+            err(e->line, "cannot assign to an array");
+        e->b = decay(check(std::move(e->b)));
+        const Type *lt = e->a->type;
+        const Type *rt = e->b->type;
+
+        if (lt->isStruct()) {
+            if (e->compound || rt != lt)
+                err(e->line, "invalid struct assignment");
+            e->type = lt;
+            return e;
+        }
+        if (lt->isPointer()) {
+            const bool ok = rt->isPointer() || rt->isInteger();
+            if (!ok || (e->compound && e->binOp != BinOp::Add &&
+                        e->binOp != BinOp::Sub)) {
+                err(e->line, "invalid pointer assignment");
+            }
+            if (e->compound) {
+                // p += n: keep n as int; scaling happens in irgen.
+                e->b = castTo(std::move(e->b), intTy());
+            }
+            e->type = lt;
+            return e;
+        }
+        if (!lt->isArith() || !rt->isScalar())
+            err(e->line, "invalid assignment operand types");
+        if (rt->isPointer() && !lt->isInteger())
+            err(e->line, "cannot assign pointer to float");
+        e->b = castTo(std::move(e->b), lt);
+        e->type = lt;
+        return e;
+    }
+
+    ExprPtr
+    checkCall(ExprPtr e)
+    {
+        auto sig = prog.signatures.find(e->strValue);
+        if (sig == prog.signatures.end())
+            err(e->line, "call to undeclared function '" + e->strValue +
+                             "'");
+        const FuncSig &fs = sig->second;
+        if (e->args.size() != fs.params.size()) {
+            err(e->line, "wrong argument count for '" + e->strValue +
+                             "' (got " + std::to_string(e->args.size()) +
+                             ", want " + std::to_string(fs.params.size()) +
+                             ")");
+        }
+        for (size_t i = 0; i < e->args.size(); ++i) {
+            ExprPtr arg = decay(check(std::move(e->args[i])));
+            const Type *want = fs.params[i];
+            if (want->isStruct()) {
+                err(e->line, "struct parameters are not supported; "
+                             "pass a pointer");
+            }
+            if (arg->type != want) {
+                if (!(arg->type->isScalar() && want->isScalar()))
+                    err(e->line, "bad argument type for '" + e->strValue +
+                                     "'");
+                arg = castTo(std::move(arg), want);
+            }
+            e->args[i] = std::move(arg);
+        }
+        e->type = fs.retType;
+        e->binding = Expr::Binding::Function;
+        return e;
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    void
+    checkLocalDeclStmt(Stmt &s)
+    {
+        for (LocalDecl &d : s.decls) {
+            if (d.type->isVoid())
+                err(d.line, "variable cannot be void");
+            d.localId = declareLocal(d.name, d.type, false, d.line);
+            if (d.init) {
+                if (d.type->isArray())
+                    err(d.line, "array initializer must be a brace list");
+                d.init = decay(check(std::move(d.init)));
+                if (d.type->isStruct()) {
+                    if (d.init->type != d.type)
+                        err(d.line, "bad struct initializer");
+                } else {
+                    d.init = castTo(std::move(d.init), d.type);
+                }
+            }
+            for (ExprPtr &init : d.initList) {
+                init = decay(check(std::move(init)));
+                const Type *elem = d.type->isArray()
+                                       ? d.type->pointee()
+                                       : d.type;
+                init = castTo(std::move(init), elem);
+            }
+            if (!d.initList.empty() && d.type->isArray() &&
+                static_cast<int>(d.initList.size()) > d.type->arrayLen()) {
+                err(d.line, "too many initializers");
+            }
+        }
+    }
+
+    void
+    checkStmt(Stmt &s, int loopDepth)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            scopes.emplace_back();
+            for (StmtPtr &child : s.body)
+                checkStmt(*child, loopDepth);
+            scopes.pop_back();
+            break;
+          case StmtKind::If:
+            s.cond = decay(check(std::move(s.cond)));
+            requireScalar(*s.cond, "if condition");
+            checkStmt(*s.thenStmt, loopDepth);
+            if (s.elseStmt)
+                checkStmt(*s.elseStmt, loopDepth);
+            break;
+          case StmtKind::While:
+          case StmtKind::DoWhile:
+            s.cond = decay(check(std::move(s.cond)));
+            requireScalar(*s.cond, "loop condition");
+            checkStmt(*s.loopBody, loopDepth + 1);
+            break;
+          case StmtKind::For:
+            scopes.emplace_back();
+            if (s.forInit)
+                checkStmt(*s.forInit, loopDepth);
+            if (s.cond) {
+                s.cond = decay(check(std::move(s.cond)));
+                requireScalar(*s.cond, "loop condition");
+            }
+            if (s.forStep)
+                s.forStep = check(std::move(s.forStep));
+            checkStmt(*s.loopBody, loopDepth + 1);
+            scopes.pop_back();
+            break;
+          case StmtKind::Return:
+            if (s.expr) {
+                if (fn->retType->isVoid())
+                    err(s.line, "void function returns a value");
+                s.expr = decay(check(std::move(s.expr)));
+                s.expr = castTo(std::move(s.expr), fn->retType);
+            } else if (!fn->retType->isVoid()) {
+                err(s.line, "non-void function returns nothing");
+            }
+            break;
+          case StmtKind::Break:
+          case StmtKind::Continue:
+            if (loopDepth == 0)
+                err(s.line, "break/continue outside a loop");
+            break;
+          case StmtKind::ExprStmt:
+            s.expr = check(std::move(s.expr));
+            break;
+          case StmtKind::Decl:
+            checkLocalDeclStmt(s);
+            break;
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    void
+    checkFunction(FuncDecl &f)
+    {
+        fn = &f;
+        scopes.clear();
+        scopes.emplace_back();
+        for (const Param &p : f.params) {
+            if (p.type->isStruct())
+                err(p.line, "struct parameters are not supported");
+            if (p.type->isArray())
+                err(p.line, "array parameters are not supported; "
+                            "use a pointer");
+            declareLocal(p.name, p.type, true, p.line);
+        }
+        checkStmt(*f.body, 0);
+    }
+};
+
+void
+checkGlobalInitializers(Program &prog)
+{
+    // Global initializers must be constants; full folding happens in
+    // code generation (which also resolves symbol addresses). Here we
+    // only validate shapes.
+    for (GlobalDecl &g : prog.globals) {
+        if (g.type->isVoid())
+            fatal("minic line ", g.line, ": global cannot be void");
+        if (g.hasStringInit) {
+            if (!g.type->isArray() ||
+                g.type->pointee()->kind() != TypeKind::Char) {
+                fatal("minic line ", g.line,
+                      ": string initializer requires char array");
+            }
+            if (g.type->arrayLen() <
+                static_cast<int>(g.stringInit.size()) + 1) {
+                fatal("minic line ", g.line,
+                      ": string initializer too long");
+            }
+        }
+        if (!g.initList.empty() && g.type->isArray() &&
+            static_cast<int>(g.initList.size()) > g.type->arrayLen()) {
+            fatal("minic line ", g.line, ": too many initializers");
+        }
+    }
+}
+
+} // namespace
+
+void
+analyze(Program &prog)
+{
+    // Collect signatures: builtins, then declared functions.
+    for (const Builtin &b : builtins) {
+        FuncSig sig;
+        sig.isBuiltin = true;
+        sig.trapCode = b.trapCode;
+        const std::string name = b.name;
+        if (name == "print_f64") {
+            sig.retType = prog.types.voidTy();
+            sig.params = {prog.types.doubleTy()};
+        } else if (name == "print_str") {
+            sig.retType = prog.types.voidTy();
+            sig.params = {prog.types.pointerTo(prog.types.charTy())};
+        } else if (name == "alloc") {
+            sig.retType = prog.types.pointerTo(prog.types.charTy());
+            sig.params = {prog.types.intTy()};
+        } else if (name == "print_uint") {
+            sig.retType = prog.types.voidTy();
+            sig.params = {prog.types.uintTy()};
+        } else {
+            sig.retType = prog.types.voidTy();
+            sig.params = {prog.types.intTy()};
+        }
+        prog.signatures[name] = std::move(sig);
+    }
+
+    for (const FuncDecl &f : prog.functions) {
+        if (prog.signatures.count(f.name)) {
+            auto &sig = prog.signatures[f.name];
+            if (sig.isBuiltin)
+                fatal("minic line ", f.line, ": '", f.name,
+                      "' shadows a builtin");
+            // Prototype + definition: check consistency.
+            if (sig.retType != f.retType ||
+                sig.params.size() != f.params.size()) {
+                fatal("minic line ", f.line, ": conflicting declaration of '",
+                      f.name, "'");
+            }
+            continue;
+        }
+        FuncSig sig;
+        sig.retType = f.retType;
+        for (const Param &p : f.params)
+            sig.params.push_back(p.type);
+        prog.signatures[f.name] = std::move(sig);
+    }
+
+    checkGlobalInitializers(prog);
+
+    Sema sema{prog};
+    for (FuncDecl &f : prog.functions) {
+        if (f.body)
+            sema.checkFunction(f);
+    }
+}
+
+} // namespace d16sim::mc

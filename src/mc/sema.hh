@@ -1,0 +1,30 @@
+/**
+ * @file
+ * MiniC semantic analysis.
+ *
+ * Resolves identifiers (locals / globals / functions / builtins), type
+ * checks every expression, inserts explicit Cast nodes for the usual
+ * arithmetic conversions and assignment conversions, decays arrays to
+ * pointers, collects string literals into the program pool, and marks
+ * address-taken locals (everything else lives in virtual registers).
+ * Fills Program::signatures, including the builtins:
+ *
+ *   print_int(int) print_uint(unsigned) print_char(int)
+ *   print_str(char*) print_f64(double) halt(int)  -- simulator traps
+ *   alloc(int) -> char*                           -- trap 6
+ */
+
+#ifndef D16SIM_MC_SEMA_HH
+#define D16SIM_MC_SEMA_HH
+
+#include "mc/ast.hh"
+
+namespace d16sim::mc
+{
+
+/** Run semantic analysis in place. Throws FatalError on type errors. */
+void analyze(Program &prog);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_SEMA_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Token definitions for MiniC, the C subset the benchmark suite is
+ * written in (our stand-in for the paper's GCC 2.1 toolchain).
+ */
+
+#ifndef D16SIM_MC_TOKEN_HH
+#define D16SIM_MC_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace d16sim::mc
+{
+
+enum class Tok : uint8_t
+{
+    End,
+    // literals / identifiers
+    Ident, IntLit, FloatLit, CharLit, StringLit,
+    // keywords
+    KwInt, KwUnsigned, KwChar, KwFloat, KwDouble, KwVoid, KwStruct,
+    KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak, KwContinue,
+    KwSizeof,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Dot, Arrow,
+    // operators
+    Assign,                                    // =
+    PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+    AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+    Question, Colon,
+    OrOr, AndAnd,
+    Pipe, Caret, Amp,
+    EqEq, NotEq, Lt, Gt, Le, Ge,
+    Shl, Shr,
+    Plus, Minus, Star, Slash, Percent,
+    Not, Tilde,
+    PlusPlus, MinusMinus,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;      //!< identifier / string body
+    int64_t intValue = 0;  //!< IntLit / CharLit
+    double floatValue = 0; //!< FloatLit
+    bool floatIsSingle = false;  //!< 1.5f suffix
+    int line = 0;
+};
+
+/** Human-readable token name for diagnostics. */
+std::string tokName(Tok t);
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_TOKEN_HH

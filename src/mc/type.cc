@@ -1,0 +1,143 @@
+#include "mc/type.hh"
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::mc
+{
+
+const StructField *
+StructInfo::findField(const std::string &n) const
+{
+    for (const StructField &f : fields)
+        if (f.name == n)
+            return &f;
+    return nullptr;
+}
+
+int
+Type::size() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return 0;
+      case TypeKind::Char: return 1;
+      case TypeKind::Int:
+      case TypeKind::Uint:
+      case TypeKind::Float:
+      case TypeKind::Pointer:
+        return 4;
+      case TypeKind::Double: return 8;
+      case TypeKind::Array: return arrayLen_ * pointee_->size();
+      case TypeKind::Struct:
+        panicIf(!record_->complete, "size of incomplete struct ",
+                record_->name);
+        return record_->size;
+    }
+    panic("bad type kind");
+}
+
+int
+Type::align() const
+{
+    switch (kind_) {
+      case TypeKind::Array: return pointee_->align();
+      case TypeKind::Struct: return record_->align;
+      case TypeKind::Void: return 1;
+      default: return size();
+    }
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return "void";
+      case TypeKind::Int: return "int";
+      case TypeKind::Uint: return "unsigned";
+      case TypeKind::Char: return "char";
+      case TypeKind::Float: return "float";
+      case TypeKind::Double: return "double";
+      case TypeKind::Pointer: return pointee_->str() + "*";
+      case TypeKind::Array:
+        return pointee_->str() + "[" + std::to_string(arrayLen_) + "]";
+      case TypeKind::Struct: return "struct " + record_->name;
+    }
+    return "?";
+}
+
+TypeTable::TypeTable()
+{
+    void_.kind_ = TypeKind::Void;
+    int_.kind_ = TypeKind::Int;
+    uint_.kind_ = TypeKind::Uint;
+    char_.kind_ = TypeKind::Char;
+    float_.kind_ = TypeKind::Float;
+    double_.kind_ = TypeKind::Double;
+}
+
+const Type *
+TypeTable::pointerTo(const Type *t)
+{
+    for (const auto &d : derived_) {
+        if (d->kind_ == TypeKind::Pointer && d->pointee_ == t)
+            return d.get();
+    }
+    auto ty = std::unique_ptr<Type>(new Type());
+    ty->kind_ = TypeKind::Pointer;
+    ty->pointee_ = t;
+    derived_.push_back(std::move(ty));
+    return derived_.back().get();
+}
+
+const Type *
+TypeTable::arrayOf(const Type *t, int n)
+{
+    panicIf(n <= 0, "array length must be positive");
+    for (const auto &d : derived_) {
+        if (d->kind_ == TypeKind::Array && d->pointee_ == t &&
+            d->arrayLen_ == n) {
+            return d.get();
+        }
+    }
+    auto ty = std::unique_ptr<Type>(new Type());
+    ty->kind_ = TypeKind::Array;
+    ty->pointee_ = t;
+    ty->arrayLen_ = n;
+    derived_.push_back(std::move(ty));
+    return derived_.back().get();
+}
+
+const Type *
+TypeTable::structType(StructInfo *info)
+{
+    for (const auto &d : derived_) {
+        if (d->kind_ == TypeKind::Struct && d->record_ == info)
+            return d.get();
+    }
+    auto ty = std::unique_ptr<Type>(new Type());
+    ty->kind_ = TypeKind::Struct;
+    ty->record_ = info;
+    derived_.push_back(std::move(ty));
+    return derived_.back().get();
+}
+
+StructInfo *
+TypeTable::declareStruct(const std::string &name)
+{
+    if (StructInfo *s = findStruct(name))
+        return s;
+    structs_.push_back(std::make_unique<StructInfo>());
+    structs_.back()->name = name;
+    return structs_.back().get();
+}
+
+StructInfo *
+TypeTable::findStruct(const std::string &name)
+{
+    for (const auto &s : structs_)
+        if (s->name == name)
+            return s.get();
+    return nullptr;
+}
+
+} // namespace d16sim::mc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MiniC type system.
+ *
+ * Scalars: void, int, unsigned, char (signed, 1 byte), float, double.
+ * Aggregates: pointers, fixed-size arrays, structs. Sizes follow the
+ * target machines: int/unsigned/pointer/float are 4 bytes, double is 8.
+ * Types are interned in a TypeTable and compared by pointer.
+ */
+
+#ifndef D16SIM_MC_TYPE_HH
+#define D16SIM_MC_TYPE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace d16sim::mc
+{
+
+enum class TypeKind : uint8_t
+{
+    Void, Int, Uint, Char, Float, Double, Pointer, Array, Struct,
+};
+
+class Type;
+
+struct StructField
+{
+    std::string name;
+    const Type *type = nullptr;
+    int offset = 0;
+};
+
+struct StructInfo
+{
+    std::string name;
+    std::vector<StructField> fields;
+    int size = 0;
+    int align = 1;
+    bool complete = false;
+
+    const StructField *findField(const std::string &n) const;
+};
+
+class Type
+{
+  public:
+    TypeKind kind() const { return kind_; }
+
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool
+    isInteger() const
+    {
+        return kind_ == TypeKind::Int || kind_ == TypeKind::Uint ||
+               kind_ == TypeKind::Char;
+    }
+    bool isUnsigned() const { return kind_ == TypeKind::Uint; }
+    bool
+    isFp() const
+    {
+        return kind_ == TypeKind::Float || kind_ == TypeKind::Double;
+    }
+    bool isArith() const { return isInteger() || isFp(); }
+    bool isPointer() const { return kind_ == TypeKind::Pointer; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    bool isStruct() const { return kind_ == TypeKind::Struct; }
+    bool isScalar() const { return isArith() || isPointer(); }
+
+    /** Element type of a pointer or array. */
+    const Type *pointee() const { return pointee_; }
+    int arrayLen() const { return arrayLen_; }
+    const StructInfo *record() const { return record_; }
+
+    int size() const;
+    int align() const;
+
+    std::string str() const;
+
+  private:
+    friend class TypeTable;
+    Type() = default;
+
+    TypeKind kind_ = TypeKind::Void;
+    const Type *pointee_ = nullptr;  //!< pointer/array element
+    int arrayLen_ = 0;
+    const StructInfo *record_ = nullptr;
+};
+
+/** Owns and interns all types for one compilation. */
+class TypeTable
+{
+  public:
+    TypeTable();
+
+    const Type *voidTy() const { return &void_; }
+    const Type *intTy() const { return &int_; }
+    const Type *uintTy() const { return &uint_; }
+    const Type *charTy() const { return &char_; }
+    const Type *floatTy() const { return &float_; }
+    const Type *doubleTy() const { return &double_; }
+
+    const Type *pointerTo(const Type *t);
+    const Type *arrayOf(const Type *t, int n);
+    const Type *structType(StructInfo *info);
+
+    /** Find or create a (possibly incomplete) struct by tag. */
+    StructInfo *declareStruct(const std::string &name);
+    StructInfo *findStruct(const std::string &name);
+
+  private:
+    Type void_, int_, uint_, char_, float_, double_;
+    std::vector<std::unique_ptr<Type>> derived_;
+    std::vector<std::unique_ptr<StructInfo>> structs_;
+};
+
+} // namespace d16sim::mc
+
+#endif // D16SIM_MC_TYPE_HH

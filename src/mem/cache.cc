@@ -1,0 +1,161 @@
+#include "mem/cache.hh"
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::mem
+{
+
+Cache::Cache(CacheConfig config) : config_(config)
+{
+    const auto &c = config_;
+    if (!isPowerOfTwo(c.sizeBytes) || !isPowerOfTwo(c.blockBytes) ||
+        !isPowerOfTwo(c.subBlockBytes) || !isPowerOfTwo(c.assoc)) {
+        fatal("cache geometry must be powers of two");
+    }
+    if (c.subBlockBytes < 4 || c.subBlockBytes > c.blockBytes)
+        fatal("sub-block size must be in [4, blockBytes]");
+    if (c.blockBytes * c.assoc > c.sizeBytes)
+        fatal("cache smaller than one set");
+    numSets_ = c.sizeBytes / (c.blockBytes * c.assoc);
+    subPerBlock_ = c.blockBytes / c.subBlockBytes;
+    wordsPerSub_ = c.subBlockBytes / 4;
+    frames_.resize(numSets_ * c.assoc);
+    for (Frame &f : frames_) {
+        f.valid.assign(subPerBlock_, false);
+        f.dirty.assign(subPerBlock_, false);
+    }
+}
+
+Cache::Frame &
+Cache::findVictim(uint32_t set)
+{
+    Frame *victim = &frames_[set * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Frame &f = frames_[set * config_.assoc + w];
+        if (!f.anyValid)
+            return f;
+        if (f.lastUse < victim->lastUse)
+            victim = &f;
+    }
+    return *victim;
+}
+
+void
+Cache::evict(Frame &frame)
+{
+    if (!frame.anyValid)
+        return;
+    if (config_.writeBack) {
+        for (uint32_t s = 0; s < subPerBlock_; ++s)
+            if (frame.dirty[s])
+                stats_.wordsOut += wordsPerSub_;
+    }
+    frame.anyValid = false;
+    frame.valid.assign(subPerBlock_, false);
+    frame.dirty.assign(subPerBlock_, false);
+}
+
+bool
+Cache::access(uint32_t addr, int size, bool isWrite)
+{
+    panicIf(size <= 0 || static_cast<uint32_t>(size) > config_.subBlockBytes,
+            "access size ", size, " exceeds sub-block");
+    panicIf((addr / config_.subBlockBytes) !=
+                ((addr + size - 1) / config_.subBlockBytes),
+            "access spans a sub-block boundary");
+
+    if (isWrite)
+        stats_.writes += 1;
+    else
+        stats_.reads += 1;
+
+    const uint32_t blockAddr = addr / config_.blockBytes;
+    const uint32_t set = blockAddr % numSets_;
+    const uint32_t tag = blockAddr / numSets_;
+    const uint32_t sub = (addr % config_.blockBytes) / config_.subBlockBytes;
+
+    // Look for the tag in the set.
+    Frame *hitFrame = nullptr;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Frame &f = frames_[set * config_.assoc + w];
+        if (f.anyValid && f.tag == tag) {
+            hitFrame = &f;
+            break;
+        }
+    }
+
+    ++useClock_;
+
+    if (hitFrame && hitFrame->valid[sub]) {
+        // Full hit.
+        hitFrame->lastUse = useClock_;
+        if (isWrite) {
+            if (config_.writeBack) {
+                hitFrame->dirty[sub] = true;
+            } else {
+                stats_.wordsOut += (size + 3) / 4;
+            }
+        }
+        return true;
+    }
+
+    // Miss (tag miss, or sub-block miss within a resident block).
+    if (isWrite)
+        stats_.writeMisses += 1;
+    else
+        stats_.readMisses += 1;
+
+    Frame *frame = hitFrame;
+    if (!frame) {
+        frame = &findVictim(set);
+        evict(*frame);
+        frame->tag = tag;
+        frame->anyValid = true;
+    }
+    frame->lastUse = useClock_;
+
+    if (isWrite && !config_.writeAllocate) {
+        // Write-around: send the words to memory, no fill.
+        stats_.wordsOut += (size + 3) / 4;
+        if (!hitFrame) {
+            // Nothing was allocated after all.
+            frame->anyValid = false;
+        }
+        return false;
+    }
+
+    // Demand fill of the missed sub-block.
+    frame->valid[sub] = true;
+    frame->dirty[sub] = false;
+    stats_.wordsIn += wordsPerSub_;
+
+    if (!isWrite && config_.prefetchWrapAround) {
+        // Wrap-around prefetch: fill the remaining (invalid) sub-blocks
+        // of the block. No prefetch on writes.
+        for (uint32_t s = 0; s < subPerBlock_; ++s) {
+            if (!frame->valid[s]) {
+                frame->valid[s] = true;
+                frame->dirty[s] = false;
+                stats_.wordsIn += wordsPerSub_;
+            }
+        }
+    }
+
+    if (isWrite) {
+        if (config_.writeBack)
+            frame->dirty[sub] = true;
+        else
+            stats_.wordsOut += (size + 3) / 4;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Frame &f : frames_)
+        evict(f);
+}
+
+} // namespace d16sim::mem

@@ -1,0 +1,648 @@
+#include "sim/machine.hh"
+
+#include <bit>
+#include <cstdio>
+
+#include "isa/codec.hh"
+#include "sim/trap.hh"
+#include "support/bits.hh"
+#include "support/strings.hh"
+
+namespace d16sim::sim
+{
+
+using isa::Cond;
+using isa::DecodedInst;
+using isa::Op;
+using isa::OpClass;
+
+namespace
+{
+
+float
+asFloat(uint64_t raw)
+{
+    return std::bit_cast<float>(static_cast<uint32_t>(raw));
+}
+
+uint64_t
+fromFloat(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+double
+asDouble(uint64_t raw)
+{
+    return std::bit_cast<double>(raw);
+}
+
+uint64_t
+fromDouble(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+} // namespace
+
+Machine::Machine(const assem::Image &image, MachineConfig config)
+    : target_(image.target),
+      config_(config),
+      memory_(config.memBytes)
+{
+    panicIf(!target_, "image has no target");
+    memory_.loadImage(image);
+    pc_ = image.entry;
+    textBase_ = image.textBase;
+    textEnd_ = image.textBase + image.textSize;
+    dcache_.resize((textEnd_ - textBase_) / target_->insnBytes() + 1);
+    dcacheValid_.assign(dcache_.size(), 0);
+
+    // ABI environment the startup stub would otherwise establish:
+    // stack at the top of memory, gp at the data segment, return into
+    // the halt sentinel (address 0).
+    gpr_[target_->spReg()] = memory_.size();
+    gpr_[target_->gpReg()] = image.dataBase;
+    gpr_[target_->raReg()] = 0;
+    heapPtr_ = static_cast<uint32_t>(
+        roundUp(image.dataBase + image.dataSize, 8));
+}
+
+float
+Machine::fregS(int r) const
+{
+    return asFloat(fpr_[r]);
+}
+
+double
+Machine::fregD(int r) const
+{
+    return asDouble(fpr_[r]);
+}
+
+const DecodedInst &
+Machine::decoded(uint32_t pc)
+{
+    if (pc < textBase_ || pc >= textEnd_)
+        fatal("pc ", hexString(pc), " outside text section");
+    const uint32_t idx = (pc - textBase_) / target_->insnBytes();
+    if (!dcacheValid_[idx]) {
+        const uint32_t word = target_->insnBytes() == 2
+                                  ? memory_.read16(pc)
+                                  : memory_.read32(pc);
+        dcache_[idx] = isa::decode(*target_, word);
+        dcacheValid_[idx] = 1;
+    }
+    return dcache_[idx];
+}
+
+void
+Machine::writeGpr(int r, uint32_t v)
+{
+    if (r == 0 && target_->r0IsZero())
+        return;
+    gpr_[r] = v;
+}
+
+void
+Machine::useGpr(int r)
+{
+    const uint64_t ready = gprReady_[r];
+    const uint64_t issue = cycle_ + 1;
+    if (ready > issue && ready - issue > stallThisInsn_) {
+        stallThisInsn_ = ready - issue;
+        stallIsFp_ = false;
+    }
+}
+
+void
+Machine::useFpr(int r)
+{
+    const uint64_t ready = fprReady_[r];
+    const uint64_t issue = cycle_ + 1;
+    if (ready > issue && ready - issue > stallThisInsn_) {
+        stallThisInsn_ = ready - issue;
+        stallIsFp_ = true;
+    }
+}
+
+void
+Machine::useStatus()
+{
+    const uint64_t issue = cycle_ + 1;
+    if (statusReady_ > issue && statusReady_ - issue > stallThisInsn_) {
+        stallThisInsn_ = statusReady_ - issue;
+        stallIsFp_ = true;
+    }
+}
+
+void
+Machine::setGprReady(int r, uint64_t when)
+{
+    if (r == 0 && target_->r0IsZero())
+        return;
+    gprReady_[r] = when;
+}
+
+void
+Machine::setFprReady(int r, uint64_t when)
+{
+    fprReady_[r] = when;
+}
+
+int
+Machine::run()
+{
+    while (step()) {
+    }
+    return exitStatus_;
+}
+
+bool
+Machine::step()
+{
+    if (halted_)
+        return false;
+    if (pc_ == 0) {
+        // Halt sentinel: the startup return address.
+        halted_ = true;
+        exitStatus_ = static_cast<int>(gpr_[2]);
+        return false;
+    }
+    if (stats_.instructions >= config_.maxInstructions)
+        fatal("instruction limit exceeded (runaway program?)");
+
+    const DecodedInst &inst = decoded(pc_);
+    for (Probe *p : probes_)
+        p->onIFetch(pc_);
+    for (Probe *p : probes_)
+        p->onExec(inst, pc_);
+
+    stats_.instructions += 1;
+    stallThisInsn_ = 0;
+    execute(inst);
+
+    return !halted_;
+}
+
+void
+Machine::execute(const DecodedInst &inst)
+{
+    const Op op = inst.op;
+    const int ib = target_->insnBytes();
+    const uint32_t pc = pc_;
+    bool taken = false;
+    uint32_t target = 0;
+
+    const FpLatencies &fpu = config_.fpu;
+
+    // Scoreboard bookkeeping happens alongside execution; useX() calls
+    // must precede the commit of this instruction's issue time.
+    auto finishIssue = [&]() -> uint64_t {
+        if (stallThisInsn_) {
+            if (stallIsFp_)
+                stats_.fpInterlocks += stallThisInsn_;
+            else
+                stats_.loadInterlocks += stallThisInsn_;
+        }
+        cycle_ += 1 + stallThisInsn_;
+        return cycle_;  // this instruction's issue cycle
+    };
+
+    auto dataRead = [&](uint32_t addr, int size) {
+        stats_.loads += 1;
+        for (Probe *p : probes_)
+            p->onDataRead(addr, size);
+    };
+    auto dataWrite = [&](uint32_t addr, int size) {
+        stats_.stores += 1;
+        for (Probe *p : probes_)
+            p->onDataWrite(addr, size);
+    };
+
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra: {
+        useGpr(inst.rs1);
+        useGpr(inst.rs2);
+        const uint64_t t = finishIssue();
+        const uint32_t a = gpr_[inst.rs1];
+        const uint32_t b = gpr_[inst.rs2];
+        uint32_t r = 0;
+        switch (op) {
+          case Op::Add: r = a + b; break;
+          case Op::Sub: r = a - b; break;
+          case Op::And: r = a & b; break;
+          case Op::Or: r = a | b; break;
+          case Op::Xor: r = a ^ b; break;
+          case Op::Shl: r = a << (b & 31); break;
+          case Op::Shr: r = a >> (b & 31); break;
+          default:
+            r = static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31));
+            break;
+        }
+        writeGpr(inst.rd, r);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::Neg: case Op::Inv: case Op::Mv: {
+        useGpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        const uint32_t a = gpr_[inst.rs1];
+        writeGpr(inst.rd, op == Op::Neg ? 0u - a :
+                          op == Op::Inv ? ~a : a);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::AddI: case Op::SubI: case Op::AndI: case Op::OrI:
+      case Op::XorI: case Op::ShlI: case Op::ShrI: case Op::ShraI: {
+        useGpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        const uint32_t a = gpr_[inst.rs1];
+        const uint32_t imm = static_cast<uint32_t>(inst.imm);
+        uint32_t r = 0;
+        switch (op) {
+          case Op::AddI: r = a + imm; break;
+          case Op::SubI: r = a - imm; break;
+          case Op::AndI: r = a & imm; break;
+          case Op::OrI: r = a | imm; break;
+          case Op::XorI: r = a ^ imm; break;
+          case Op::ShlI: r = a << (imm & 31); break;
+          case Op::ShrI: r = a >> (imm & 31); break;
+          default:
+            r = static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                      (imm & 31));
+            break;
+        }
+        writeGpr(inst.rd, r);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::MvI: case Op::MvHI: {
+        const uint64_t t = finishIssue();
+        writeGpr(inst.rd, op == Op::MvI
+                              ? static_cast<uint32_t>(inst.imm)
+                              : static_cast<uint32_t>(inst.imm) << 16);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::Cmp: {
+        useGpr(inst.rs1);
+        useGpr(inst.rs2);
+        const uint64_t t = finishIssue();
+        writeGpr(inst.rd,
+                 isa::evalCond(inst.cond, gpr_[inst.rs1], gpr_[inst.rs2])
+                     ? 1 : 0);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::CmpI: {
+        useGpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        writeGpr(inst.rd,
+                 isa::evalCond(inst.cond, gpr_[inst.rs1],
+                               static_cast<uint32_t>(inst.imm))
+                     ? 1 : 0);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::Ld: case Op::Ldh: case Op::Ldhu:
+      case Op::Ldb: case Op::Ldbu: {
+        useGpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        const uint32_t ea = gpr_[inst.rs1] + static_cast<uint32_t>(inst.imm);
+        uint32_t v = 0;
+        switch (op) {
+          case Op::Ld: v = memory_.read32(ea); break;
+          case Op::Ldh:
+            v = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int16_t>(
+                    memory_.read16(ea))));
+            break;
+          case Op::Ldhu: v = memory_.read16(ea); break;
+          case Op::Ldb:
+            v = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int8_t>(
+                    memory_.read8(ea))));
+            break;
+          default: v = memory_.read8(ea); break;
+        }
+        dataRead(ea, isa::memAccessSize(op));
+        writeGpr(inst.rd, v);
+        setGprReady(inst.rd, t + 2);  // one load delay slot
+        break;
+      }
+
+      case Op::St: case Op::Sth: case Op::Stb: {
+        useGpr(inst.rs1);
+        useGpr(inst.rs2);
+        finishIssue();
+        const uint32_t ea = gpr_[inst.rs1] + static_cast<uint32_t>(inst.imm);
+        const uint32_t v = gpr_[inst.rs2];
+        switch (op) {
+          case Op::St: memory_.write32(ea, v); break;
+          case Op::Sth:
+            memory_.write16(ea, static_cast<uint16_t>(v));
+            break;
+          default: memory_.write8(ea, static_cast<uint8_t>(v)); break;
+        }
+        dataWrite(ea, isa::memAccessSize(op));
+        break;
+      }
+
+      case Op::Ldc: {
+        const uint64_t t = finishIssue();
+        const uint32_t ea = (pc & ~3u) + static_cast<uint32_t>(inst.imm);
+        const uint32_t v = memory_.read32(ea);
+        dataRead(ea, 4);
+        writeGpr(0, v);
+        setGprReady(0, t + 2);
+        break;
+      }
+
+      case Op::Br: case Op::Bz: case Op::Bnz: {
+        stats_.branches += 1;
+        if (op != Op::Br)
+            useGpr(inst.rs1);
+        finishIssue();
+        const bool cond =
+            op == Op::Br ? true
+            : op == Op::Bz ? gpr_[inst.rs1] == 0
+                           : gpr_[inst.rs1] != 0;
+        if (cond) {
+            taken = true;
+            target = pc + static_cast<uint32_t>(inst.imm);
+        }
+        break;
+      }
+
+      case Op::J: case Op::Jl: {
+        stats_.branches += 1;
+        const uint64_t t = finishIssue();
+        taken = true;
+        target = pc + static_cast<uint32_t>(inst.imm);
+        if (op == Op::Jl) {
+            writeGpr(1, pc + 2 * ib);
+            setGprReady(1, t + 1);
+        }
+        break;
+      }
+
+      case Op::Jr: case Op::Jlr: {
+        stats_.branches += 1;
+        useGpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        taken = true;
+        target = gpr_[inst.rs1];
+        if (op == Op::Jlr) {
+            writeGpr(1, pc + 2 * ib);
+            setGprReady(1, t + 1);
+        }
+        break;
+      }
+
+      case Op::Jrz: case Op::Jrnz: {
+        stats_.branches += 1;
+        useGpr(inst.rs1);
+        useGpr(inst.rs2);
+        finishIssue();
+        const bool cond = op == Op::Jrz ? gpr_[inst.rs2] == 0
+                                        : gpr_[inst.rs2] != 0;
+        if (cond) {
+            taken = true;
+            target = gpr_[inst.rs1];
+        }
+        break;
+      }
+
+      case Op::FAddS: case Op::FSubS: case Op::FMulS: case Op::FDivS: {
+        stats_.fpOps += 1;
+        useFpr(inst.rs1);
+        useFpr(inst.rs2);
+        const uint64_t t = finishIssue();
+        const float a = asFloat(fpr_[inst.rs1]);
+        const float b = asFloat(fpr_[inst.rs2]);
+        float r = 0;
+        int lat = fpu.addSub;
+        switch (op) {
+          case Op::FAddS: r = a + b; break;
+          case Op::FSubS: r = a - b; break;
+          case Op::FMulS: r = a * b; lat = fpu.mul; break;
+          default: r = a / b; lat = fpu.divS; break;
+        }
+        fpr_[inst.rd] = fromFloat(r);
+        setFprReady(inst.rd, t + lat);
+        break;
+      }
+
+      case Op::FAddD: case Op::FSubD: case Op::FMulD: case Op::FDivD: {
+        stats_.fpOps += 1;
+        useFpr(inst.rs1);
+        useFpr(inst.rs2);
+        const uint64_t t = finishIssue();
+        const double a = asDouble(fpr_[inst.rs1]);
+        const double b = asDouble(fpr_[inst.rs2]);
+        double r = 0;
+        int lat = fpu.addSub;
+        switch (op) {
+          case Op::FAddD: r = a + b; break;
+          case Op::FSubD: r = a - b; break;
+          case Op::FMulD: r = a * b; lat = fpu.mul; break;
+          default: r = a / b; lat = fpu.divD; break;
+        }
+        fpr_[inst.rd] = fromDouble(r);
+        setFprReady(inst.rd, t + lat);
+        break;
+      }
+
+      case Op::FNegS: case Op::FNegD: case Op::FMv: {
+        stats_.fpOps += 1;
+        useFpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        if (op == Op::FNegS)
+            fpr_[inst.rd] = fromFloat(-asFloat(fpr_[inst.rs1]));
+        else if (op == Op::FNegD)
+            fpr_[inst.rd] = fromDouble(-asDouble(fpr_[inst.rs1]));
+        else
+            fpr_[inst.rd] = fpr_[inst.rs1];
+        setFprReady(inst.rd,
+                    t + (op == Op::FMv ? fpu.move : fpu.addSub));
+        break;
+      }
+
+      case Op::FCmpS: case Op::FCmpD: {
+        stats_.fpOps += 1;
+        useFpr(inst.rs1);
+        useFpr(inst.rs2);
+        const uint64_t t = finishIssue();
+        const bool r =
+            op == Op::FCmpS
+                ? isa::evalCondFp(inst.cond, asFloat(fpr_[inst.rs1]),
+                                  asFloat(fpr_[inst.rs2]))
+                : isa::evalCondFp(inst.cond, asDouble(fpr_[inst.rs1]),
+                                  asDouble(fpr_[inst.rs2]));
+        fpStatus_ = r ? 1 : 0;
+        statusReady_ = t + fpu.compare;
+        break;
+      }
+
+      case Op::CvtSiSf: case Op::CvtSiDf: case Op::CvtSfDf:
+      case Op::CvtDfSf: case Op::CvtSfSi: case Op::CvtDfSi: {
+        stats_.fpOps += 1;
+        useFpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        const uint64_t src = fpr_[inst.rs1];
+        uint64_t r = 0;
+        switch (op) {
+          case Op::CvtSiSf:
+            r = fromFloat(static_cast<float>(
+                static_cast<int32_t>(static_cast<uint32_t>(src))));
+            break;
+          case Op::CvtSiDf:
+            r = fromDouble(static_cast<double>(
+                static_cast<int32_t>(static_cast<uint32_t>(src))));
+            break;
+          case Op::CvtSfDf:
+            r = fromDouble(static_cast<double>(asFloat(src)));
+            break;
+          case Op::CvtDfSf:
+            r = fromFloat(static_cast<float>(asDouble(src)));
+            break;
+          case Op::CvtSfSi:
+            r = static_cast<uint32_t>(
+                static_cast<int32_t>(asFloat(src)));
+            break;
+          default:
+            r = static_cast<uint32_t>(
+                static_cast<int32_t>(asDouble(src)));
+            break;
+        }
+        fpr_[inst.rd] = r;
+        setFprReady(inst.rd, t + fpu.convert);
+        break;
+      }
+
+      case Op::MifL: case Op::MifH: {
+        stats_.fpOps += 1;
+        useGpr(inst.rs1);
+        useFpr(inst.rd);  // partial update reads the other half
+        const uint64_t t = finishIssue();
+        const uint64_t g = gpr_[inst.rs1];
+        if (op == Op::MifL)
+            fpr_[inst.rd] = (fpr_[inst.rd] & 0xffffffff00000000ull) | g;
+        else
+            fpr_[inst.rd] =
+                (fpr_[inst.rd] & 0xffffffffull) | (g << 32);
+        setFprReady(inst.rd, t + fpu.move);
+        break;
+      }
+
+      case Op::MfiL: case Op::MfiH: {
+        stats_.fpOps += 1;
+        useFpr(inst.rs1);
+        const uint64_t t = finishIssue();
+        const uint64_t f = fpr_[inst.rs1];
+        writeGpr(inst.rd, op == Op::MfiL
+                              ? static_cast<uint32_t>(f)
+                              : static_cast<uint32_t>(f >> 32));
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::Trap: {
+        stats_.traps += 1;
+        useGpr(2);
+        const uint64_t t = finishIssue();
+        doTrap(inst.imm);
+        setGprReady(2, t + 1);
+        break;
+      }
+
+      case Op::Rdsr: {
+        useStatus();
+        const uint64_t t = finishIssue();
+        writeGpr(inst.rd, fpStatus_);
+        setGprReady(inst.rd, t + 1);
+        break;
+      }
+
+      case Op::Nop:
+        finishIssue();
+        break;
+
+      default:
+        panic("unexecutable op ", opName(op));
+    }
+
+    // Delay-slot sequencing: a taken transfer takes effect after the
+    // next sequential instruction executes.
+    if (inDelaySlot_) {
+        panicIf(taken, "control transfer in a delay slot at pc ",
+                hexString(pc));
+        pc_ = delayedTarget_;
+        inDelaySlot_ = false;
+    } else if (taken) {
+        stats_.takenBranches += 1;
+        delayedTarget_ = target;
+        inDelaySlot_ = true;
+        pc_ = pc + ib;
+        if (target == 0 && pc + ib >= textEnd_) {
+            // Returning to the halt sentinel from the last instruction:
+            // there is no delay-slot instruction to execute.
+            pc_ = 0;
+            inDelaySlot_ = false;
+        }
+    } else {
+        pc_ = pc + ib;
+    }
+}
+
+void
+Machine::doTrap(int code)
+{
+    char buf[64];
+    switch (code) {
+      case TrapPrintInt:
+        std::snprintf(buf, sizeof(buf), "%d",
+                      static_cast<int32_t>(gpr_[2]));
+        output_ += buf;
+        break;
+      case TrapPrintUint:
+        std::snprintf(buf, sizeof(buf), "%u", gpr_[2]);
+        output_ += buf;
+        break;
+      case TrapPrintChar:
+        output_.push_back(static_cast<char>(gpr_[2]));
+        break;
+      case TrapPrintStr:
+        output_ += memory_.readString(gpr_[2]);
+        break;
+      case TrapPrintF64:
+        std::snprintf(buf, sizeof(buf), "%.4f", asDouble(fpr_[2]));
+        output_ += buf;
+        break;
+      case TrapHalt:
+        halted_ = true;
+        exitStatus_ = static_cast<int>(gpr_[2]);
+        break;
+      case TrapAlloc: {
+        const uint32_t bytes = gpr_[2];
+        const uint32_t base = heapPtr_;
+        heapPtr_ = static_cast<uint32_t>(roundUp(heapPtr_ + bytes, 8));
+        if (heapPtr_ > gpr_[target_->spReg()])
+            fatal("heap/stack collision in guest program");
+        writeGpr(2, base);
+        break;
+      }
+      default:
+        fatal("unknown trap code ", code);
+    }
+}
+
+} // namespace d16sim::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Machine — functional + timing model of the shared five-stage pipeline.
+ *
+ * Both instruction sets execute on this one model (the paper's central
+ * methodological point: identical execution resources, different
+ * encodings). Behaviour follows §2 and Appendix A:
+ *
+ *  - single issue, peak one instruction per cycle;
+ *  - branches and jumps have ONE architectural delay slot (the next
+ *    sequential instruction always executes);
+ *  - loads have one delay slot enforced by a hardware interlock: an
+ *    immediately-dependent consumer stalls one cycle;
+ *  - FPU results interlock by latency (a simple ready-time scoreboard);
+ *  - r0 reads as zero and ignores writes on DLXe; on D16 r0 is the
+ *    ordinary at/compare register.
+ *
+ * Timing is accounted per instruction (issue-time scoreboard), which
+ * for this in-order, single-issue pipeline is cycle-equivalent to a
+ * stage-by-stage model. Memory latency is deliberately NOT modeled
+ * here: the machine reports base cycles (instructions + interlocks) and
+ * exposes the reference streams through Probes; the §4 memory models in
+ * src/mem add ell * traffic or missPenalty * misses exactly as the
+ * paper's formulas do.
+ */
+
+#ifndef D16SIM_SIM_MACHINE_HH
+#define D16SIM_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/image.hh"
+#include "isa/decoded.hh"
+#include "isa/target.hh"
+#include "mem/memory.hh"
+#include "sim/probe.hh"
+#include "sim/stats.hh"
+
+namespace d16sim::sim
+{
+
+/** FPU result latencies in cycles (result ready latency-1 cycles after
+ *  the consumer would first want it). */
+struct FpLatencies
+{
+    int addSub = 2;
+    int mul = 4;
+    int divS = 10;
+    int divD = 16;
+    int convert = 2;
+    int compare = 2;
+    int move = 1;
+};
+
+struct MachineConfig
+{
+    uint32_t memBytes = 8u << 20;
+    uint64_t maxInstructions = 2'000'000'000;
+    FpLatencies fpu;
+};
+
+class Machine
+{
+  public:
+    Machine(const assem::Image &image, MachineConfig config = {});
+
+    /** Attach an observation probe (not owned). */
+    void addProbe(Probe *p) { probes_.push_back(p); }
+
+    /** Run until halt; returns the exit status (r2 at halt). */
+    int run();
+
+    /** Execute one instruction; returns false once halted. */
+    bool step();
+
+    bool halted() const { return halted_; }
+
+    const SimStats &stats() const { return stats_; }
+    const std::string &output() const { return output_; }
+    const isa::TargetInfo &target() const { return *target_; }
+    mem::Memory &memory() { return memory_; }
+
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(int r) const { return gpr_[r]; }
+    void setReg(int r, uint32_t v) { writeGpr(r, v); }
+    uint64_t fregRaw(int r) const { return fpr_[r]; }
+    double fregD(int r) const;
+    float fregS(int r) const;
+
+  private:
+    const isa::DecodedInst &decoded(uint32_t pc);
+    void execute(const isa::DecodedInst &inst);
+    void writeGpr(int r, uint32_t v);
+    void doTrap(int code);
+
+    /** Issue-time scoreboard helpers. */
+    void useGpr(int r);
+    void useFpr(int r);
+    void useStatus();
+    void setGprReady(int r, uint64_t when);
+    void setFprReady(int r, uint64_t when);
+
+    const isa::TargetInfo *target_;
+    MachineConfig config_;
+    mem::Memory memory_;
+
+    uint32_t pc_ = 0;
+    std::array<uint32_t, 32> gpr_{};
+    std::array<uint64_t, 32> fpr_{};
+    uint32_t fpStatus_ = 0;
+    bool halted_ = false;
+    int exitStatus_ = 0;
+
+    // Delay-slot bookkeeping.
+    bool inDelaySlot_ = false;
+    uint32_t delayedTarget_ = 0;
+
+    // Scoreboard: absolute cycle each register becomes available.
+    uint64_t cycle_ = 0;
+    uint64_t stallThisInsn_ = 0;
+    bool stallIsFp_ = false;
+    std::array<uint64_t, 32> gprReady_{};
+    std::array<uint64_t, 32> fprReady_{};
+    uint64_t statusReady_ = 0;
+
+    // Decoded-instruction cache over the text section.
+    uint32_t textBase_ = 0;
+    uint32_t textEnd_ = 0;
+    std::vector<isa::DecodedInst> dcache_;
+    std::vector<uint8_t> dcacheValid_;
+
+    uint32_t heapPtr_ = 0;
+
+    SimStats stats_;
+    std::string output_;
+    std::vector<Probe *> probes_;
+};
+
+} // namespace d16sim::sim
+
+#endif // D16SIM_SIM_MACHINE_HH

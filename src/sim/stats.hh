@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dynamic execution statistics (the paper's raw measures).
+ *
+ * `instructions` is the paper's *path length*; `loadInterlocks` +
+ * `fpInterlocks` is the interlock count of Table 10; loads/stores feed
+ * the data-traffic comparisons of Tables 3 and 9. Base cycles
+ * (instructions + interlocks) combine with the memory models in
+ * src/mem to produce the time-to-completion numbers of §4.
+ */
+
+#ifndef D16SIM_SIM_STATS_HH
+#define D16SIM_SIM_STATS_HH
+
+#include <cstdint>
+
+namespace d16sim::sim
+{
+
+struct SimStats
+{
+    uint64_t instructions = 0;  //!< path length
+    uint64_t loads = 0;         //!< incl. Ldc pool loads
+    uint64_t stores = 0;
+    uint64_t loadInterlocks = 0;  //!< delayed-load stall cycles
+    uint64_t fpInterlocks = 0;    //!< math-unit stall cycles
+    uint64_t branches = 0;        //!< branches + jumps executed
+    uint64_t takenBranches = 0;
+    uint64_t fpOps = 0;
+    uint64_t traps = 0;
+
+    uint64_t interlocks() const { return loadInterlocks + fpInterlocks; }
+
+    /** Cycles assuming a perfect memory system (no wait states). */
+    uint64_t baseCycles() const { return instructions + interlocks(); }
+
+    /** Total load/store operations (the paper's MemOps). */
+    uint64_t memOps() const { return loads + stores; }
+
+    double
+    interlockRate() const
+    {
+        return instructions ? static_cast<double>(interlocks()) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+} // namespace d16sim::sim
+
+#endif // D16SIM_SIM_STATS_HH

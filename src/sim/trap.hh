@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Trap (simulator service) codes shared by the compiler runtime and the
+ * machine model. Arguments are passed in r2 (integers/pointers) or f2
+ * (floating point); results return in r2.
+ */
+
+#ifndef D16SIM_SIM_TRAP_HH
+#define D16SIM_SIM_TRAP_HH
+
+namespace d16sim::sim
+{
+
+enum TrapCode : int
+{
+    TrapPrintInt = 1,   //!< print r2 as signed decimal
+    TrapPrintChar = 2,  //!< print low byte of r2
+    TrapPrintStr = 3,   //!< print NUL-terminated string at r2
+    TrapPrintF64 = 4,   //!< print f2 as %.4f
+    TrapHalt = 5,       //!< stop simulation; exit status in r2
+    TrapAlloc = 6,      //!< r2 = bump-allocate r2 bytes (8-aligned)
+    TrapPrintUint = 7,  //!< print r2 as unsigned decimal
+};
+
+} // namespace d16sim::sim
+
+#endif // D16SIM_SIM_TRAP_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction codecs.
+ *
+ * All helpers are constexpr and operate on uint32_t containers; field
+ * positions follow the usual [hi:lo] inclusive convention used in the
+ * D16/DLXe format diagrams.
+ */
+
+#ifndef D16SIM_SUPPORT_BITS_HH
+#define D16SIM_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+#include "support/error.hh"
+
+namespace d16sim
+{
+
+/** A mask with the low n bits set (n in [0,32]). */
+constexpr uint32_t
+maskBits(unsigned n)
+{
+    return n >= 32 ? 0xffffffffu : ((1u << n) - 1u);
+}
+
+/** Extract the inclusive bit field [hi:lo] of value. */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & maskBits(hi - lo + 1);
+}
+
+/** Insert field (low bits of field) into [hi:lo] of value. */
+constexpr uint32_t
+insertBits(uint32_t value, unsigned hi, unsigned lo, uint32_t field)
+{
+    const uint32_t mask = maskBits(hi - lo + 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low `width` bits of value to a full int32_t. */
+constexpr int32_t
+signExtend(uint32_t value, unsigned width)
+{
+    const uint32_t shift = 32 - width;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** True iff v is representable as a signed `width`-bit two's-complement. */
+constexpr bool
+fitsSigned(int64_t v, unsigned width)
+{
+    const int64_t lo = -(int64_t{1} << (width - 1));
+    const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/** True iff v is representable as an unsigned `width`-bit value. */
+constexpr bool
+fitsUnsigned(int64_t v, unsigned width)
+{
+    return v >= 0 && v <= static_cast<int64_t>(maskBits(width));
+}
+
+/** True iff v is a multiple of `align` (align a power of two). */
+constexpr bool
+isAligned(uint64_t v, unsigned align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Round v up to the next multiple of `align` (align a power of two). */
+constexpr uint64_t
+roundUp(uint64_t v, unsigned align)
+{
+    return (v + align - 1) & ~static_cast<uint64_t>(align - 1);
+}
+
+/** True iff v is a (positive) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+} // namespace d16sim
+
+#endif // D16SIM_SUPPORT_BITS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Error-reporting primitives for the d16sim library.
+ *
+ * Two categories of failure are distinguished, following simulator
+ * convention (cf. gem5's fatal/panic split):
+ *
+ *  - fatal(): the *input* is at fault (malformed assembly, a MiniC type
+ *    error, an out-of-range operand in a user program). Reported as a
+ *    d16sim::FatalError exception carrying a formatted message, so
+ *    library embedders can catch and present it.
+ *
+ *  - panic(): the *library* is at fault (an internal invariant broke).
+ *    Also an exception (d16sim::PanicError) so tests can assert on it,
+ *    but its message is prefixed to make the distinction obvious.
+ */
+
+#ifndef D16SIM_SUPPORT_ERROR_HH
+#define D16SIM_SUPPORT_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace d16sim
+{
+
+/** Base class for all d16sim errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** The user's input (program text, configuration) is invalid. */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &msg) : Error(msg) {}
+};
+
+/** An internal invariant of the library was violated. */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : Error("internal error: " + msg)
+    {}
+};
+
+namespace detail
+{
+
+inline void
+streamAll(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    streamAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Throw a FatalError whose message is the concatenation of the args. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Throw a PanicError whose message is the concatenation of the args. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** panic() unless the condition holds. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+} // namespace d16sim
+
+#endif // D16SIM_SUPPORT_ERROR_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string utilities shared by the assembler, compiler, and report
+ * formatting code.
+ */
+
+#ifndef D16SIM_SUPPORT_STRINGS_HH
+#define D16SIM_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d16sim
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string_view> splitWhitespace(std::string_view s);
+
+/** True iff s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Format v as 0x%0*x with the given number of hex digits. */
+std::string hexString(uint32_t v, int digits = 8);
+
+/** Format a double with fixed precision (used for report tables). */
+std::string fixed(double v, int precision);
+
+} // namespace d16sim
+
+#endif // D16SIM_SUPPORT_STRINGS_HH

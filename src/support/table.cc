@@ -1,0 +1,95 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace d16sim
+{
+
+namespace
+{
+
+/** Cells that parse as numbers are right-aligned. */
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    size_t i = 0;
+    if (s[0] == '-' || s[0] == '+')
+        i = 1;
+    bool sawDigit = false;
+    for (; i < s.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+            sawDigit = true;
+        } else if (s[i] != '.' && s[i] != '%' && s[i] != 'x' &&
+                   s[i] != 'e' && s[i] != '-' && s[i] != '+') {
+            return false;
+        }
+    }
+    return sawDigit;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != headers_.size(),
+            "table row arity ", cells.size(), " != header arity ",
+            headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            const bool rightAlign = looksNumeric(row[c]);
+            const size_t pad = widths[c] - row[c].size();
+            if (rightAlign)
+                os << std::string(pad, ' ') << row[c];
+            else
+                os << row[c] << std::string(pad, ' ');
+        }
+        os << "\n";
+    };
+
+    emitRow(headers_);
+    size_t total = headers_.size() > 1 ? 2 * (headers_.size() - 1) : 0;
+    for (size_t w : widths)
+        total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace d16sim

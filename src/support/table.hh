@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatting for experiment reports.
+ *
+ * The benchmark harnesses print the same rows/series the paper's tables
+ * and figures report; Table gives them a single, consistent renderer
+ * (column alignment, optional title/caption, right-aligned numerics).
+ */
+
+#ifndef D16SIM_SUPPORT_TABLE_HH
+#define D16SIM_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace d16sim
+{
+
+/** A simple aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: title printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace d16sim
+
+#endif // D16SIM_SUPPORT_TABLE_HH

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Assembler and parser tests: layout, symbols, relocation, and D16
+ * branch relaxation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "asm/parser.hh"
+#include "isa/codec.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::assem;
+using namespace d16sim::isa;
+
+Image
+assemble(const TargetInfo &t, std::string_view src,
+         uint32_t base = kDefaultTextBase)
+{
+    Assembler as(t);
+    as.add(parseAsm(t, src));
+    return as.link(base);
+}
+
+uint32_t
+fetchWord(const Image &img, uint32_t addr)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | img.bytes[addr - img.textBase + i];
+    return v;
+}
+
+uint16_t
+fetchHalf(const Image &img, uint32_t addr)
+{
+    return static_cast<uint16_t>(img.bytes[addr - img.textBase] |
+                                 (img.bytes[addr - img.textBase + 1] << 8));
+}
+
+TEST(Parser, BasicDLXeProgram)
+{
+    const auto items = parseAsm(TargetInfo::dlxe(), R"(
+; comment line
+main:
+    addi sp, sp, -16     # trailing comment
+    add r5, r6, r7
+    ld r3, 8(sp)
+    st r3, 0(gp)
+    bz r5, main
+    jl main
+    ret
+)");
+    // 1 label + 7 instructions.
+    ASSERT_EQ(items.size(), 8u);
+    EXPECT_EQ(items[0].kind, ItemKind::Label);
+    EXPECT_EQ(items[0].name, "main");
+    EXPECT_EQ(items[1].inst.op, Op::AddI);
+    EXPECT_EQ(items[1].inst.imm, -16);
+    EXPECT_EQ(items[2].inst.op, Op::Add);
+    EXPECT_EQ(items[2].inst.rd, 5);
+    EXPECT_EQ(items[3].inst.op, Op::Ld);
+    EXPECT_EQ(items[3].inst.rs1, 31);
+    EXPECT_EQ(items[4].inst.op, Op::St);
+    EXPECT_EQ(items[4].inst.rs2, 3);
+    EXPECT_EQ(items[4].inst.rs1, 30);
+    EXPECT_EQ(items[5].inst.op, Op::Bz);
+    EXPECT_EQ(items[5].inst.label, "main");
+    EXPECT_EQ(items[6].inst.op, Op::Jl);
+    EXPECT_EQ(items[7].inst.op, Op::Jr);  // ret
+    EXPECT_EQ(items[7].inst.rs1, 1);
+}
+
+TEST(Parser, D16TwoAddressForms)
+{
+    const auto items = parseAsm(TargetInfo::d16(), R"(
+    add r3, r4
+    addi r3, 5
+    cmp.lt r3, r4
+    bz loop
+    ldc pool
+    mvi r2, 'a'
+loop:
+pool:
+)");
+    EXPECT_EQ(items[0].inst.op, Op::Add);
+    EXPECT_EQ(items[0].inst.rd, 3);
+    EXPECT_EQ(items[0].inst.rs1, 3);
+    EXPECT_EQ(items[0].inst.rs2, 4);
+    EXPECT_EQ(items[1].inst.op, Op::AddI);
+    EXPECT_EQ(items[1].inst.rd, 3);
+    EXPECT_EQ(items[2].inst.op, Op::Cmp);
+    EXPECT_EQ(items[2].inst.cond, Cond::Lt);
+    EXPECT_EQ(items[2].inst.rd, 0);
+    EXPECT_EQ(items[3].inst.op, Op::Bz);
+    EXPECT_EQ(items[3].inst.rs1, 0);
+    EXPECT_EQ(items[4].inst.op, Op::Ldc);
+    EXPECT_EQ(items[4].inst.reloc, Reloc::PcRel);
+    EXPECT_EQ(items[5].inst.op, Op::MvI);
+    EXPECT_EQ(items[5].inst.imm, 'a');
+}
+
+TEST(Parser, FpAndCompareMnemonics)
+{
+    const auto items = parseAsm(TargetInfo::dlxe(), R"(
+    add.df f1, f2, f3
+    cmp.le.sf f4, f5
+    cmpi.geu r7, r8, 100
+    si2df f1, f2
+    mif.l f3, r9
+    mfi.h r9, f3
+)");
+    EXPECT_EQ(items[0].inst.op, Op::FAddD);
+    EXPECT_EQ(items[1].inst.op, Op::FCmpS);
+    EXPECT_EQ(items[1].inst.cond, Cond::Le);
+    EXPECT_EQ(items[2].inst.op, Op::CmpI);
+    EXPECT_EQ(items[2].inst.cond, Cond::Geu);
+    EXPECT_EQ(items[2].inst.imm, 100);
+    EXPECT_EQ(items[3].inst.op, Op::CvtSiDf);
+    EXPECT_EQ(items[4].inst.op, Op::MifL);
+    EXPECT_EQ(items[4].inst.rd, 3);
+    EXPECT_EQ(items[4].inst.rs1, 9);
+    EXPECT_EQ(items[5].inst.op, Op::MfiH);
+}
+
+TEST(Parser, Directives)
+{
+    const auto items = parseAsm(TargetInfo::dlxe(), R"(
+    .data
+vals: .word 1, -2, 0x10, vals, vals+8
+s:    .asciz "hi\n"
+    .byte 1, 2, 3
+    .half 256
+    .space 12
+    .align 4
+    .global main
+)");
+    EXPECT_EQ(items[0].kind, ItemKind::SectionData);
+    EXPECT_EQ(items[2].kind, ItemKind::Word);
+    ASSERT_EQ(items[2].values.size(), 5u);
+    EXPECT_EQ(items[2].values[1].value, -2);
+    EXPECT_EQ(items[2].values[3].label, "vals");
+    EXPECT_EQ(items[2].values[4].label, "vals");
+    EXPECT_EQ(items[2].values[4].value, 8);
+    EXPECT_EQ(items[4].kind, ItemKind::Ascii);
+    EXPECT_EQ(items[4].str, "hi\n");
+    EXPECT_EQ(items[5].kind, ItemKind::Byte);
+    EXPECT_EQ(items[6].kind, ItemKind::Half);
+    EXPECT_EQ(items[7].kind, ItemKind::Space);
+    EXPECT_EQ(items[7].amount, 12);
+    EXPECT_EQ(items[8].kind, ItemKind::Align);
+}
+
+TEST(Parser, Errors)
+{
+    const TargetInfo &t = TargetInfo::dlxe();
+    EXPECT_THROW(parseAsm(t, "bogus r1, r2"), FatalError);
+    EXPECT_THROW(parseAsm(t, "add r1"), FatalError);
+    EXPECT_THROW(parseAsm(t, "ld r1, r2"), FatalError);
+    EXPECT_THROW(parseAsm(t, ".word"), FatalError);
+    EXPECT_THROW(parseAsm(t, ".align 3"), FatalError);
+    EXPECT_THROW(parseAsm(t, "add r1, r2, r99"), FatalError);
+    // D16 cannot name r16+.
+    EXPECT_THROW(parseAsm(TargetInfo::d16(), "mv r3, r16"), FatalError);
+}
+
+TEST(Assembler, LayoutAndSymbols)
+{
+    const Image img = assemble(TargetInfo::dlxe(), R"(
+main:
+    addi sp, sp, -8
+    ret
+    .data
+x:  .word 42
+y:  .word 7, 8
+)");
+    EXPECT_EQ(img.textBase, kDefaultTextBase);
+    EXPECT_EQ(img.textSize, 8u);  // two 4-byte instructions
+    EXPECT_EQ(img.symbol("main"), kDefaultTextBase);
+    EXPECT_EQ(img.entry, kDefaultTextBase);
+    EXPECT_EQ(img.dataBase, roundUp(kDefaultTextBase + 8, 16));
+    EXPECT_EQ(img.symbol("x"), img.dataBase);
+    EXPECT_EQ(img.symbol("y"), img.dataBase + 4);
+    EXPECT_EQ(img.dataSize, 12u);
+    EXPECT_EQ(img.sizeBytes(), img.textSize + img.dataSize);
+    EXPECT_EQ(img.textInsns, 2u);
+    EXPECT_EQ(fetchWord(img, img.symbol("x")), 42u);
+    EXPECT_EQ(fetchWord(img, img.symbol("y") + 4), 8u);
+}
+
+TEST(Assembler, DataSymbolRelocation)
+{
+    const Image img = assemble(TargetInfo::dlxe(), R"(
+main:
+    ret
+    .data
+p:  .word q+4
+q:  .word 0
+)");
+    EXPECT_EQ(fetchWord(img, img.symbol("p")), img.symbol("q") + 4);
+}
+
+TEST(Assembler, BranchTargetsResolve)
+{
+    const Image img = assemble(TargetInfo::dlxe(), R"(
+main:
+    bz r3, done
+    add r1, r1, r1
+done:
+    ret
+)");
+    const DecodedInst bz = dlxeDecode(fetchWord(img, img.textBase));
+    EXPECT_EQ(bz.op, Op::Bz);
+    EXPECT_EQ(bz.imm, 8);  // two instructions ahead
+}
+
+TEST(Assembler, HiLoRelocation)
+{
+    const Image img = assemble(TargetInfo::dlxe(), R"(
+main:
+    mvhi r4, hi(buf)
+    ori r4, r4, lo(buf)
+    ret
+    .data
+    .space 70000
+buf: .word 0
+)");
+    const uint32_t addr = img.symbol("buf");
+    const DecodedInst hi = dlxeDecode(fetchWord(img, img.textBase));
+    const DecodedInst lo = dlxeDecode(fetchWord(img, img.textBase + 4));
+    EXPECT_EQ(hi.op, Op::MvHI);
+    EXPECT_EQ(lo.op, Op::OrI);
+    EXPECT_EQ((static_cast<uint32_t>(hi.imm) << 16) |
+                  static_cast<uint32_t>(lo.imm),
+              addr);
+}
+
+TEST(Assembler, D16LdcPoolResolution)
+{
+    const Image img = assemble(TargetInfo::d16(), R"(
+    .align 4
+pool: .word target
+main:
+    ldc pool
+    jr at
+target:
+    ret
+)");
+    const uint32_t main = img.symbol("main");
+    const DecodedInst ldc = d16Decode(fetchHalf(img, main));
+    EXPECT_EQ(ldc.op, Op::Ldc);
+    // Effective address = (pc & ~3) + imm must hit the pool.
+    EXPECT_EQ((main & ~3u) + static_cast<uint32_t>(ldc.imm),
+              img.symbol("pool"));
+    // The pool word contains target's absolute address.
+    EXPECT_EQ(fetchWord(img, img.symbol("pool")), img.symbol("target"));
+}
+
+TEST(Assembler, D16CondBranchRelaxation)
+{
+    // Conditional branch over > 1 KB of code must be relaxed into an
+    // inverted branch plus an unconditional branch.
+    std::string src = "main:\n    bz far\n";
+    for (int i = 0; i < 600; ++i)
+        src += "    add r2, r3\n";
+    src += "far:\n    ret\n";
+    const Image img = assemble(TargetInfo::d16(), src);
+
+    const DecodedInst first = d16Decode(fetchHalf(img, img.textBase));
+    const DecodedInst second = d16Decode(fetchHalf(img, img.textBase + 2));
+    EXPECT_EQ(first.op, Op::Bnz);  // inverted
+    EXPECT_EQ(first.imm, 4);       // skips the far branch
+    EXPECT_EQ(second.op, Op::Br);
+    EXPECT_EQ(img.textBase + 2 + static_cast<uint32_t>(second.imm),
+              img.symbol("far"));
+    // 600 + relaxed pair + ret.
+    EXPECT_EQ(img.textInsns, 603u);
+}
+
+TEST(Assembler, D16UnconditionalOutOfRangeIsFatal)
+{
+    std::string src = "main:\n    br far\n";
+    for (int i = 0; i < 1200; ++i)
+        src += "    add r2, r3\n";
+    src += "far:\n    ret\n";
+    EXPECT_THROW(assemble(TargetInfo::d16(), src), FatalError);
+}
+
+TEST(Assembler, DLXeLongBranchNoRelaxationNeeded)
+{
+    std::string src = "main:\n    bz r3, far\n";
+    for (int i = 0; i < 600; ++i)
+        src += "    add r2, r2, r3\n";
+    src += "far:\n    ret\n";
+    const Image img = assemble(TargetInfo::dlxe(), src);
+    const DecodedInst bz = dlxeDecode(fetchWord(img, img.textBase));
+    EXPECT_EQ(bz.op, Op::Bz);
+    EXPECT_EQ(bz.imm, 601 * 4);
+}
+
+TEST(Assembler, UndefinedSymbolIsFatal)
+{
+    EXPECT_THROW(assemble(TargetInfo::dlxe(), "main:\n  bz r1, nowhere\n"),
+                 FatalError);
+    EXPECT_THROW(assemble(TargetInfo::dlxe(),
+                          "main:\n  ret\n  .data\np: .word nothing\n"),
+                 FatalError);
+}
+
+TEST(Assembler, DuplicateLabelIsFatal)
+{
+    EXPECT_THROW(assemble(TargetInfo::dlxe(), "a:\na:\n  ret\n"),
+                 FatalError);
+}
+
+TEST(Assembler, InstructionAlignmentAfterAscii)
+{
+    // An odd-length string in text must not misalign instructions.
+    const Image img = assemble(TargetInfo::dlxe(), R"(
+main:
+    ret
+s:  .asciz "ab"
+next:
+    nop
+)");
+    EXPECT_EQ(img.symbol("next") % 4, 0u);
+}
+
+TEST(Assembler, MviAbsoluteSymbol)
+{
+    const Image img = assemble(TargetInfo::dlxe(), R"(
+main:
+    mvi r2, x
+    ret
+    .data
+x:  .word 5
+)");
+    const DecodedInst mvi = dlxeDecode(fetchWord(img, img.textBase));
+    EXPECT_EQ(mvi.op, Op::AddI);
+    EXPECT_EQ(static_cast<uint32_t>(mvi.imm), img.symbol("x"));
+}
+
+} // namespace

@@ -1,0 +1,791 @@
+/**
+ * @file
+ * Unit and property tests for the D16 and DLXe instruction codecs.
+ *
+ * The central property is encode-decode round trip: for every legal
+ * operand combination, decoding the encoded bits reproduces the
+ * semantic instruction (op, cond, registers with D16's implicit
+ * operands made explicit, immediates). Negative tests check that
+ * operands the paper says are inexpressible are rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/codec.hh"
+#include "isa/disasm.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::isa;
+
+const TargetInfo &kD16 = TargetInfo::d16();
+const TargetInfo &kDLXe = TargetInfo::dlxe();
+
+// ---------------------------------------------------------------------
+// Cond
+// ---------------------------------------------------------------------
+
+TEST(Cond, Names)
+{
+    EXPECT_EQ(condName(Cond::Lt), "lt");
+    EXPECT_EQ(condName(Cond::Geu), "geu");
+    Cond c;
+    EXPECT_TRUE(parseCond("leu", c));
+    EXPECT_EQ(c, Cond::Leu);
+    EXPECT_FALSE(parseCond("bogus", c));
+}
+
+TEST(Cond, NegateIsInvolution)
+{
+    for (int i = 0; i < numConds; ++i) {
+        const Cond c = static_cast<Cond>(i);
+        EXPECT_EQ(negateCond(negateCond(c)), c);
+    }
+}
+
+TEST(Cond, SwapIsInvolution)
+{
+    for (int i = 0; i < numConds; ++i) {
+        const Cond c = static_cast<Cond>(i);
+        EXPECT_EQ(swapCond(swapCond(c)), c);
+    }
+}
+
+TEST(Cond, EvalAgreesWithSwapAndNegate)
+{
+    const uint32_t vals[] = {0u, 1u, 5u, 0x7fffffffu, 0x80000000u,
+                             0xffffffffu};
+    for (int i = 0; i < numConds; ++i) {
+        const Cond c = static_cast<Cond>(i);
+        for (uint32_t a : vals) {
+            for (uint32_t b : vals) {
+                EXPECT_EQ(evalCond(c, a, b), evalCond(swapCond(c), b, a))
+                    << condName(c) << " " << a << " " << b;
+                EXPECT_EQ(evalCond(c, a, b), !evalCond(negateCond(c), a, b))
+                    << condName(c) << " " << a << " " << b;
+            }
+        }
+    }
+}
+
+TEST(Cond, SignedVsUnsigned)
+{
+    EXPECT_TRUE(evalCond(Cond::Lt, 0xffffffffu, 0));   // -1 < 0 signed
+    EXPECT_FALSE(evalCond(Cond::Ltu, 0xffffffffu, 0)); // max > 0 unsigned
+    EXPECT_TRUE(evalCond(Cond::Gtu, 0xffffffffu, 0));
+    EXPECT_TRUE(evalCond(Cond::Ge, 5, 5));
+    EXPECT_FALSE(evalCond(Cond::Gt, 5, 5));
+}
+
+TEST(Cond, D16Subset)
+{
+    EXPECT_TRUE(d16HasCond(Cond::Lt));
+    EXPECT_TRUE(d16HasCond(Cond::Ne));
+    EXPECT_FALSE(d16HasCond(Cond::Gt));
+    EXPECT_FALSE(d16HasCond(Cond::Geu));
+}
+
+// ---------------------------------------------------------------------
+// Op metadata
+// ---------------------------------------------------------------------
+
+TEST(Operation, NamesRoundTrip)
+{
+    for (int i = 0; i < numOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        Op parsed;
+        ASSERT_TRUE(parseOp(opName(op), parsed)) << opName(op);
+        EXPECT_EQ(parsed, op);
+    }
+    Op out;
+    EXPECT_FALSE(parseOp("frobnicate", out));
+}
+
+TEST(Operation, Classes)
+{
+    EXPECT_EQ(opClass(Op::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Op::AddI), OpClass::IntAluImm);
+    EXPECT_EQ(opClass(Op::Ld), OpClass::Load);
+    EXPECT_EQ(opClass(Op::Stb), OpClass::Store);
+    EXPECT_EQ(opClass(Op::Ldc), OpClass::LoadConst);
+    EXPECT_EQ(opClass(Op::Bz), OpClass::Branch);
+    EXPECT_EQ(opClass(Op::Jlr), OpClass::Jump);
+    EXPECT_EQ(opClass(Op::FDivD), OpClass::FpAlu);
+    EXPECT_EQ(opClass(Op::CvtSfSi), OpClass::FpConvert);
+    EXPECT_EQ(opClass(Op::MifH), OpClass::FpMove);
+}
+
+TEST(Operation, IsaExclusives)
+{
+    EXPECT_TRUE(isD16Only(Op::Ldc));
+    EXPECT_FALSE(isD16Only(Op::Ld));
+    for (Op op : {Op::AndI, Op::OrI, Op::XorI, Op::MvHI, Op::CmpI,
+                  Op::J, Op::Jl}) {
+        EXPECT_TRUE(isDLXeOnly(op)) << opName(op);
+        EXPECT_FALSE(kD16.hasOp(op)) << opName(op);
+        EXPECT_TRUE(kDLXe.hasOp(op)) << opName(op);
+    }
+    EXPECT_TRUE(kD16.hasOp(Op::Ldc));
+    EXPECT_FALSE(kDLXe.hasOp(Op::Ldc));
+}
+
+TEST(Operation, MemSizes)
+{
+    EXPECT_EQ(memAccessSize(Op::Ld), 4);
+    EXPECT_EQ(memAccessSize(Op::St), 4);
+    EXPECT_EQ(memAccessSize(Op::Ldhu), 2);
+    EXPECT_EQ(memAccessSize(Op::Stb), 1);
+    EXPECT_EQ(memAccessSize(Op::Ldc), 4);
+    EXPECT_THROW(memAccessSize(Op::Add), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// TargetInfo
+// ---------------------------------------------------------------------
+
+TEST(Target, BasicShape)
+{
+    EXPECT_EQ(kD16.insnBytes(), 2);
+    EXPECT_EQ(kDLXe.insnBytes(), 4);
+    EXPECT_EQ(kD16.numGpr(), 16);
+    EXPECT_EQ(kDLXe.numGpr(), 32);
+    EXPECT_FALSE(kD16.threeAddress());
+    EXPECT_TRUE(kDLXe.threeAddress());
+    EXPECT_FALSE(kD16.r0IsZero());
+    EXPECT_TRUE(kDLXe.r0IsZero());
+    EXPECT_EQ(kD16.spReg(), 15);
+    EXPECT_EQ(kD16.gpReg(), 14);
+    EXPECT_EQ(kDLXe.spReg(), 31);
+    EXPECT_EQ(kDLXe.gpReg(), 30);
+    EXPECT_EQ(kD16.raReg(), 1);
+}
+
+TEST(Target, ImmediateLegality)
+{
+    // D16: 5-bit unsigned ALU immediates.
+    EXPECT_TRUE(kD16.aluImmFits(Op::AddI, 0));
+    EXPECT_TRUE(kD16.aluImmFits(Op::AddI, 31));
+    EXPECT_FALSE(kD16.aluImmFits(Op::AddI, 32));
+    EXPECT_FALSE(kD16.aluImmFits(Op::AddI, -1));
+    EXPECT_FALSE(kD16.aluImmFits(Op::AndI, 1));  // no andi at all
+    // DLXe: 16-bit.
+    EXPECT_TRUE(kDLXe.aluImmFits(Op::AddI, -32768));
+    EXPECT_TRUE(kDLXe.aluImmFits(Op::AddI, 32767));
+    EXPECT_FALSE(kDLXe.aluImmFits(Op::AddI, 32768));
+    EXPECT_TRUE(kDLXe.aluImmFits(Op::AndI, 0xffff));
+    EXPECT_FALSE(kDLXe.aluImmFits(Op::AndI, 0x10000));
+    // MVI: 9-bit signed vs 16-bit signed.
+    EXPECT_TRUE(kD16.mviImmFits(-256));
+    EXPECT_TRUE(kD16.mviImmFits(255));
+    EXPECT_FALSE(kD16.mviImmFits(256));
+    EXPECT_TRUE(kDLXe.mviImmFits(-32768));
+}
+
+TEST(Target, MemOffsets)
+{
+    EXPECT_TRUE(kD16.memOffsetFits(Op::Ld, 0));
+    EXPECT_TRUE(kD16.memOffsetFits(Op::Ld, 124));
+    EXPECT_FALSE(kD16.memOffsetFits(Op::Ld, 128));
+    EXPECT_FALSE(kD16.memOffsetFits(Op::Ld, 6));   // unaligned
+    EXPECT_FALSE(kD16.memOffsetFits(Op::Ld, -4));  // negative
+    EXPECT_FALSE(kD16.memOffsetFits(Op::Ldb, 1));  // not offsettable
+    EXPECT_TRUE(kD16.memOffsetFits(Op::Ldb, 0));
+    EXPECT_TRUE(kDLXe.memOffsetFits(Op::Ldb, -32768));
+    EXPECT_TRUE(kDLXe.memOffsetFits(Op::St, 32767));
+    EXPECT_FALSE(kDLXe.memOffsetFits(Op::St, 40000));
+}
+
+TEST(Target, BranchAndLdcRanges)
+{
+    EXPECT_TRUE(kD16.branchOffsetFits(Op::Bz, -1024));
+    EXPECT_TRUE(kD16.branchOffsetFits(Op::Bz, 1022));
+    EXPECT_FALSE(kD16.branchOffsetFits(Op::Bz, 1024));
+    EXPECT_FALSE(kD16.branchOffsetFits(Op::Bz, 7));  // odd
+    // Unconditional br reaches twice as far (Thumb-style).
+    EXPECT_TRUE(kD16.branchOffsetFits(Op::Br, -2048));
+    EXPECT_TRUE(kD16.branchOffsetFits(Op::Br, 2046));
+    EXPECT_FALSE(kD16.branchOffsetFits(Op::Br, 2048));
+    EXPECT_TRUE(kDLXe.branchOffsetFits(Op::Bz, -32768));
+    EXPECT_FALSE(kDLXe.branchOffsetFits(Op::Bz, 2));  // word aligned
+    EXPECT_TRUE(kD16.ldcOffsetFits(-4096));
+    EXPECT_TRUE(kD16.ldcOffsetFits(4092));
+    EXPECT_FALSE(kD16.ldcOffsetFits(4096));
+    EXPECT_FALSE(kDLXe.ldcOffsetFits(0));
+    EXPECT_TRUE(kDLXe.jumpOffsetFits(1 << 20));
+    EXPECT_FALSE(kD16.jumpOffsetFits(4));
+}
+
+TEST(Target, RegisterNames)
+{
+    EXPECT_EQ(kD16.regName(15), "sp");
+    EXPECT_EQ(kD16.regName(14), "gp");
+    EXPECT_EQ(kD16.regName(1), "ra");
+    EXPECT_EQ(kD16.regName(0), "at");
+    EXPECT_EQ(kD16.regName(7), "r7");
+    EXPECT_EQ(kDLXe.regName(0), "r0");
+    EXPECT_EQ(kDLXe.regName(31), "sp");
+    int r;
+    EXPECT_TRUE(kD16.parseReg("sp", r));
+    EXPECT_EQ(r, 15);
+    EXPECT_TRUE(kDLXe.parseReg("r17", r));
+    EXPECT_EQ(r, 17);
+    EXPECT_FALSE(kD16.parseReg("r16", r));  // out of range for D16
+    EXPECT_FALSE(kD16.parseReg("x3", r));
+    EXPECT_TRUE(kD16.parseFreg("f15", r));
+    EXPECT_EQ(r, 15);
+    EXPECT_FALSE(kD16.parseFreg("f16", r));
+    EXPECT_TRUE(kDLXe.parseFreg("f31", r));
+}
+
+// ---------------------------------------------------------------------
+// Codec round trips
+// ---------------------------------------------------------------------
+
+void
+expectRoundTrip(const TargetInfo &t, const AsmInst &in, Op op, Cond cond,
+                int rd, int rs1, int rs2, int32_t imm)
+{
+    const uint32_t w = encode(t, in);
+    const DecodedInst d = decode(t, w);
+    EXPECT_EQ(d.op, op) << opName(op) << " got " << opName(d.op);
+    if (hasCond(op))
+        EXPECT_EQ(d.cond, cond);
+    EXPECT_EQ(int{d.rd}, rd) << opName(op);
+    EXPECT_EQ(int{d.rs1}, rs1) << opName(op);
+    EXPECT_EQ(int{d.rs2}, rs2) << opName(op);
+    EXPECT_EQ(d.imm, imm) << opName(op);
+}
+
+TEST(D16Codec, AluRegSweep)
+{
+    for (Op op : {Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Shl,
+                  Op::Shr, Op::Shra}) {
+        for (int rd = 0; rd < 16; rd += 3) {
+            for (int rs2 = 0; rs2 < 16; rs2 += 5) {
+                expectRoundTrip(kD16, AsmInst::r3(op, rd, rd, rs2),
+                                op, Cond::Eq, rd, rd, rs2, 0);
+            }
+        }
+    }
+}
+
+TEST(D16Codec, TwoAddressEnforced)
+{
+    EXPECT_THROW(d16Encode(AsmInst::r3(Op::Add, 3, 4, 5)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::AddI, 3, 4, 1)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::r3(Op::FAddS, 1, 2, 3)), FatalError);
+}
+
+TEST(D16Codec, UnaryOps)
+{
+    expectRoundTrip(kD16, AsmInst::ri(Op::Neg, 4, 9, 0),
+                    Op::Neg, Cond::Eq, 4, 9, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::Inv, 2, 2, 0),
+                    Op::Inv, Cond::Eq, 2, 2, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::Mv, 15, 3, 0),
+                    Op::Mv, Cond::Eq, 15, 3, 0, 0);
+}
+
+TEST(D16Codec, AluImmSweep)
+{
+    for (Op op : {Op::AddI, Op::SubI, Op::ShlI, Op::ShrI, Op::ShraI}) {
+        for (int64_t imm : {0, 1, 15, 31}) {
+            expectRoundTrip(kD16, AsmInst::ri(op, 7, 7, imm),
+                            op, Cond::Eq, 7, 7, 0,
+                            static_cast<int32_t>(imm));
+        }
+        EXPECT_THROW(d16Encode(AsmInst::ri(op, 7, 7, 32)), FatalError);
+        EXPECT_THROW(d16Encode(AsmInst::ri(op, 7, 7, -1)), FatalError);
+    }
+}
+
+TEST(D16Codec, MviSweep)
+{
+    for (int64_t imm : {-256, -1, 0, 1, 100, 255}) {
+        expectRoundTrip(kD16, AsmInst::ri(Op::MvI, 5, -1, imm),
+                        Op::MvI, Cond::Eq, 5, 0, 0,
+                        static_cast<int32_t>(imm));
+    }
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::MvI, 5, -1, 256)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::MvI, 5, -1, -257)), FatalError);
+}
+
+TEST(D16Codec, CompareSweep)
+{
+    for (Cond c : {Cond::Lt, Cond::Ltu, Cond::Le, Cond::Leu, Cond::Eq,
+                   Cond::Ne}) {
+        expectRoundTrip(kD16, AsmInst::cmp(c, 0, 3, 9),
+                        Op::Cmp, c, 0, 3, 9, 0);
+    }
+    // Dest must be r0; conds beyond the six are rejected.
+    EXPECT_THROW(d16Encode(AsmInst::cmp(Cond::Eq, 2, 3, 9)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::cmp(Cond::Gt, 0, 3, 9)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::cmp(Cond::Geu, 0, 3, 9)), FatalError);
+}
+
+TEST(D16Codec, WordMemorySweep)
+{
+    for (int off = 0; off <= 124; off += 4) {
+        expectRoundTrip(kD16, AsmInst::ri(Op::Ld, 3, 15, off),
+                        Op::Ld, Cond::Eq, 3, 15, 0, off);
+        AsmInst st;
+        st.op = Op::St;
+        st.rs1 = 14;
+        st.rs2 = 6;
+        st.imm = off;
+        expectRoundTrip(kD16, st, Op::St, Cond::Eq, 0, 14, 6, off);
+    }
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::Ld, 3, 15, 128)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::Ld, 3, 15, 2)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::Ld, 3, 15, -4)), FatalError);
+}
+
+TEST(D16Codec, SubWordNotOffsettable)
+{
+    for (Op op : {Op::Ldh, Op::Ldhu, Op::Ldb, Op::Ldbu}) {
+        expectRoundTrip(kD16, AsmInst::ri(op, 3, 7, 0),
+                        op, Cond::Eq, 3, 7, 0, 0);
+        EXPECT_THROW(d16Encode(AsmInst::ri(op, 3, 7, 4)), FatalError);
+    }
+    AsmInst sth;
+    sth.op = Op::Sth;
+    sth.rs1 = 7;
+    sth.rs2 = 3;
+    expectRoundTrip(kD16, sth, Op::Sth, Cond::Eq, 0, 7, 3, 0);
+    sth.imm = 2;
+    EXPECT_THROW(d16Encode(sth), FatalError);
+}
+
+TEST(D16Codec, LdcSweep)
+{
+    for (int32_t delta : {-4096, -4, 0, 4, 4092}) {
+        AsmInst ldc;
+        ldc.op = Op::Ldc;
+        ldc.imm = delta;
+        expectRoundTrip(kD16, ldc, Op::Ldc, Cond::Eq, 0, 0, 0, delta);
+    }
+    AsmInst bad;
+    bad.op = Op::Ldc;
+    bad.imm = 4096;
+    EXPECT_THROW(d16Encode(bad), FatalError);
+    bad.imm = -4100;
+    EXPECT_THROW(d16Encode(bad), FatalError);
+    bad.imm = 2;  // unaligned
+    EXPECT_THROW(d16Encode(bad), FatalError);
+}
+
+TEST(D16Codec, BranchSweep)
+{
+    for (Op op : {Op::Bz, Op::Bnz}) {
+        for (int32_t delta : {-1024, -2, 0, 2, 1022}) {
+            AsmInst b;
+            b.op = op;
+            b.rs1 = 0;
+            b.imm = delta;
+            expectRoundTrip(kD16, b, op, Cond::Eq, 0, 0, 0, delta);
+        }
+    }
+    for (int32_t delta : {-2048, -2, 0, 2, 2046}) {
+        AsmInst b;
+        b.op = Op::Br;
+        b.imm = delta;
+        expectRoundTrip(kD16, b, Op::Br, Cond::Eq, 0, 0, 0, delta);
+    }
+    AsmInst far;
+    far.op = Op::Bz;
+    far.imm = 1024;
+    EXPECT_THROW(d16Encode(far), FatalError);
+    far.op = Op::Br;
+    far.imm = 2048;
+    EXPECT_THROW(d16Encode(far), FatalError);
+    far.imm = -2050;
+    EXPECT_THROW(d16Encode(far), FatalError);
+    // Conditional branches test r0 only.
+    AsmInst bz;
+    bz.op = Op::Bz;
+    bz.rs1 = 4;
+    bz.imm = 0;
+    EXPECT_THROW(d16Encode(bz), FatalError);
+}
+
+TEST(D16Codec, Jumps)
+{
+    expectRoundTrip(kD16, AsmInst::ri(Op::Jr, -1, 9, 0),
+                    Op::Jr, Cond::Eq, 0, 9, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::Jlr, -1, 2, 0),
+                    Op::Jlr, Cond::Eq, 1, 2, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::Jrz, -1, 3, 0),
+                    Op::Jrz, Cond::Eq, 0, 3, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::Jrnz, -1, 3, 0),
+                    Op::Jrnz, Cond::Eq, 0, 3, 0, 0);
+    // No direct jumps on D16.
+    AsmInst j;
+    j.op = Op::J;
+    EXPECT_THROW(d16Encode(j), FatalError);
+}
+
+TEST(D16Codec, FpOps)
+{
+    for (Op op : {Op::FAddS, Op::FAddD, Op::FSubS, Op::FSubD, Op::FMulS,
+                  Op::FMulD, Op::FDivS, Op::FDivD}) {
+        expectRoundTrip(kD16, AsmInst::r3(op, 3, 3, 11),
+                        op, Cond::Eq, 3, 3, 11, 0);
+    }
+    expectRoundTrip(kD16, AsmInst::ri(Op::FNegD, 2, 5, 0),
+                    Op::FNegD, Cond::Eq, 2, 5, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::FMv, 8, 1, 0),
+                    Op::FMv, Cond::Eq, 8, 1, 0, 0);
+    for (Op op : {Op::CvtSiSf, Op::CvtSiDf, Op::CvtSfDf, Op::CvtDfSf,
+                  Op::CvtSfSi, Op::CvtDfSi}) {
+        expectRoundTrip(kD16, AsmInst::ri(op, 4, 12, 0),
+                        op, Cond::Eq, 4, 12, 0, 0);
+    }
+}
+
+TEST(D16Codec, FpCompares)
+{
+    for (Op op : {Op::FCmpS, Op::FCmpD}) {
+        for (Cond c : {Cond::Lt, Cond::Le, Cond::Eq}) {
+            AsmInst i = AsmInst::r3(op, -1, 4, 7);
+            i.cond = c;
+            expectRoundTrip(kD16, i, op, c, 0, 4, 7, 0);
+        }
+        AsmInst bad = AsmInst::r3(op, -1, 4, 7);
+        bad.cond = Cond::Ne;
+        EXPECT_THROW(d16Encode(bad), FatalError);
+    }
+}
+
+TEST(D16Codec, FpuGprMoves)
+{
+    expectRoundTrip(kD16, AsmInst::ri(Op::MifL, 3, 9, 0),
+                    Op::MifL, Cond::Eq, 3, 9, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::MifH, 3, 9, 0),
+                    Op::MifH, Cond::Eq, 3, 9, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::MfiL, 9, 3, 0),
+                    Op::MfiL, Cond::Eq, 9, 3, 0, 0);
+    expectRoundTrip(kD16, AsmInst::ri(Op::MfiH, 9, 3, 0),
+                    Op::MfiH, Cond::Eq, 9, 3, 0, 0);
+}
+
+TEST(D16Codec, TrapRdsrNop)
+{
+    AsmInst t;
+    t.op = Op::Trap;
+    t.imm = 5;
+    expectRoundTrip(kD16, t, Op::Trap, Cond::Eq, 0, 0, 0, 5);
+    t.imm = 32;
+    EXPECT_THROW(d16Encode(t), FatalError);
+    expectRoundTrip(kD16, AsmInst::ri(Op::Rdsr, 6, -1, 0),
+                    Op::Rdsr, Cond::Eq, 6, 0, 0, 0);
+    // Nop lowers to mv r0, r0.
+    const DecodedInst d = d16Decode(d16Encode(AsmInst::nop()));
+    EXPECT_EQ(d.op, Op::Mv);
+    EXPECT_EQ(d.rd, 0);
+    EXPECT_EQ(d.rs1, 0);
+}
+
+TEST(D16Codec, DLXeOnlyOpsRejected)
+{
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::AndI, 2, 2, 1)), FatalError);
+    EXPECT_THROW(d16Encode(AsmInst::ri(Op::MvHI, 2, -1, 1)), FatalError);
+    AsmInst cmpi = AsmInst::ri(Op::CmpI, 2, 3, 1);
+    EXPECT_THROW(d16Encode(cmpi), FatalError);
+}
+
+TEST(D16Codec, ReservedEncodingsRejected)
+{
+    // Reg-reg op5 = 31 is reserved.
+    EXPECT_THROW(d16Decode(0x5f00), FatalError);
+    // LDC with bit 11 set is reserved.
+    EXPECT_THROW(d16Decode(0x1800), FatalError);
+    // Reg-imm op4 = 15 is reserved.
+    EXPECT_THROW(d16Decode(0x7e00), FatalError);
+}
+
+// DLXe ----------------------------------------------------------------
+
+TEST(DLXeCodec, AluRegSweep)
+{
+    for (Op op : {Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Shl,
+                  Op::Shr, Op::Shra}) {
+        for (int rd : {0, 7, 31}) {
+            for (int rs1 : {0, 13, 31}) {
+                for (int rs2 : {0, 21, 31}) {
+                    expectRoundTrip(kDLXe, AsmInst::r3(op, rd, rs1, rs2),
+                                    op, Cond::Eq, rd, rs1, rs2, 0);
+                }
+            }
+        }
+    }
+}
+
+TEST(DLXeCodec, ThreeAddressDistinctRegs)
+{
+    // The defining DLXe capability: rd distinct from both sources.
+    expectRoundTrip(kDLXe, AsmInst::r3(Op::Add, 5, 6, 7),
+                    Op::Add, Cond::Eq, 5, 6, 7, 0);
+}
+
+TEST(DLXeCodec, ImmediateSweep)
+{
+    for (Op op : {Op::AddI, Op::SubI}) {
+        for (int64_t imm : {-32768, -1, 0, 1, 32767}) {
+            expectRoundTrip(kDLXe, AsmInst::ri(op, 9, 12, imm),
+                            op, Cond::Eq, 9, 12, 0,
+                            static_cast<int32_t>(imm));
+        }
+        EXPECT_THROW(dlxeEncode(AsmInst::ri(op, 9, 12, 32768)), FatalError);
+    }
+    for (Op op : {Op::AndI, Op::OrI, Op::XorI}) {
+        for (int64_t imm : {0, 1, 0xff, 0xffff}) {
+            expectRoundTrip(kDLXe, AsmInst::ri(op, 9, 12, imm),
+                            op, Cond::Eq, 9, 12, 0,
+                            static_cast<int32_t>(imm));
+        }
+        EXPECT_THROW(dlxeEncode(AsmInst::ri(op, 9, 12, -1)), FatalError);
+        EXPECT_THROW(dlxeEncode(AsmInst::ri(op, 9, 12, 0x10000)),
+                     FatalError);
+    }
+}
+
+TEST(DLXeCodec, MviMvhi)
+{
+    // mvi is addi rd, r0, imm.
+    const DecodedInst d =
+        dlxeDecode(dlxeEncode(AsmInst::ri(Op::MvI, 9, -1, -5)));
+    EXPECT_EQ(d.op, Op::AddI);
+    EXPECT_EQ(d.rs1, 0);
+    EXPECT_EQ(d.rd, 9);
+    EXPECT_EQ(d.imm, -5);
+    expectRoundTrip(kDLXe, AsmInst::ri(Op::MvHI, 9, -1, 0xabcd),
+                    Op::MvHI, Cond::Eq, 9, 0, 0, 0xabcd);
+}
+
+TEST(DLXeCodec, CompareSweep)
+{
+    for (int i = 0; i < numConds; ++i) {
+        const Cond c = static_cast<Cond>(i);
+        expectRoundTrip(kDLXe, AsmInst::cmp(c, 17, 3, 9),
+                        Op::Cmp, c, 17, 3, 9, 0);
+        AsmInst ci = AsmInst::ri(Op::CmpI, 17, 3, -100);
+        ci.cond = c;
+        expectRoundTrip(kDLXe, ci, Op::CmpI, c, 17, 3, 0, -100);
+    }
+}
+
+TEST(DLXeCodec, MemorySweep)
+{
+    for (Op op : {Op::Ld, Op::Ldh, Op::Ldhu, Op::Ldb, Op::Ldbu}) {
+        for (int64_t off : {-32768, -4, 0, 4, 32767}) {
+            expectRoundTrip(kDLXe, AsmInst::ri(op, 8, 31, off),
+                            op, Cond::Eq, 8, 31, 0,
+                            static_cast<int32_t>(off));
+        }
+    }
+    for (Op op : {Op::St, Op::Sth, Op::Stb}) {
+        AsmInst st;
+        st.op = op;
+        st.rs1 = 30;
+        st.rs2 = 11;
+        st.imm = -8;
+        expectRoundTrip(kDLXe, st, op, Cond::Eq, 0, 30, 11, -8);
+    }
+}
+
+TEST(DLXeCodec, BranchesAndJumps)
+{
+    for (Op op : {Op::Bz, Op::Bnz}) {
+        AsmInst b;
+        b.op = op;
+        b.rs1 = 19;
+        b.imm = -32768;
+        expectRoundTrip(kDLXe, b, op, Cond::Eq, 0, 19, 0, -32768);
+    }
+    AsmInst br;
+    br.op = Op::Br;
+    br.imm = 1000;
+    expectRoundTrip(kDLXe, br, Op::Br, Cond::Eq, 0, 0, 0, 1000);
+    br.imm = 2;  // unaligned
+    EXPECT_THROW(dlxeEncode(br), FatalError);
+
+    AsmInst j;
+    j.op = Op::J;
+    j.imm = -(1 << 25);
+    expectRoundTrip(kDLXe, j, Op::J, Cond::Eq, 0, 0, 0, -(1 << 25));
+    j.op = Op::Jl;
+    j.imm = 4 * ((1 << 25) - 1);
+    expectRoundTrip(kDLXe, j, Op::Jl, Cond::Eq, 1, 0, 0,
+                    4 * ((1 << 25) - 1));
+    j.imm = 4 * (int64_t{1} << 25);
+    EXPECT_THROW(dlxeEncode(j), FatalError);
+
+    expectRoundTrip(kDLXe, AsmInst::ri(Op::Jr, -1, 9, 0),
+                    Op::Jr, Cond::Eq, 0, 9, 0, 0);
+    expectRoundTrip(kDLXe, AsmInst::ri(Op::Jlr, -1, 2, 0),
+                    Op::Jlr, Cond::Eq, 1, 2, 0, 0);
+    AsmInst jrz = AsmInst::r3(Op::Jrz, -1, 3, 8);
+    expectRoundTrip(kDLXe, jrz, Op::Jrz, Cond::Eq, 0, 3, 8, 0);
+    AsmInst jrnz = AsmInst::r3(Op::Jrnz, -1, 3, 8);
+    expectRoundTrip(kDLXe, jrnz, Op::Jrnz, Cond::Eq, 0, 3, 8, 0);
+}
+
+TEST(DLXeCodec, FpOps)
+{
+    for (Op op : {Op::FAddS, Op::FAddD, Op::FSubS, Op::FSubD, Op::FMulS,
+                  Op::FMulD, Op::FDivS, Op::FDivD}) {
+        expectRoundTrip(kDLXe, AsmInst::r3(op, 30, 29, 28),
+                        op, Cond::Eq, 30, 29, 28, 0);
+    }
+    for (Op op : {Op::CvtSiSf, Op::CvtSiDf, Op::CvtSfDf, Op::CvtDfSf,
+                  Op::CvtSfSi, Op::CvtDfSi}) {
+        expectRoundTrip(kDLXe, AsmInst::ri(op, 4, 22, 0),
+                        op, Cond::Eq, 4, 22, 0, 0);
+    }
+    for (Cond c : {Cond::Lt, Cond::Le, Cond::Eq}) {
+        AsmInst i = AsmInst::r3(Op::FCmpD, -1, 14, 17);
+        i.cond = c;
+        expectRoundTrip(kDLXe, i, Op::FCmpD, c, 0, 14, 17, 0);
+    }
+    expectRoundTrip(kDLXe, AsmInst::ri(Op::MifL, 3, 19, 0),
+                    Op::MifL, Cond::Eq, 3, 19, 0, 0);
+    expectRoundTrip(kDLXe, AsmInst::ri(Op::MfiH, 19, 3, 0),
+                    Op::MfiH, Cond::Eq, 19, 3, 0, 0);
+}
+
+TEST(DLXeCodec, TrapRdsrNop)
+{
+    AsmInst t;
+    t.op = Op::Trap;
+    t.imm = 1234;
+    expectRoundTrip(kDLXe, t, Op::Trap, Cond::Eq, 0, 0, 0, 1234);
+    expectRoundTrip(kDLXe, AsmInst::ri(Op::Rdsr, 21, -1, 0),
+                    Op::Rdsr, Cond::Eq, 21, 0, 0, 0);
+    EXPECT_EQ(dlxeEncode(AsmInst::nop()), 0u);
+    const DecodedInst d = dlxeDecode(0);
+    EXPECT_EQ(d.op, Op::Add);
+    EXPECT_EQ(d.rd, 0);
+}
+
+TEST(DLXeCodec, D16OnlyOpsRejected)
+{
+    AsmInst ldc;
+    ldc.op = Op::Ldc;
+    EXPECT_THROW(dlxeEncode(ldc), FatalError);
+}
+
+TEST(DLXeCodec, ReservedEncodingsRejected)
+{
+    // R-type func 11 is reserved.
+    EXPECT_THROW(dlxeDecode(11), FatalError);
+    // Unused primary opcode 0x3d.
+    EXPECT_THROW(dlxeDecode(0x3du << 26), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Instruction size property: D16 words always fit in 16 bits.
+// ---------------------------------------------------------------------
+
+TEST(D16Codec, EverythingFitsIn16Bits)
+{
+    // d16Encode returns uint16_t by construction; spot-check format tags.
+    EXPECT_EQ(d16Encode(AsmInst::r3(Op::Add, 1, 1, 2)) >> 14, 0b01);
+    AsmInst ld = AsmInst::ri(Op::Ld, 1, 2, 8);
+    EXPECT_EQ(d16Encode(ld) >> 14, 0b10);
+    EXPECT_EQ(d16Encode(AsmInst::r3(Op::FAddS, 1, 1, 2)) >> 14, 0b11);
+    AsmInst mvi = AsmInst::ri(Op::MvI, 1, -1, 7);
+    EXPECT_EQ(d16Encode(mvi) >> 13, 0b001);
+    AsmInst br;
+    br.op = Op::Br;
+    br.imm = 4;
+    EXPECT_EQ(d16Encode(br) >> 12, 0b0000);
+    AsmInst ldc;
+    ldc.op = Op::Ldc;
+    ldc.imm = -4;
+    EXPECT_EQ(d16Encode(ldc) >> 12, 0b0001);
+}
+
+// ---------------------------------------------------------------------
+// Disassembly
+// ---------------------------------------------------------------------
+
+TEST(Disasm, SpotChecks)
+{
+    const DecodedInst add =
+        decode(kDLXe, dlxeEncode(AsmInst::r3(Op::Add, 5, 6, 7)));
+    EXPECT_EQ(disassemble(kDLXe, add, 0x1000), "add r5, r6, r7");
+
+    const DecodedInst cmp =
+        decode(kDLXe, dlxeEncode(AsmInst::cmp(Cond::Ltu, 4, 2, 3)));
+    EXPECT_EQ(disassemble(kDLXe, cmp, 0x1000), "cmp.ltu r4, r2, r3");
+
+    const DecodedInst ld =
+        decode(kD16, d16Encode(AsmInst::ri(Op::Ld, 3, 15, 8)));
+    EXPECT_EQ(disassemble(kD16, ld, 0x1000), "ld r3, 8(sp)");
+
+    AsmInst brIn;
+    brIn.op = Op::Br;
+    brIn.imm = -4;
+    const DecodedInst br = decode(kD16, d16Encode(brIn));
+    EXPECT_EQ(disassemble(kD16, br, 0x1000), "br 0x00000ffc");
+
+    const DecodedInst fa =
+        decode(kD16, d16Encode(AsmInst::r3(Op::FMulD, 2, 2, 9)));
+    EXPECT_EQ(disassemble(kD16, fa, 0), "mul.df f2, f2, f9");
+
+    AsmInst fcmp = AsmInst::r3(Op::FCmpS, -1, 1, 2);
+    fcmp.cond = Cond::Le;
+    const DecodedInst fc = decode(kD16, d16Encode(fcmp));
+    EXPECT_EQ(disassemble(kD16, fc, 0), "cmp.le.sf f1, f2");
+}
+
+// ---------------------------------------------------------------------
+// Parameterized exhaustive-ish round trip over register pairs.
+// ---------------------------------------------------------------------
+
+class D16RegisterPairs : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(D16RegisterPairs, MvRoundTrip)
+{
+    const auto [rd, rs] = GetParam();
+    const DecodedInst d =
+        d16Decode(d16Encode(AsmInst::ri(Op::Mv, rd, rs, 0)));
+    EXPECT_EQ(d.op, Op::Mv);
+    EXPECT_EQ(int{d.rd}, rd);
+    EXPECT_EQ(int{d.rs1}, rs);
+}
+
+TEST_P(D16RegisterPairs, SubWordRoundTrip)
+{
+    const auto [rd, rs] = GetParam();
+    const DecodedInst d =
+        d16Decode(d16Encode(AsmInst::ri(Op::Ldbu, rd, rs, 0)));
+    EXPECT_EQ(d.op, Op::Ldbu);
+    EXPECT_EQ(int{d.rd}, rd);
+    EXPECT_EQ(int{d.rs1}, rs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, D16RegisterPairs,
+    ::testing::Combine(::testing::Range(0, 16), ::testing::Range(0, 16)));
+
+class DLXeImmediates : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DLXeImmediates, AddiRoundTrip)
+{
+    const int imm = GetParam();
+    const DecodedInst d =
+        dlxeDecode(dlxeEncode(AsmInst::ri(Op::AddI, 3, 4, imm)));
+    EXPECT_EQ(d.imm, imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepImm, DLXeImmediates,
+                         ::testing::Values(-32768, -12345, -256, -1, 0, 1,
+                                           255, 256, 12345, 32767));
+
+} // namespace

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Compiler back-end unit tests: optimization passes, liveness, the
+ * legalizer, and the register allocator, checked on hand-built IR and
+ * on small compiled programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mc/irgen.hh"
+#include "mc/legalize.hh"
+#include "mc/liveness.hh"
+#include "mc/opt.hh"
+#include "mc/parser.hh"
+#include "mc/regalloc.hh"
+#include "mc/sema.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::mc;
+
+IrModule
+toIr(std::string_view src, int optLevel = 2)
+{
+    Program p = parseProgram(src);
+    analyze(p);
+    IrModule m = generateIr(p);
+    for (IrFunction &fn : m.functions)
+        optimize(fn, optLevel);
+    return m;
+}
+
+int
+countOps(const IrFunction &fn, IrOp op)
+{
+    int n = 0;
+    for (const auto &bb : fn.blocks)
+        for (const auto &i : bb.insts)
+            if (i.op == op)
+                ++n;
+    return n;
+}
+
+int
+countInsts(const IrFunction &fn)
+{
+    int n = 0;
+    for (const auto &bb : fn.blocks)
+        n += static_cast<int>(bb.insts.size());
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Optimization passes
+// ---------------------------------------------------------------------
+
+TEST(Opt, ConstantFolding)
+{
+    IrModule m = toIr("int f() { return 3 * 4 + 10 / 2 - (7 & 5); }\n");
+    const IrFunction &f = m.functions[0];
+    // Everything folds to a single constant (12 + 5 - 5 = 12).
+    EXPECT_EQ(countOps(f, IrOp::Mul), 0);
+    EXPECT_EQ(countOps(f, IrOp::DivS), 0);
+    bool found = false;
+    for (const auto &bb : f.blocks)
+        for (const auto &i : bb.insts)
+            if (i.op == IrOp::MovImm && i.imm == 12)
+                found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Opt, DeadCodeElimination)
+{
+    IrModule m = toIr(R"(
+int f(int a) {
+    int unused = a * 77;
+    int alsoUnused = unused + 1;
+    return a;
+}
+)");
+    // The dead multiply chain disappears.
+    EXPECT_EQ(countOps(m.functions[0], IrOp::Mul), 0);
+    EXPECT_LE(countInsts(m.functions[0]), 3);
+}
+
+TEST(Opt, ConstantBranchFolds)
+{
+    IrModule m = toIr(R"(
+int f(int a) {
+    if (1 < 2) return a + 1;
+    return a * 1000;  /* unreachable: block removed */
+}
+)");
+    EXPECT_EQ(countOps(m.functions[0], IrOp::Br), 0);
+    EXPECT_EQ(countOps(m.functions[0], IrOp::BrCmp), 0);
+    EXPECT_EQ(countOps(m.functions[0], IrOp::Mul), 0);
+}
+
+TEST(Opt, LocalCseRemovesRedundantLoads)
+{
+    Program p = parseProgram(R"(
+int g;
+int f() { return g + g; }
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    localCse(m.functions[0]);
+    eliminateDeadCode(m.functions[0]);
+    EXPECT_EQ(countOps(m.functions[0], IrOp::Load), 1);
+}
+
+TEST(Opt, StoreKillsLoadCse)
+{
+    Program p = parseProgram(R"(
+int g;
+int f(int v) { int a = g; g = v; return a + g; }
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    localCse(m.functions[0]);
+    eliminateDeadCode(m.functions[0]);
+    // The load after the store must survive.
+    EXPECT_EQ(countOps(m.functions[0], IrOp::Load), 2);
+}
+
+TEST(Opt, LicmHoistsInvariantMultiply)
+{
+    IrModule m = toIr(R"(
+int f(int a, int n) {
+    int i, s = 0;
+    for (i = 0; i < n; i++)
+        s += i & (a * 3 + 1);   /* a*3+1 is loop invariant */
+    return s;
+}
+)");
+    const IrFunction &f = m.functions[0];
+    // The multiply must sit in a block that is not part of the loop
+    // (the loop is the strongly-connected region; entry/preheader
+    // blocks execute once). Heuristic check: the Mul's block has no
+    // back edge into it.
+    int mulBlock = -1;
+    for (const auto &bb : f.blocks)
+        for (const auto &i : bb.insts)
+            if (i.op == IrOp::Mul)
+                mulBlock = bb.id;
+    ASSERT_GE(mulBlock, 0);
+    for (const auto &bb : f.blocks)
+        for (int s : bb.successors())
+            if (s == mulBlock)
+                EXPECT_LT(bb.id, mulBlock) << "loop back edge into Mul";
+}
+
+// ---------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------
+
+TEST(Liveness, RegSetBasics)
+{
+    RegSet s(200);
+    EXPECT_FALSE(s.contains(150));
+    s.add(150);
+    s.add(3);
+    EXPECT_TRUE(s.contains(150));
+    EXPECT_EQ(s.count(), 2);
+    RegSet t(200);
+    t.add(3);
+    t.add(9);
+    EXPECT_TRUE(s.unionWith(t));
+    EXPECT_FALSE(s.unionWith(t));  // no change second time
+    EXPECT_EQ(s.count(), 3);
+    s.remove(3);
+    EXPECT_FALSE(s.contains(3));
+    int seen = 0;
+    s.forEach([&](int) { ++seen; });
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(Liveness, LoopKeepsAccumulatorLive)
+{
+    IrModule m = toIr(R"(
+int f(int n) {
+    int s = 0, i;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}
+)");
+    const IrFunction &f = m.functions[0];
+    const Liveness lv = computeLiveness(f);
+    // Some register is live around the loop back edge: at least one
+    // block has a nonempty live-out.
+    int maxLive = 0;
+    for (const auto &out : lv.liveOut)
+        maxLive = std::max(maxLive, out.count());
+    EXPECT_GE(maxLive, 2);  // accumulator + induction variable
+}
+
+// ---------------------------------------------------------------------
+// Legalizer
+// ---------------------------------------------------------------------
+
+TEST(Legalize, D16HoistsWideImmediates)
+{
+    Program p = parseProgram("int f(int a) { return a + 1000; }\n");
+    analyze(p);
+    IrModule m = generateIr(p);
+    const MachineEnv env(CompileOptions::d16());
+    legalize(m.functions[0], env);
+    // a + 1000 becomes movi + register add.
+    EXPECT_EQ(countOps(m.functions[0], IrOp::MovImm), 1);
+    bool regAdd = false;
+    for (const auto &bb : m.functions[0].blocks)
+        for (const auto &i : bb.insts)
+            if (i.op == IrOp::Add && i.b.isReg())
+                regAdd = true;
+    EXPECT_TRUE(regAdd);
+}
+
+TEST(Legalize, DLXeKeepsWideImmediates)
+{
+    Program p = parseProgram("int f(int a) { return a + 1000; }\n");
+    analyze(p);
+    IrModule m = generateIr(p);
+    const MachineEnv env(CompileOptions::dlxe());
+    legalize(m.functions[0], env);
+    EXPECT_EQ(countOps(m.functions[0], IrOp::MovImm), 0);
+}
+
+TEST(Legalize, MulBecomesShiftAddOrCall)
+{
+    {
+        Program p = parseProgram("int f(int a) { return a * 8; }\n");
+        analyze(p);
+        IrModule m = generateIr(p);
+        const MachineEnv env(CompileOptions::dlxe());
+        legalize(m.functions[0], env);
+        EXPECT_EQ(countOps(m.functions[0], IrOp::Mul), 0);
+        EXPECT_EQ(countOps(m.functions[0], IrOp::Call), 0);
+        EXPECT_GE(countOps(m.functions[0], IrOp::Shl), 1);
+    }
+    {
+        Program p = parseProgram("int f(int a, int b) { return a * b; }\n");
+        analyze(p);
+        IrModule m = generateIr(p);
+        const MachineEnv env(CompileOptions::dlxe());
+        legalize(m.functions[0], env);
+        EXPECT_EQ(countOps(m.functions[0], IrOp::Mul), 0);
+        EXPECT_EQ(countOps(m.functions[0], IrOp::Call), 1);
+    }
+}
+
+TEST(Legalize, CompareBranchFusion)
+{
+    Program p = parseProgram(R"(
+int f(int a, int b) {
+    if (a < b) return 1;
+    return 2;
+}
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    optimize(m.functions[0], 2);
+    const MachineEnv env(CompileOptions::d16());
+    legalize(m.functions[0], env);
+    EXPECT_EQ(countOps(m.functions[0], IrOp::BrCmp), 1);
+    EXPECT_EQ(countOps(m.functions[0], IrOp::Cmp), 0);
+}
+
+TEST(Legalize, D16SwapsUnavailableConditions)
+{
+    Program p = parseProgram(R"(
+int f(int a, int b) { return a > b; }
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    const MachineEnv env(CompileOptions::d16());
+    legalize(m.functions[0], env);
+    for (const auto &bb : m.functions[0].blocks)
+        for (const auto &i : bb.insts)
+            if (i.op == IrOp::Cmp || i.op == IrOp::BrCmp)
+                EXPECT_TRUE(d16HasCond(i.cond))
+                    << isa::condName(i.cond);
+}
+
+TEST(Legalize, FpMemorySplitsThroughGprs)
+{
+    Program p = parseProgram(R"(
+double g;
+double f() { return g; }
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    const MachineEnv env(CompileOptions::dlxe());
+    legalize(m.functions[0], env);
+    const IrFunction &f = m.functions[0];
+    // 8-byte FP load becomes two word loads + mif.l/mif.h.
+    EXPECT_EQ(countOps(f, IrOp::Load), 2);
+    EXPECT_EQ(countOps(f, IrOp::MifL), 1);
+    EXPECT_EQ(countOps(f, IrOp::MifH), 1);
+}
+
+TEST(Legalize, TwoAddressTying)
+{
+    Program p = parseProgram("int f(int a, int b) { return a + b; }\n");
+    analyze(p);
+    IrModule m = generateIr(p);
+    const MachineEnv env(CompileOptions::dlxe(32, false));
+    legalize(m.functions[0], env);
+    // Every tied binop has dst == a.
+    for (const auto &bb : m.functions[0].blocks)
+        for (const auto &i : bb.insts)
+            if (i.op == IrOp::Add && i.dst.valid())
+                EXPECT_EQ(i.dst.id, i.a.id);
+}
+
+// ---------------------------------------------------------------------
+// Register allocation
+// ---------------------------------------------------------------------
+
+TEST(RegAlloc, AssignsOnlyAllocatableRegisters)
+{
+    Program p = parseProgram(R"(
+int f(int a, int b, int c, int d) {
+    return a * b + c * d + a * c + b * d;
+}
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    for (const auto &optsPair :
+         {CompileOptions::d16(), CompileOptions::dlxe(16, true),
+          CompileOptions::dlxe()}) {
+        IrModule copy = generateIr(p);
+        IrFunction &fn = copy.functions[0];
+        optimize(fn, 2);
+        const MachineEnv env(optsPair);
+        legalize(fn, env);
+        lowerCallsAbi(fn, env);
+        const Allocation alloc = allocateRegisters(fn, env);
+        for (int v = 0; v < fn.numVRegs(); ++v) {
+            const int c = alloc.color[v];
+            if (c < 0)
+                continue;
+            const RegClass cls = fn.vregClass[v];
+            const auto &pool = env.allocatable(cls);
+            const bool inPool =
+                std::find(pool.begin(), pool.end(), c) != pool.end();
+            const bool dedicated =
+                cls == RegClass::Int &&
+                (c == env.retReg(RegClass::Int) || c == env.raReg() ||
+                 c == 2 || c == 3 || c == 4 || c == 5);
+            EXPECT_TRUE(inPool || dedicated)
+                << optsPair.name() << " v" << v << " -> " << c;
+        }
+    }
+}
+
+TEST(RegAlloc, CoalescesMostAbiMoves)
+{
+    Program p = parseProgram(R"(
+int add2(int a, int b) { return a + b; }
+)");
+    analyze(p);
+    IrModule m = generateIr(p);
+    IrFunction &fn = m.functions[0];
+    optimize(fn, 2);
+    const MachineEnv env(CompileOptions::dlxe());
+    legalize(fn, env);
+    lowerCallsAbi(fn, env);
+    const Allocation alloc = allocateRegisters(fn, env);
+    // add2's params arrive in r2/r3 and the result leaves in r2; all
+    // ABI moves should coalesce away.
+    EXPECT_GE(alloc.coalescedMoves, 2);
+    EXPECT_EQ(alloc.spilledRegs, 0);
+}
+
+TEST(RegAlloc, SpillsConvergeUnderExtremePressure)
+{
+    // 30 live values on a 12-register machine.
+    std::string src = "int f() {\n";
+    for (int i = 0; i < 30; ++i)
+        src += "  int v" + std::to_string(i) + " = " +
+               std::to_string(i * 3 + 1) + ";\n";
+    // Keep them all live across a statement barrier.
+    src += "  int s = 0;\n  int i;\n  for (i = 0; i < 3; i++) {\n";
+    for (int i = 0; i < 30; ++i)
+        src += "    s += v" + std::to_string(i) + ";\n";
+    for (int i = 0; i < 30; ++i)
+        src += "    v" + std::to_string(i) + " ^= s;\n";
+    src += "  }\n  return s;\n}\n";
+
+    Program p = parseProgram(src);
+    analyze(p);
+    IrModule m = generateIr(p);
+    IrFunction &fn = m.functions[0];
+    optimize(fn, 2);
+    const MachineEnv env(CompileOptions::d16());
+    legalize(fn, env);
+    lowerCallsAbi(fn, env);
+    const Allocation alloc = allocateRegisters(fn, env);
+    EXPECT_GT(alloc.spilledRegs, 0);
+    // Every used vreg ends with a color.
+    for (const auto &bb : fn.blocks) {
+        for (const auto &inst : bb.insts) {
+            forEachUse(inst, [&](VReg r) {
+                EXPECT_GE(alloc.color[r.id], 0);
+            });
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * MiniC front-end tests: lexer, parser, type system, sema diagnostics,
+ * and IR generation shape checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mc/irgen.hh"
+#include "mc/lexer.hh"
+#include "mc/parser.hh"
+#include "mc/sema.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::mc;
+
+Program
+front(std::string_view src)
+{
+    Program p = parseProgram(src);
+    analyze(p);
+    return p;
+}
+
+IrModule
+toIr(std::string_view src)
+{
+    Program p = front(src);
+    return generateIr(p);
+}
+
+TEST(Lexer, TokensAndComments)
+{
+    auto toks = lex(R"(
+// line comment
+int x = 0x1f; /* block
+comment */ char c = 'a'; double d = 1.5e3;
+float f = 2.5f;
+s = "hi\n" "there";
+a <<= b >> 2; p->q.r++;
+)");
+    ASSERT_GT(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[3].kind, Tok::IntLit);
+    EXPECT_EQ(toks[3].intValue, 0x1f);
+    // char literal
+    bool sawChar = false, sawFloat = false, sawSingle = false,
+         sawString = false;
+    for (const Token &t : toks) {
+        if (t.kind == Tok::CharLit && t.intValue == 'a')
+            sawChar = true;
+        if (t.kind == Tok::FloatLit && t.floatValue == 1500.0)
+            sawFloat = true;
+        if (t.kind == Tok::FloatLit && t.floatIsSingle)
+            sawSingle = true;
+        if (t.kind == Tok::StringLit && t.text == "hi\nthere")
+            sawString = true;
+    }
+    EXPECT_TRUE(sawChar);
+    EXPECT_TRUE(sawFloat);
+    EXPECT_TRUE(sawSingle);
+    EXPECT_TRUE(sawString);
+    EXPECT_EQ(toks.back().kind, Tok::End);
+}
+
+TEST(Lexer, Errors)
+{
+    EXPECT_THROW(lex("char c = 'ab';"), FatalError);
+    EXPECT_THROW(lex("\"unterminated"), FatalError);
+    EXPECT_THROW(lex("int x = `;"), FatalError);
+    EXPECT_THROW(lex("/* never closed"), FatalError);
+}
+
+TEST(Types, SizesAndLayout)
+{
+    TypeTable tt;
+    EXPECT_EQ(tt.intTy()->size(), 4);
+    EXPECT_EQ(tt.charTy()->size(), 1);
+    EXPECT_EQ(tt.doubleTy()->size(), 8);
+    EXPECT_EQ(tt.pointerTo(tt.doubleTy())->size(), 4);
+    EXPECT_EQ(tt.arrayOf(tt.intTy(), 10)->size(), 40);
+    EXPECT_EQ(tt.arrayOf(tt.charTy(), 3)->align(), 1);
+    // Interning: same derived type yields the same pointer.
+    EXPECT_EQ(tt.pointerTo(tt.intTy()), tt.pointerTo(tt.intTy()));
+    EXPECT_EQ(tt.arrayOf(tt.intTy(), 5), tt.arrayOf(tt.intTy(), 5));
+}
+
+TEST(Parser, StructLayout)
+{
+    Program p = front(R"(
+struct pair { char tag; double value; int next; };
+struct pair g;
+int main() { return sizeof(struct pair); }
+)");
+    const StructInfo *s = p.types.findStruct("pair");
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->complete);
+    ASSERT_EQ(s->fields.size(), 3u);
+    EXPECT_EQ(s->fields[0].offset, 0);
+    EXPECT_EQ(s->fields[1].offset, 8);   // aligned for double
+    EXPECT_EQ(s->fields[2].offset, 16);
+    EXPECT_EQ(s->size, 24);              // rounded to align 8
+    EXPECT_EQ(s->align, 8);
+}
+
+TEST(Parser, GlobalsAndConstExpr)
+{
+    Program p = front(R"(
+int table[4 * 8];
+int limit = 100;
+char msg[6] = "hello";
+int weights[3] = { 1, 2, 3 };
+int main() { return 0; }
+)");
+    ASSERT_EQ(p.globals.size(), 4u);
+    EXPECT_EQ(p.globals[0].type->arrayLen(), 32);
+    EXPECT_TRUE(p.globals[2].hasStringInit);
+    EXPECT_EQ(p.globals[3].initList.size(), 3u);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseProgram("int main( { }"), FatalError);
+    EXPECT_THROW(parseProgram("int main() { return 1 }"), FatalError);
+    EXPECT_THROW(parseProgram("int main() { if x) ; }"), FatalError);
+    EXPECT_THROW(parseProgram("int a[]; "), FatalError);
+}
+
+TEST(Sema, TypeErrors)
+{
+    EXPECT_THROW(front("int main() { return undeclared; }"), FatalError);
+    EXPECT_THROW(front("int main() { int x; x(); return 0; }"),
+                 FatalError);
+    EXPECT_THROW(front("int main() { 1 = 2; return 0; }"), FatalError);
+    EXPECT_THROW(front("int main() { int a[3]; a = 0; return 0; }"),
+                 FatalError);
+    EXPECT_THROW(front("int main() { double d; return d % 2.0; }"),
+                 FatalError);
+    EXPECT_THROW(front("int main() { break; }"), FatalError);
+    EXPECT_THROW(front("void f(int a); int main() { f(); return 0; }"),
+                 FatalError);
+    EXPECT_THROW(front("int main() { int x; return x.field; }"),
+                 FatalError);
+    EXPECT_THROW(front("int main() { print_int(1, 2); return 0; }"),
+                 FatalError);
+    // Builtins cannot be shadowed.
+    EXPECT_THROW(front("void print_int(int x) { } int main() {return 0;}"),
+                 FatalError);
+}
+
+TEST(Sema, ImplicitConversionsInserted)
+{
+    Program p = front(R"(
+int main() {
+    double d = 1;      // int -> double cast inserted
+    int i = d;         // double -> int
+    unsigned u = i;
+    char c = i;
+    return c + u;
+}
+)");
+    ASSERT_EQ(p.functions.size(), 1u);
+    // Smoke: the program analyzed without error and locals were
+    // recorded (d, i, u, c).
+    EXPECT_EQ(p.functions[0].locals.size(), 4u);
+}
+
+TEST(Sema, AddressTakenMarking)
+{
+    Program p = front(R"(
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+int main() {
+    int x = 1, y = 2, z = 3;
+    swap(&x, &y);
+    return x + y + z;
+}
+)");
+    const FuncDecl &mainFn = p.functions[1];
+    ASSERT_EQ(mainFn.locals.size(), 3u);
+    EXPECT_TRUE(mainFn.locals[0].addressTaken);   // x
+    EXPECT_TRUE(mainFn.locals[1].addressTaken);   // y
+    EXPECT_FALSE(mainFn.locals[2].addressTaken);  // z
+}
+
+TEST(Sema, StringsPooled)
+{
+    Program p = front(R"(
+int main() { print_str("one"); print_str("two"); return 0; }
+)");
+    ASSERT_EQ(p.strings.size(), 2u);
+    EXPECT_EQ(p.strings[0], "one");
+    EXPECT_EQ(p.strings[1], "two");
+}
+
+TEST(IrGen, StraightLineShape)
+{
+    IrModule m = toIr(R"(
+int add3(int a, int b, int c) { return a + b + c; }
+)");
+    ASSERT_EQ(m.functions.size(), 1u);
+    const IrFunction &f = m.functions[0];
+    EXPECT_EQ(f.name, "add3");
+    EXPECT_EQ(f.params.size(), 3u);
+    ASSERT_GE(f.blocks.size(), 1u);
+    const auto &insts = f.blocks[0].insts;
+    ASSERT_GE(insts.size(), 3u);
+    EXPECT_EQ(insts[0].op, IrOp::Add);
+    EXPECT_EQ(insts[1].op, IrOp::Add);
+    EXPECT_EQ(insts.back().op, IrOp::Ret);
+}
+
+TEST(IrGen, ImmediateOperandsStaySymbolic)
+{
+    IrModule m = toIr("int f(int a) { return a + 1000000; }\n");
+    const auto &insts = m.functions[0].blocks[0].insts;
+    ASSERT_EQ(insts[0].op, IrOp::Add);
+    ASSERT_TRUE(insts[0].b.isImm());
+    // The IR carries the immediate; per-target legality is decided in
+    // code generation (the paper's immediate-field ablation).
+    EXPECT_EQ(insts[0].b.imm, 1000000);
+}
+
+TEST(IrGen, LoopShape)
+{
+    IrModule m = toIr(R"(
+int sum(int n) {
+    int s = 0;
+    int i;
+    for (i = 1; i <= n; i++) s += i;
+    return s;
+}
+)");
+    const IrFunction &f = m.functions[0];
+    // entry, cond, body, step, exit (+ possibly extras).
+    EXPECT_GE(f.blocks.size(), 5u);
+    // Exactly one Br with both successors.
+    int brs = 0;
+    for (const auto &b : f.blocks)
+        for (const auto &i : b.insts)
+            if (i.op == IrOp::Br)
+                ++brs;
+    EXPECT_EQ(brs, 1);
+}
+
+TEST(IrGen, AddressTakenLocalGetsSlot)
+{
+    IrModule m = toIr(R"(
+int main() { int x = 5; int *p = &x; *p = 7; return x; }
+)");
+    const IrFunction &f = m.functions[0];
+    ASSERT_EQ(f.slots.size(), 1u);
+    EXPECT_EQ(f.slots[0].size, 4);
+}
+
+TEST(IrGen, ArrayIndexingFoldsConstantOffsets)
+{
+    IrModule m = toIr(R"(
+int g[10];
+int main() { return g[3]; }
+)");
+    const auto &insts = m.functions[0].blocks[0].insts;
+    ASSERT_EQ(insts[0].op, IrOp::Load);
+    EXPECT_EQ(insts[0].addr.kind, AddrKind::Global);
+    EXPECT_EQ(insts[0].addr.sym, "g");
+    EXPECT_EQ(insts[0].addr.offset, 12);
+}
+
+TEST(IrGen, MulDivSurviveToIr)
+{
+    IrModule m = toIr("int f(int a, int b) { return a * b + a / b; }\n");
+    const auto &insts = m.functions[0].blocks[0].insts;
+    EXPECT_EQ(insts[0].op, IrOp::Mul);
+    EXPECT_EQ(insts[1].op, IrOp::DivS);
+}
+
+TEST(IrGen, CharLoadSignedness)
+{
+    IrModule m = toIr(R"(
+char c; unsigned char_as_uint;
+int main() { return c; }
+)");
+    const auto &insts = m.functions[0].blocks[0].insts;
+    ASSERT_EQ(insts[0].op, IrOp::Load);
+    EXPECT_EQ(insts[0].size, 1);
+    EXPECT_TRUE(insts[0].signedLoad);
+}
+
+TEST(IrGen, DumpIsReadable)
+{
+    IrModule m = toIr("int f(int a) { return a * 2; }\n");
+    const std::string dump = m.functions[0].dump();
+    EXPECT_NE(dump.find("func f"), std::string::npos);
+    EXPECT_NE(dump.find("mul"), std::string::npos);
+    EXPECT_NE(dump.find("ret"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the support substrate (bits, strings, table, error).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace d16sim;
+
+TEST(Bits, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(5), 0x1fu);
+    EXPECT_EQ(maskBits(16), 0xffffu);
+    EXPECT_EQ(maskBits(32), 0xffffffffu);
+}
+
+TEST(Bits, ExtractInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xbe), 0xbe00u);
+    EXPECT_EQ(insertBits(0xffffffff, 7, 4, 0), 0xffffff0fu);
+    // Insert masks excess field bits.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x1ff, 9), -1);
+    EXPECT_EQ(signExtend(0x0ff, 9), 255);
+    EXPECT_EQ(signExtend(0x100, 9), -256);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x7fff, 16), 32767);
+}
+
+TEST(Bits, Fits)
+{
+    EXPECT_TRUE(fitsSigned(-256, 9));
+    EXPECT_TRUE(fitsSigned(255, 9));
+    EXPECT_FALSE(fitsSigned(256, 9));
+    EXPECT_FALSE(fitsSigned(-257, 9));
+    EXPECT_TRUE(fitsUnsigned(31, 5));
+    EXPECT_FALSE(fitsUnsigned(32, 5));
+    EXPECT_FALSE(fitsUnsigned(-1, 5));
+}
+
+TEST(Bits, AlignHelpers)
+{
+    EXPECT_TRUE(isAligned(8, 4));
+    EXPECT_FALSE(isAligned(6, 4));
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(24));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  ld   r1, 4(r2) ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "ld");
+    EXPECT_EQ(parts[1], "r1,");
+    EXPECT_EQ(parts[2], "4(r2)");
+}
+
+TEST(Strings, Misc)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("h", "he"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_EQ(hexString(0xbeef, 4), "0xbeef");
+    EXPECT_EQ(fixed(1.23456, 2), "1.23");
+}
+
+TEST(Error, FatalAndPanic)
+{
+    EXPECT_THROW(fatal("bad ", 42), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    try {
+        fatal("value=", 7, " name=", "x");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=x");
+    }
+    EXPECT_NO_THROW(panicIf(false, "ok"));
+    EXPECT_THROW(panicIf(true, "no"), PanicError);
+}
+
+TEST(Table, Renders)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1.50"});
+    t.addRow({"b", "12.25"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    // Numeric column right-aligned: "12.25" wider than " 1.50" check.
+    EXPECT_NE(s.find(" 1.50"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, ArityChecked)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+} // namespace

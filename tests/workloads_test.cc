@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Benchmark-suite tests: every workload compiles, runs, and produces
+ * identical output on all five machine variants; aggregate ratios
+ * land in the neighbourhoods the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::core;
+using mc::CompileOptions;
+
+const CompileOptions kVariants[] = {
+    CompileOptions::d16(),
+    CompileOptions::dlxe(16, false),
+    CompileOptions::dlxe(16, true),
+    CompileOptions::dlxe(32, false),
+    CompileOptions::dlxe(32, true),
+};
+
+TEST(Workloads, SuiteShape)
+{
+    const auto &suite = workloadSuite();
+    EXPECT_EQ(suite.size(), 15u);
+    EXPECT_EQ(suite[0].name, "ackermann");
+    EXPECT_EQ(workload("towers").name, "towers");
+    EXPECT_THROW(workload("nope"), FatalError);
+    const auto cacheNames = cacheBenchmarkNames();
+    ASSERT_EQ(cacheNames.size(), 3u);
+    for (const auto &n : cacheNames)
+        EXPECT_TRUE(workload(n).cacheBenchmark);
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(WorkloadRuns, IdenticalOutputOnAllVariants)
+{
+    const Workload &w = workloadSuite()[GetParam()];
+    SCOPED_TRACE(w.name);
+
+    std::string reference;
+    uint64_t d16Path = 0, dlxePath = 0;
+    uint32_t d16Size = 0, dlxeSize = 0;
+    for (const CompileOptions &opts : kVariants) {
+        SCOPED_TRACE(opts.name());
+        const RunMeasurement m = buildAndRun(w.source, opts);
+        EXPECT_EQ(m.exitStatus, 0) << opts.name();
+        EXPECT_FALSE(m.output.empty());
+        if (reference.empty())
+            reference = m.output;
+        else
+            EXPECT_EQ(m.output, reference) << opts.name();
+        if (opts.isa == isa::IsaKind::D16) {
+            d16Path = m.stats.instructions;
+            d16Size = m.sizeBytes;
+        }
+        if (opts.isa == isa::IsaKind::DLXe && opts.gprCount == 32 &&
+            opts.threeAddress) {
+            dlxePath = m.stats.instructions;
+            dlxeSize = m.sizeBytes;
+        }
+    }
+
+    // Path length sanity: the workload must be substantial and DLXe
+    // must not be pathologically slower than D16.
+    EXPECT_GT(d16Path, 10000u) << w.name;
+    EXPECT_LT(dlxePath, d16Path * 11 / 10) << w.name;
+    // Sizes include (identical) data; text favors D16.
+    EXPECT_LT(d16Size, dlxeSize) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadRuns, ::testing::Range(0, 15),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return workloadSuite()[info.param].name;
+    });
+
+TEST(Workloads, SpotOutputs)
+{
+    // Fixed, hand-checkable outputs.
+    const auto ack = buildAndRun(workload("ackermann").source,
+                                 CompileOptions::dlxe());
+    EXPECT_EQ(ack.output, "ack(3,5)=253\n");
+    const auto tow = buildAndRun(workload("towers").source,
+                                 CompileOptions::d16());
+    EXPECT_EQ(tow.output, "moves=65535\n");
+    const auto q = buildAndRun(workload("queens").source,
+                               CompileOptions::dlxe(16, false));
+    EXPECT_EQ(q.output, "queens=92\n");
+}
+
+TEST(Workloads, AverageDensityNearPaper)
+{
+    // Paper Table 6: average DLXe/D16 static size ratio ~1.5-1.6.
+    double ratioSum = 0;
+    int n = 0;
+    for (const Workload &w : workloadSuite()) {
+        const auto d16 = build(w.source, CompileOptions::d16());
+        const auto dlxe = build(w.source, CompileOptions::dlxe());
+        // Compare text only to avoid data dilution in this check.
+        ratioSum += static_cast<double>(dlxe.textSize) / d16.textSize;
+        ++n;
+    }
+    const double avg = ratioSum / n;
+    EXPECT_GT(avg, 1.3);
+    EXPECT_LT(avg, 2.0);
+}
+
+TEST(Workloads, CacheBenchmarksHaveLargeFootprints)
+{
+    for (const auto &name : cacheBenchmarkNames()) {
+        const auto img = build(workload(name).source,
+                               CompileOptions::dlxe());
+        EXPECT_GT(img.textSize, 8000u) << name;
+    }
+}
+
+} // namespace
