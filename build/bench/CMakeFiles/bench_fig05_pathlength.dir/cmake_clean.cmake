@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_pathlength.dir/bench_fig05_pathlength.cc.o"
+  "CMakeFiles/bench_fig05_pathlength.dir/bench_fig05_pathlength.cc.o.d"
+  "bench_fig05_pathlength"
+  "bench_fig05_pathlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_pathlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_regfile.dir/bench_fig06_regfile.cc.o"
+  "CMakeFiles/bench_fig06_regfile.dir/bench_fig06_regfile.cc.o.d"
+  "bench_fig06_regfile"
+  "bench_fig06_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

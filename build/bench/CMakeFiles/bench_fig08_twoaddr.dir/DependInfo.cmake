@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_twoaddr.cc" "bench/CMakeFiles/bench_fig08_twoaddr.dir/bench_fig08_twoaddr.cc.o" "gcc" "bench/CMakeFiles/bench_fig08_twoaddr.dir/bench_fig08_twoaddr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/d16_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/d16_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d16_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/d16_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/d16_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/d16_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/d16_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

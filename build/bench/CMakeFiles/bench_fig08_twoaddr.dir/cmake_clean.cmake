@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_twoaddr.dir/bench_fig08_twoaddr.cc.o"
+  "CMakeFiles/bench_fig08_twoaddr.dir/bench_fig08_twoaddr.cc.o.d"
+  "bench_fig08_twoaddr"
+  "bench_fig08_twoaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_twoaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_immediates.dir/bench_fig10_immediates.cc.o"
+  "CMakeFiles/bench_fig10_immediates.dir/bench_fig10_immediates.cc.o.d"
+  "bench_fig10_immediates"
+  "bench_fig10_immediates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_immediates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

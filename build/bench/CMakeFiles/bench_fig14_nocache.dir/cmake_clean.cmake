@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_nocache.dir/bench_fig14_nocache.cc.o"
+  "CMakeFiles/bench_fig14_nocache.dir/bench_fig14_nocache.cc.o.d"
+  "bench_fig14_nocache"
+  "bench_fig14_nocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

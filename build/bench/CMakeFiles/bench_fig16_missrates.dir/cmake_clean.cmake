@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_missrates.dir/bench_fig16_missrates.cc.o"
+  "CMakeFiles/bench_fig16_missrates.dir/bench_fig16_missrates.cc.o.d"
+  "bench_fig16_missrates"
+  "bench_fig16_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_cache_traffic.dir/bench_fig19_cache_traffic.cc.o"
+  "CMakeFiles/bench_fig19_cache_traffic.dir/bench_fig19_cache_traffic.cc.o.d"
+  "bench_fig19_cache_traffic"
+  "bench_fig19_cache_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_cache_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

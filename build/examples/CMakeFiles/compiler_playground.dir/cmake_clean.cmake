@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_playground.dir/compiler_playground.cc.o"
+  "CMakeFiles/compiler_playground.dir/compiler_playground.cc.o.d"
+  "compiler_playground"
+  "compiler_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_asm.dir/assembler.cc.o"
+  "CMakeFiles/d16_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/d16_asm.dir/parser.cc.o"
+  "CMakeFiles/d16_asm.dir/parser.cc.o.d"
+  "libd16_asm.a"
+  "libd16_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_core.dir/toolchain.cc.o"
+  "CMakeFiles/d16_core.dir/toolchain.cc.o.d"
+  "CMakeFiles/d16_core.dir/workloads.cc.o"
+  "CMakeFiles/d16_core.dir/workloads.cc.o.d"
+  "libd16_core.a"
+  "libd16_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/cond.cc" "src/isa/CMakeFiles/d16_isa.dir/cond.cc.o" "gcc" "src/isa/CMakeFiles/d16_isa.dir/cond.cc.o.d"
+  "/root/repo/src/isa/d16_codec.cc" "src/isa/CMakeFiles/d16_isa.dir/d16_codec.cc.o" "gcc" "src/isa/CMakeFiles/d16_isa.dir/d16_codec.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/d16_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/d16_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/dlxe_codec.cc" "src/isa/CMakeFiles/d16_isa.dir/dlxe_codec.cc.o" "gcc" "src/isa/CMakeFiles/d16_isa.dir/dlxe_codec.cc.o.d"
+  "/root/repo/src/isa/operation.cc" "src/isa/CMakeFiles/d16_isa.dir/operation.cc.o" "gcc" "src/isa/CMakeFiles/d16_isa.dir/operation.cc.o.d"
+  "/root/repo/src/isa/target.cc" "src/isa/CMakeFiles/d16_isa.dir/target.cc.o" "gcc" "src/isa/CMakeFiles/d16_isa.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/d16_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_isa.dir/cond.cc.o"
+  "CMakeFiles/d16_isa.dir/cond.cc.o.d"
+  "CMakeFiles/d16_isa.dir/d16_codec.cc.o"
+  "CMakeFiles/d16_isa.dir/d16_codec.cc.o.d"
+  "CMakeFiles/d16_isa.dir/disasm.cc.o"
+  "CMakeFiles/d16_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/d16_isa.dir/dlxe_codec.cc.o"
+  "CMakeFiles/d16_isa.dir/dlxe_codec.cc.o.d"
+  "CMakeFiles/d16_isa.dir/operation.cc.o"
+  "CMakeFiles/d16_isa.dir/operation.cc.o.d"
+  "CMakeFiles/d16_isa.dir/target.cc.o"
+  "CMakeFiles/d16_isa.dir/target.cc.o.d"
+  "libd16_isa.a"
+  "libd16_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

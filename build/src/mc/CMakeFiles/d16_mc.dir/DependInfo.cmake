@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/codegen.cc" "src/mc/CMakeFiles/d16_mc.dir/codegen.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/codegen.cc.o.d"
+  "/root/repo/src/mc/compiler.cc" "src/mc/CMakeFiles/d16_mc.dir/compiler.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/compiler.cc.o.d"
+  "/root/repo/src/mc/ir.cc" "src/mc/CMakeFiles/d16_mc.dir/ir.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/ir.cc.o.d"
+  "/root/repo/src/mc/irgen.cc" "src/mc/CMakeFiles/d16_mc.dir/irgen.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/irgen.cc.o.d"
+  "/root/repo/src/mc/legalize.cc" "src/mc/CMakeFiles/d16_mc.dir/legalize.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/legalize.cc.o.d"
+  "/root/repo/src/mc/lexer.cc" "src/mc/CMakeFiles/d16_mc.dir/lexer.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/lexer.cc.o.d"
+  "/root/repo/src/mc/liveness.cc" "src/mc/CMakeFiles/d16_mc.dir/liveness.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/liveness.cc.o.d"
+  "/root/repo/src/mc/machine_env.cc" "src/mc/CMakeFiles/d16_mc.dir/machine_env.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/machine_env.cc.o.d"
+  "/root/repo/src/mc/opt.cc" "src/mc/CMakeFiles/d16_mc.dir/opt.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/opt.cc.o.d"
+  "/root/repo/src/mc/parser.cc" "src/mc/CMakeFiles/d16_mc.dir/parser.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/parser.cc.o.d"
+  "/root/repo/src/mc/regalloc.cc" "src/mc/CMakeFiles/d16_mc.dir/regalloc.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/regalloc.cc.o.d"
+  "/root/repo/src/mc/runtime.cc" "src/mc/CMakeFiles/d16_mc.dir/runtime.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/runtime.cc.o.d"
+  "/root/repo/src/mc/sched.cc" "src/mc/CMakeFiles/d16_mc.dir/sched.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/sched.cc.o.d"
+  "/root/repo/src/mc/sema.cc" "src/mc/CMakeFiles/d16_mc.dir/sema.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/sema.cc.o.d"
+  "/root/repo/src/mc/type.cc" "src/mc/CMakeFiles/d16_mc.dir/type.cc.o" "gcc" "src/mc/CMakeFiles/d16_mc.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/d16_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/d16_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/d16_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

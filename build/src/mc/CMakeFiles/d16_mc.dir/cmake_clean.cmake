@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_mc.dir/codegen.cc.o"
+  "CMakeFiles/d16_mc.dir/codegen.cc.o.d"
+  "CMakeFiles/d16_mc.dir/compiler.cc.o"
+  "CMakeFiles/d16_mc.dir/compiler.cc.o.d"
+  "CMakeFiles/d16_mc.dir/ir.cc.o"
+  "CMakeFiles/d16_mc.dir/ir.cc.o.d"
+  "CMakeFiles/d16_mc.dir/irgen.cc.o"
+  "CMakeFiles/d16_mc.dir/irgen.cc.o.d"
+  "CMakeFiles/d16_mc.dir/legalize.cc.o"
+  "CMakeFiles/d16_mc.dir/legalize.cc.o.d"
+  "CMakeFiles/d16_mc.dir/lexer.cc.o"
+  "CMakeFiles/d16_mc.dir/lexer.cc.o.d"
+  "CMakeFiles/d16_mc.dir/liveness.cc.o"
+  "CMakeFiles/d16_mc.dir/liveness.cc.o.d"
+  "CMakeFiles/d16_mc.dir/machine_env.cc.o"
+  "CMakeFiles/d16_mc.dir/machine_env.cc.o.d"
+  "CMakeFiles/d16_mc.dir/opt.cc.o"
+  "CMakeFiles/d16_mc.dir/opt.cc.o.d"
+  "CMakeFiles/d16_mc.dir/parser.cc.o"
+  "CMakeFiles/d16_mc.dir/parser.cc.o.d"
+  "CMakeFiles/d16_mc.dir/regalloc.cc.o"
+  "CMakeFiles/d16_mc.dir/regalloc.cc.o.d"
+  "CMakeFiles/d16_mc.dir/runtime.cc.o"
+  "CMakeFiles/d16_mc.dir/runtime.cc.o.d"
+  "CMakeFiles/d16_mc.dir/sched.cc.o"
+  "CMakeFiles/d16_mc.dir/sched.cc.o.d"
+  "CMakeFiles/d16_mc.dir/sema.cc.o"
+  "CMakeFiles/d16_mc.dir/sema.cc.o.d"
+  "CMakeFiles/d16_mc.dir/type.cc.o"
+  "CMakeFiles/d16_mc.dir/type.cc.o.d"
+  "libd16_mc.a"
+  "libd16_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_mem.dir/cache.cc.o"
+  "CMakeFiles/d16_mem.dir/cache.cc.o.d"
+  "libd16_mem.a"
+  "libd16_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

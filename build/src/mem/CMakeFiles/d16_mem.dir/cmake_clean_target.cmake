@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libd16_mem.a"
+)

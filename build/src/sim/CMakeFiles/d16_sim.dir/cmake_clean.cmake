@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_sim.dir/machine.cc.o"
+  "CMakeFiles/d16_sim.dir/machine.cc.o.d"
+  "libd16_sim.a"
+  "libd16_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

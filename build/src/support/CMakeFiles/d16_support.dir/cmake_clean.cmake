@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d16_support.dir/strings.cc.o"
+  "CMakeFiles/d16_support.dir/strings.cc.o.d"
+  "CMakeFiles/d16_support.dir/table.cc.o"
+  "CMakeFiles/d16_support.dir/table.cc.o.d"
+  "libd16_support.a"
+  "libd16_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d16_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_property_test.dir/isa_property_test.cc.o"
+  "CMakeFiles/isa_property_test.dir/isa_property_test.cc.o.d"
+  "isa_property_test"
+  "isa_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

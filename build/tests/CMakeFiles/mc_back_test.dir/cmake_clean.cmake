@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_back_test.dir/mc_back_test.cc.o"
+  "CMakeFiles/mc_back_test.dir/mc_back_test.cc.o.d"
+  "mc_back_test"
+  "mc_back_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_back_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

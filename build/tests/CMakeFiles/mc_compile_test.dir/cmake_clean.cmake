@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_compile_test.dir/mc_compile_test.cc.o"
+  "CMakeFiles/mc_compile_test.dir/mc_compile_test.cc.o.d"
+  "mc_compile_test"
+  "mc_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

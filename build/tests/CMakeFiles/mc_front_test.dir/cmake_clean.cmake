@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_front_test.dir/mc_front_test.cc.o"
+  "CMakeFiles/mc_front_test.dir/mc_front_test.cc.o.d"
+  "mc_front_test"
+  "mc_front_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_front_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

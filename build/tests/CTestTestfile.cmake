@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(isa_test "/root/repo/build/tests/isa_test")
+set_tests_properties(isa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(asm_test "/root/repo/build/tests/asm_test")
+set_tests_properties(asm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cache_test "/root/repo/build/tests/cache_test")
+set_tests_properties(cache_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mc_front_test "/root/repo/build/tests/mc_front_test")
+set_tests_properties(mc_front_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;22;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mc_compile_test "/root/repo/build/tests/mc_compile_test")
+set_tests_properties(mc_compile_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;25;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;28;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;31;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mc_back_test "/root/repo/build/tests/mc_back_test")
+set_tests_properties(mc_back_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;34;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;37;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(isa_property_test "/root/repo/build/tests/isa_property_test")
+set_tests_properties(isa_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;40;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sched_test "/root/repo/build/tests/sched_test")
+set_tests_properties(sched_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;43;add_d16_test;/root/repo/tests/CMakeLists.txt;0;")
