@@ -1,0 +1,37 @@
+#!/bin/sh
+# CI gate: tier-1 build + tests, sanitizer build + tests, and the
+# toolchain verification layer over every workload on both targets.
+#
+#   scripts/check.sh            run everything
+#   SKIP_SANITIZE=1 ...         skip the ASan/UBSan build (fast local run)
+#
+# Run from the repository root. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier 1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier 1: tests =="
+ctest --test-dir build -j "$JOBS" --output-on-failure
+
+echo "== lint: clang-tidy (skips if unavailable) =="
+cmake --build build --target lint
+
+echo "== d16lint: workloads x {D16, DLXe}, --verify-each =="
+./build/tools/d16lint --verify-each --json > build/lint.json
+echo "   wrote build/lint.json ($(wc -c < build/lint.json) bytes)"
+
+if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
+    echo "== sanitizers: ASan + UBSan build =="
+    cmake -B build-asan -S . -DD16SIM_SANITIZE=ON >/dev/null
+    cmake --build build-asan -j "$JOBS"
+
+    echo "== sanitizers: tests =="
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+fi
+
+echo "check.sh: all gates passed"

@@ -40,7 +40,7 @@ itemSize(const AsmItem &item, const isa::TargetInfo &t, bool expanded,
     switch (item.kind) {
       case ItemKind::Inst:
         addr = static_cast<uint32_t>(roundUp(addr, t.insnBytes()));
-        return (expanded ? 2 : 1) * t.insnBytes();
+        return (expanded ? 3 : 1) * t.insnBytes();
       case ItemKind::Word:
         addr = static_cast<uint32_t>(roundUp(addr, 4));
         return 4 * static_cast<uint32_t>(item.values.size());
@@ -236,21 +236,31 @@ Assembler::link(uint32_t textBase)
           case ItemKind::Inst: {
             if (place[i].expanded) {
                 // Inverted-condition short branch over an unconditional
-                // branch to the real target.
+                // branch to the real target. The inverted branch needs
+                // its own delay slot (a transfer may not sit in one),
+                // and its target is the far branch's delay slot — the
+                // original branch's slot instruction, which this way
+                // executes exactly once on either path.
                 AsmInst skip = item.inst;
                 skip.op = item.inst.op == Op::Bz ? Op::Bnz : Op::Bz;
                 skip.label.clear();
                 skip.reloc = Reloc::None;
-                skip.imm = 2 * target_.insnBytes();
+                skip.imm = 3 * target_.insnBytes();
                 AsmInst far = item.inst;
                 far.op = Op::Br;
                 far.rs1 = 0;
+                const auto step = static_cast<uint32_t>(target_.insnBytes());
                 emitInst(skip, addr);
-                emitInst(far, addr + target_.insnBytes());
-                img.textInsns += 2;
+                emitInst(AsmInst::nop(), addr + step);
+                emitInst(far, addr + 2 * step);
+                img.textInsns += 3;
+                img.insnSites.push_back({addr, item.inst.line});
+                img.insnSites.push_back({addr + step, item.inst.line});
+                img.insnSites.push_back({addr + 2 * step, item.inst.line});
             } else {
                 emitInst(item.inst, addr);
                 img.textInsns += 1;
+                img.insnSites.push_back({addr, item.inst.line});
             }
             break;
           }

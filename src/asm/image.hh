@@ -21,6 +21,15 @@
 namespace d16sim::assem
 {
 
+/** Where one encoded instruction landed (text addresses only). Pools
+ *  and data emit no sites, so a consumer can walk the instructions of
+ *  the text section without disassembling padding or literal words. */
+struct InsnSite
+{
+    uint32_t addr = 0;
+    int line = 0;  //!< source line of the AsmInst, 0 if synthesized
+};
+
 struct Image
 {
     const isa::TargetInfo *target = nullptr;
@@ -46,6 +55,11 @@ struct Image
 
     /** Number of instructions in the text section (excluding pools). */
     uint32_t textInsns = 0;
+
+    /** One record per emitted instruction, in ascending address order
+     *  (size textInsns). The machine-code linter and disassemblers use
+     *  this to separate instructions from in-text constant pools. */
+    std::vector<InsnSite> insnSites;
 
     uint32_t
     symbol(const std::string &name) const

@@ -1,15 +1,31 @@
 #include "core/toolchain.hh"
 
+#include "verify/verify.hh"
+
 namespace d16sim::core
 {
 
 assem::Image
 build(std::string_view source, const mc::CompileOptions &opts)
 {
-    mc::CompileResult comp = mc::compile(source, opts);
+    // Verification is always on in debug builds; release builds (where
+    // the experiments run) enable it per-options via verifyEach.
+#ifndef NDEBUG
+    const bool verifying = true;
+#else
+    const bool verifying = opts.verifyEach;
+#endif
+    mc::CompileOptions effective = opts;
+    if (verifying && !effective.verifyHook)
+        verify::installIrVerifier(effective);
+
+    mc::CompileResult comp = mc::compile(source, effective);
     assem::Assembler as(opts.target());
     as.add(std::move(comp.items));
-    return as.link();
+    assem::Image img = as.link();
+    if (verifying)
+        verify::lintImageOrThrow(img, std::string(opts.name()));
+    return img;
 }
 
 RunMeasurement

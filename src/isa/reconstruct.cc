@@ -1,0 +1,87 @@
+#include "isa/reconstruct.hh"
+
+namespace d16sim::isa
+{
+
+AsmInst
+reconstruct(const TargetInfo &t, const DecodedInst &d)
+{
+    AsmInst a;
+    a.op = d.op;
+    a.cond = d.cond;
+    switch (opClass(d.op)) {
+      case OpClass::IntAlu:
+        if (d.op == Op::Cmp) {
+            a = AsmInst::cmp(d.cond, d.rd, d.rs1, d.rs2);
+        } else if (d.op == Op::Neg || d.op == Op::Inv || d.op == Op::Mv) {
+            a = AsmInst::ri(d.op, d.rd, d.rs1, 0);
+        } else {
+            a = AsmInst::r3(d.op, d.rd, d.rs1, d.rs2);
+        }
+        break;
+      case OpClass::IntAluImm:
+        if (d.op == Op::MvI || d.op == Op::MvHI) {
+            a = AsmInst::ri(d.op, d.rd, -1, d.imm);
+        } else if (d.op == Op::CmpI) {
+            a = AsmInst::ri(d.op, d.rd, d.rs1, d.imm);
+            a.cond = d.cond;
+        } else {
+            a = AsmInst::ri(d.op, d.rd, d.rs1, d.imm);
+        }
+        break;
+      case OpClass::Load:
+        a = AsmInst::ri(d.op, d.rd, d.rs1, d.imm);
+        break;
+      case OpClass::Store:
+        a.op = d.op;
+        a.rs1 = d.rs1;
+        a.rs2 = d.rs2;
+        a.imm = d.imm;
+        break;
+      case OpClass::LoadConst:
+        a.op = Op::Ldc;
+        a.imm = d.imm;
+        break;
+      case OpClass::Branch:
+        a.op = d.op;
+        a.rs1 = t.kind() == IsaKind::D16 ? 0 : d.rs1;
+        a.imm = d.imm;
+        break;
+      case OpClass::Jump:
+        a.op = d.op;
+        if (d.op == Op::J || d.op == Op::Jl) {
+            a.imm = d.imm;
+        } else if (d.op == Op::Jrz || d.op == Op::Jrnz) {
+            a.rs1 = d.rs1;
+            a.rs2 = t.kind() == IsaKind::D16 ? 0 : d.rs2;
+        } else {
+            a.rs1 = d.rs1;
+        }
+        break;
+      case OpClass::FpAlu:
+        if (d.op == Op::FCmpS || d.op == Op::FCmpD) {
+            a = AsmInst::r3(d.op, -1, d.rs1, d.rs2);
+            a.cond = d.cond;
+        } else if (d.op == Op::FNegS || d.op == Op::FNegD) {
+            a = AsmInst::ri(d.op, d.rd, d.rs1, 0);
+        } else {
+            a = AsmInst::r3(d.op, d.rd, d.rs1, d.rs2);
+        }
+        break;
+      case OpClass::FpConvert:
+      case OpClass::FpMove:
+        a = AsmInst::ri(d.op, d.rd, d.rs1, 0);
+        break;
+      case OpClass::Misc:
+        if (d.op == Op::Trap) {
+            a.op = Op::Trap;
+            a.imm = d.imm;
+        } else if (d.op == Op::Rdsr) {
+            a = AsmInst::ri(Op::Rdsr, d.rd, -1, 0);
+        }
+        break;
+    }
+    return a;
+}
+
+} // namespace d16sim::isa

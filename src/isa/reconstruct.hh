@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Inverse of the decode conventions: rebuild the symbolic AsmInst form
+ * from a DecodedInst so it can be re-encoded.
+ *
+ * Both codecs decode canonically (reserved fields are rejected), so
+ * encode(reconstruct(decode(w))) == w for every accepted word w. The
+ * encoding-space property tests sweep this exhaustively; the machine-
+ * code linter (src/verify) leans on it to prove every instruction of a
+ * linked image round-trips bit-identically.
+ */
+
+#ifndef D16SIM_ISA_RECONSTRUCT_HH
+#define D16SIM_ISA_RECONSTRUCT_HH
+
+#include "isa/asm_inst.hh"
+#include "isa/decoded.hh"
+#include "isa/target.hh"
+
+namespace d16sim::isa
+{
+
+/** Rebuild the symbolic form of a decoded instruction (no relocation;
+ *  immediates stay the byte deltas decode produced). */
+AsmInst reconstruct(const TargetInfo &target, const DecodedInst &d);
+
+} // namespace d16sim::isa
+
+#endif // D16SIM_ISA_RECONSTRUCT_HH

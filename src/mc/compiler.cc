@@ -56,15 +56,34 @@ compile(std::string_view source, const CompileOptions &opts)
         return cg.gpOffset(sym);
     };
 
+    // Stage-boundary verification (src/verify installs the hook). The
+    // per-pass form is opt-in: the coarse boundaries already bracket
+    // every stage, the per-pass hook just names the culprit directly.
+    const auto verify = [&](const IrFunction &fn, const char *stage,
+                            const MachineEnv *stageEnv) {
+        if (opts.verifyHook)
+            opts.verifyHook(fn, stage, stageEnv);
+    };
+    PassHook afterPass;
+    if (opts.verifyHook && opts.verifyEach) {
+        afterPass = [&](const IrFunction &fn, const char *pass) {
+            opts.verifyHook(fn, pass, nullptr);
+        };
+    }
+
     CompileResult result;
     for (IrFunction &fn : mod.functions) {
+        verify(fn, "irgen", nullptr);
         if (getenv("D16_DEBUG_COMPILE"))
             fprintf(stderr, "[mc] %s: opt\n", fn.name.c_str());
-        optimize(fn, opts.optLevel);
+        optimize(fn, opts.optLevel, afterPass);
+        verify(fn, "optimize", nullptr);
         if (getenv("D16_DEBUG_COMPILE"))
             fprintf(stderr, "[mc] %s: legalize\n", fn.name.c_str());
         legalize(fn, env, gpOff);
+        verify(fn, "legalize", &env);
         lowerCallsAbi(fn, env);
+        verify(fn, "lower-calls-abi", &env);
         if (getenv("D16_DEBUG_COMPILE"))
             fprintf(stderr, "[mc] %s: regalloc (%d vregs)\n",
                     fn.name.c_str(), fn.numVRegs());

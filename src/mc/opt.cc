@@ -603,21 +603,26 @@ hoistLoopInvariants(IrFunction &fn)
 }
 
 void
-optimize(IrFunction &fn, int level)
+optimize(IrFunction &fn, int level, const PassHook &afterPass)
 {
     if (level <= 0)
         return;
+    auto run = [&](void (*pass)(IrFunction &), const char *name) {
+        pass(fn);
+        if (afterPass)
+            afterPass(fn, name);
+    };
     for (int round = 0; round < 3; ++round) {
-        foldConstants(fn);
-        localCse(fn);
-        eliminateDeadCode(fn);
-        simplifyCfg(fn);
+        run(foldConstants, "opt:fold");
+        run(localCse, "opt:cse");
+        run(eliminateDeadCode, "opt:dce");
+        run(simplifyCfg, "opt:simplify-cfg");
     }
     if (level >= 2) {
-        hoistLoopInvariants(fn);
-        foldConstants(fn);
-        eliminateDeadCode(fn);
-        simplifyCfg(fn);
+        run(hoistLoopInvariants, "opt:licm");
+        run(foldConstants, "opt:fold");
+        run(eliminateDeadCode, "opt:dce");
+        run(simplifyCfg, "opt:simplify-cfg");
     }
 }
 

@@ -12,14 +12,21 @@
 #ifndef D16SIM_MC_OPT_HH
 #define D16SIM_MC_OPT_HH
 
+#include <functional>
+
 #include "mc/ir.hh"
 
 namespace d16sim::mc
 {
 
+/** Called after each pass with the function and the pass name; used by
+ *  the verification layer to pin a broken invariant on the pass that
+ *  introduced it. */
+using PassHook = std::function<void(const IrFunction &, const char *pass)>;
+
 /** Run the optimization pipeline in place. level: 0 none, 1 local,
  *  2 adds loop-invariant code motion. */
-void optimize(IrFunction &fn, int level);
+void optimize(IrFunction &fn, int level, const PassHook &afterPass = {});
 
 // Individual passes, exposed for unit testing.
 void foldConstants(IrFunction &fn);     //!< const/copy prop + folding

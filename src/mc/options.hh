@@ -19,10 +19,23 @@
 #ifndef D16SIM_MC_OPTIONS_HH
 #define D16SIM_MC_OPTIONS_HH
 
+#include <functional>
+
 #include "isa/target.hh"
 
 namespace d16sim::mc
 {
+
+struct IrFunction;
+class MachineEnv;
+
+/** Invoked at pipeline stage boundaries with the function as the stage
+ *  left it, the stage name ("irgen", "opt:cse", "legalize", ...), and
+ *  the machine environment (null before legalization). Installed by the
+ *  verification layer (src/verify); expected to throw PanicError when an
+ *  invariant is broken. */
+using VerifyHook = std::function<void(const IrFunction &, const char *stage,
+                                      const MachineEnv *env)>;
 
 struct CompileOptions
 {
@@ -45,6 +58,14 @@ struct CompileOptions
     /** 0 = no optimization, 1 = local optimizations,
      *  2 = + branch fusion and instruction scheduling (default). */
     int optLevel = 2;
+
+    /** Run the IR verifier after every pass, not just at the coarse
+     *  stage boundaries (see core::build; defaults on in debug builds
+     *  once a hook is installed). */
+    bool verifyEach = false;
+
+    /** Stage-boundary callback; unset = no verification. */
+    VerifyHook verifyHook;
 
     static CompileOptions
     d16()

@@ -1,0 +1,138 @@
+#include "verify/diag.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace d16sim::verify
+{
+
+std::string_view
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+void
+DiagEngine::report(Diag d)
+{
+    if (d.unit.empty())
+        d.unit = unit_;
+    diags_.push_back(std::move(d));
+}
+
+int
+DiagEngine::count(Severity s) const
+{
+    int n = 0;
+    for (const Diag &d : diags_)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+bool
+DiagEngine::has(std::string_view code) const
+{
+    for (const Diag &d : diags_)
+        if (d.code == code)
+            return true;
+    return false;
+}
+
+std::string
+DiagEngine::format(const Diag &d)
+{
+    std::ostringstream os;
+    os << severityName(d.severity) << "[" << d.code << "]";
+    if (!d.unit.empty())
+        os << " " << d.unit;
+    if (d.hasAddr)
+        os << " @" << hexString(d.addr);
+    if (!d.symbol.empty())
+        os << " (" << d.symbol << ")";
+    if (d.block >= 0) {
+        os << " bb" << d.block;
+        if (d.inst >= 0)
+            os << ":" << d.inst;
+    }
+    if (d.line > 0)
+        os << " line " << d.line;
+    os << ": " << d.message;
+    return os.str();
+}
+
+void
+DiagEngine::renderText(std::ostream &os) const
+{
+    for (const Diag &d : diags_)
+        os << format(d) << "\n";
+}
+
+namespace
+{
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+DiagEngine::renderJson(std::ostream &os) const
+{
+    os << "[";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+        const Diag &d = diags_[i];
+        os << (i ? ",\n " : "\n ");
+        os << "{\"severity\":";
+        jsonString(os, std::string(severityName(d.severity)));
+        os << ",\"code\":";
+        jsonString(os, d.code);
+        os << ",\"unit\":";
+        jsonString(os, d.unit);
+        if (d.hasAddr)
+            os << ",\"addr\":" << d.addr;
+        if (!d.symbol.empty()) {
+            os << ",\"symbol\":";
+            jsonString(os, d.symbol);
+        }
+        if (d.block >= 0) {
+            os << ",\"block\":" << d.block;
+            if (d.inst >= 0)
+                os << ",\"inst\":" << d.inst;
+        }
+        if (d.line > 0)
+            os << ",\"line\":" << d.line;
+        os << ",\"message\":";
+        jsonString(os, d.message);
+        os << "}";
+    }
+    os << (diags_.empty() ? "]" : "\n]") << "\n";
+}
+
+} // namespace d16sim::verify

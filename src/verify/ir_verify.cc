@@ -1,0 +1,627 @@
+#include "verify/ir_verify.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace d16sim::verify
+{
+
+using mc::Address;
+using mc::AddrKind;
+using mc::BasicBlock;
+using mc::IrFunction;
+using mc::IrInst;
+using mc::IrOp;
+using mc::MachineEnv;
+using mc::Operand;
+using mc::RegClass;
+using mc::VReg;
+
+namespace
+{
+
+/** Register class a Type lives in (mirrors irgen's classOf). */
+RegClass
+classOfType(const mc::Type *t)
+{
+    return t != nullptr && t->isFp() ? RegClass::Fp : RegClass::Int;
+}
+
+/** Expected operand classes of one instruction; Unused = no operand. */
+enum class Cls : uint8_t { Unused, Int, Fp, Any };
+
+struct OperandRules
+{
+    Cls dst = Cls::Unused;
+    Cls a = Cls::Unused;
+    Cls b = Cls::Unused;   //!< class when b is a register operand
+    bool bMayBeImm = true;
+};
+
+OperandRules
+rulesFor(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: case IrOp::Sub: case IrOp::Mul:
+      case IrOp::DivS: case IrOp::DivU: case IrOp::RemS: case IrOp::RemU:
+      case IrOp::And: case IrOp::Or: case IrOp::Xor:
+      case IrOp::Shl: case IrOp::ShrL: case IrOp::ShrA:
+      case IrOp::Cmp:
+        return {Cls::Int, Cls::Int, Cls::Int, true};
+      case IrOp::Neg: case IrOp::Not:
+        return {Cls::Int, Cls::Int, Cls::Unused, false};
+      case IrOp::Mov:
+        return {Cls::Any, Cls::Any, Cls::Unused, false};
+      case IrOp::MovImm:
+        return {Cls::Int, Cls::Unused, Cls::Unused, false};
+      case IrOp::FMovImm:
+        return {Cls::Fp, Cls::Unused, Cls::Unused, false};
+      case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul: case IrOp::FDiv:
+        return {Cls::Fp, Cls::Fp, Cls::Fp, false};
+      case IrOp::FNeg:
+        return {Cls::Fp, Cls::Fp, Cls::Unused, false};
+      case IrOp::FCmp:
+        return {Cls::Int, Cls::Fp, Cls::Fp, false};
+      case IrOp::CvtIF:
+        return {Cls::Fp, Cls::Int, Cls::Unused, false};
+      case IrOp::CvtFI:
+        return {Cls::Int, Cls::Fp, Cls::Unused, false};
+      case IrOp::CvtFF:
+        return {Cls::Fp, Cls::Fp, Cls::Unused, false};
+      case IrOp::Load:
+        return {Cls::Any, Cls::Unused, Cls::Unused, false};
+      case IrOp::Store:
+        return {Cls::Unused, Cls::Any, Cls::Unused, false};
+      case IrOp::AddrOf:
+        return {Cls::Int, Cls::Unused, Cls::Unused, false};
+      case IrOp::Call:
+        return {Cls::Any, Cls::Unused, Cls::Unused, false};
+      case IrOp::Ret:
+        return {Cls::Unused, Cls::Any, Cls::Unused, false};
+      case IrOp::Br:
+        return {Cls::Unused, Cls::Int, Cls::Unused, false};
+      case IrOp::Jmp:
+        return {Cls::Unused, Cls::Unused, Cls::Unused, false};
+      case IrOp::MifL: case IrOp::MifH:
+        return {Cls::Fp, Cls::Int, Cls::Unused, false};
+      case IrOp::MfiL: case IrOp::MfiH:
+        return {Cls::Int, Cls::Fp, Cls::Unused, false};
+      case IrOp::CvtRawIF: case IrOp::CvtRawFI:
+        return {Cls::Fp, Cls::Fp, Cls::Unused, false};
+      case IrOp::BrCmp:
+        return {Cls::Any, Cls::Int, Cls::Int, true};
+      case IrOp::BrFCmp:
+        return {Cls::Any, Cls::Fp, Cls::Fp, false};
+    }
+    return {};
+}
+
+bool
+classOk(Cls want, RegClass have)
+{
+    switch (want) {
+      case Cls::Any: return true;
+      case Cls::Int: return have == RegClass::Int;
+      case Cls::Fp: return have == RegClass::Fp;
+      case Cls::Unused: return false;
+    }
+    return false;
+}
+
+struct Verifier
+{
+    const IrFunction &fn;
+    DiagEngine &diags;
+    const IrVerifyOptions &opts;
+    bool ok = true;
+
+    void
+    emit(std::string code, int block, int inst, std::string msg)
+    {
+        Diag d;
+        d.severity = Severity::Error;
+        d.code = std::move(code);
+        d.message = std::move(msg);
+        if (!opts.stage.empty())
+            d.message += " (after " + opts.stage + ")";
+        d.symbol = fn.name;
+        d.block = block;
+        d.inst = inst;
+        diags.report(std::move(d));
+        ok = false;
+    }
+
+    /** True iff the vreg is well-formed (id indexes vregClass and the
+     *  carried class agrees with the registry). */
+    bool
+    checkVReg(VReg r, int b, int i, const char *what)
+    {
+        if (r.id < 0 || r.id >= fn.numVRegs()) {
+            std::ostringstream os;
+            os << what << " vreg v" << r.id << " out of range (function has "
+               << fn.numVRegs() << " vregs) in " << mc::dumpInst(
+                      fn.blocks[b].insts[i]);
+            emit("ir-bad-vreg", b, i, os.str());
+            return false;
+        }
+        if (fn.vregClass[r.id] != r.cls) {
+            std::ostringstream os;
+            os << what << " vreg v" << r.id
+               << " carries the wrong register class in "
+               << mc::dumpInst(fn.blocks[b].insts[i]);
+            emit("ir-class-mismatch", b, i, os.str());
+            return false;
+        }
+        return true;
+    }
+
+    void
+    checkClass(Cls want, VReg r, int b, int i, const char *what)
+    {
+        if (!checkVReg(r, b, i, what))
+            return;
+        if (!classOk(want, r.cls)) {
+            std::ostringstream os;
+            os << what << " operand v" << r.id << " has class "
+               << (r.cls == RegClass::Int ? "Int" : "Fp")
+               << " but the op wants "
+               << (want == Cls::Int ? "Int" : "Fp") << " in "
+               << mc::dumpInst(fn.blocks[b].insts[i]);
+            emit("ir-class-mismatch", b, i, os.str());
+        }
+    }
+
+    void checkCfg();
+    void checkInstructions();
+    void checkInst(const IrInst &inst, int b, int i);
+    void checkMachineShape(const IrInst &inst, int b, int i);
+    void checkUseBeforeDef();
+    std::vector<bool> reachability() const;
+};
+
+void
+Verifier::checkCfg()
+{
+    const int n = static_cast<int>(fn.blocks.size());
+    if (n == 0) {
+        emit("ir-empty-function", -1, -1,
+             "function has no basic blocks");
+        return;
+    }
+    for (int b = 0; b < n; ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        if (bb.id != b) {
+            std::ostringstream os;
+            os << "block at index " << b << " carries id " << bb.id;
+            emit("ir-block-id", b, -1, os.str());
+        }
+        if (bb.insts.empty()) {
+            emit("ir-no-terminator", b, -1, "block is empty");
+            continue;
+        }
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const bool last = i + 1 == bb.insts.size();
+            if (bb.insts[i].isTerminator() != last) {
+                if (last) {
+                    emit("ir-no-terminator", b, static_cast<int>(i),
+                         "block does not end in a terminator "
+                         "(fallthrough off the end)");
+                } else {
+                    emit("ir-terminator-middle", b, static_cast<int>(i),
+                         "terminator " + mc::dumpInst(bb.insts[i]) +
+                             " is not the last instruction of the block");
+                }
+            }
+        }
+        const IrInst &t = bb.insts.back();
+        if (!t.isTerminator())
+            continue;
+        auto checkTarget = [&](int target) {
+            if (target < 0 || target >= n) {
+                std::ostringstream os;
+                os << mc::dumpInst(t) << " targets nonexistent block "
+                   << target;
+                emit("ir-bad-branch-target", b,
+                     static_cast<int>(bb.insts.size()) - 1, os.str());
+            }
+        };
+        switch (t.op) {
+          case IrOp::Jmp:
+            checkTarget(t.thenBB);
+            break;
+          case IrOp::Br: case IrOp::BrCmp: case IrOp::BrFCmp:
+            checkTarget(t.thenBB);
+            checkTarget(t.elseBB);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+Verifier::checkInst(const IrInst &inst, int b, int i)
+{
+    const OperandRules rules = rulesFor(inst.op);
+
+    if (rules.dst == Cls::Unused) {
+        // defOf() already reports no destination for these ops; a set
+        // dst field is simply ignored, except BrCmp/BrFCmp handled in
+        // checkMachineShape.
+    } else if (inst.dst.valid()) {
+        checkClass(rules.dst, inst.dst, b, i, "destination");
+    } else if (rules.dst != Cls::Any && inst.op != IrOp::Call) {
+        emit("ir-missing-dst", b, i,
+             mc::dumpInst(inst) + " has no destination register");
+    }
+
+    if (rules.a != Cls::Unused) {
+        if (inst.a.valid()) {
+            checkClass(rules.a, inst.a, b, i, "first");
+        } else if (inst.op != IrOp::Ret) {
+            emit("ir-missing-operand", b, i,
+                 mc::dumpInst(inst) + " is missing its first operand");
+        }
+    }
+
+    if (rules.b != Cls::Unused) {
+        if (inst.b.isReg()) {
+            checkClass(rules.b, inst.b.reg, b, i, "second");
+        } else if (inst.b.isImm() && !rules.bMayBeImm) {
+            emit("ir-imm-operand", b, i,
+                 mc::dumpInst(inst) +
+                     " takes a register second operand, not an immediate");
+        }
+    }
+
+    // Memory operands.
+    if (inst.op == IrOp::Load || inst.op == IrOp::Store ||
+        inst.op == IrOp::AddrOf) {
+        const Address &addr = inst.addr;
+        if (addr.kind == AddrKind::Reg) {
+            if (addr.base.valid())
+                checkClass(Cls::Int, addr.base, b, i, "address base");
+            else
+                emit("ir-missing-operand", b, i,
+                     mc::dumpInst(inst) + " has no address base register");
+        } else if (addr.kind == AddrKind::Frame) {
+            if (addr.frameSlot < 0 ||
+                addr.frameSlot >= static_cast<int>(fn.slots.size())) {
+                std::ostringstream os;
+                os << mc::dumpInst(inst) << " names frame slot "
+                   << addr.frameSlot << " but the function has "
+                   << fn.slots.size();
+                emit("ir-bad-frame-slot", b, i, os.str());
+            }
+        } else if (addr.sym.empty()) {
+            emit("ir-missing-operand", b, i,
+                 mc::dumpInst(inst) + " has an empty global symbol");
+        }
+        if (inst.op != IrOp::AddrOf && inst.size != 1 && inst.size != 2 &&
+            inst.size != 4 && inst.size != 8) {
+            std::ostringstream os;
+            os << mc::dumpInst(inst) << " has illegal access size "
+               << inst.size;
+            emit("ir-bad-access-size", b, i, os.str());
+        }
+    }
+
+    // Mov never crosses register classes (MifL/MfiL etc. do that).
+    if (inst.op == IrOp::Mov && inst.dst.valid() && inst.a.valid() &&
+        inst.dst.cls != inst.a.cls) {
+        emit("ir-class-mismatch", b, i,
+             mc::dumpInst(inst) + " moves between register classes");
+    }
+
+    for (const VReg &arg : inst.args)
+        checkVReg(arg, b, i, "call argument");
+
+    // Return-type consistency (mc/type.hh): a value exactly when the
+    // function returns one, in the matching register class.
+    if (inst.op == IrOp::Ret && fn.retType != nullptr) {
+        const bool isVoid = fn.retType->isVoid();
+        if (isVoid && inst.a.valid()) {
+            emit("ir-ret-type", b, i,
+                 "ret carries a value but " + fn.name + " returns " +
+                     fn.retType->str());
+        } else if (!isVoid && !inst.a.valid()) {
+            emit("ir-ret-type", b, i,
+                 "ret carries no value but " + fn.name + " returns " +
+                     fn.retType->str());
+        } else if (!isVoid && inst.a.valid() &&
+                   inst.a.cls != classOfType(fn.retType)) {
+            emit("ir-ret-type", b, i,
+                 "ret value class does not match return type " +
+                     fn.retType->str());
+        }
+    }
+
+    if (opts.env != nullptr)
+        checkMachineShape(inst, b, i);
+}
+
+void
+Verifier::checkMachineShape(const IrInst &inst, int b, int i)
+{
+    const MachineEnv &env = *opts.env;
+    const bool d16 = env.target().kind() == isa::IsaKind::D16;
+
+    auto immErr = [&](int64_t v) {
+        std::ostringstream os;
+        os << "immediate " << v << " in " << mc::dumpInst(inst)
+           << " is not encodable on " << env.target().name();
+        emit("ir-imm-unencodable", b, i, os.str());
+    };
+
+    switch (inst.op) {
+      case IrOp::Mul: case IrOp::DivS: case IrOp::DivU:
+      case IrOp::RemS: case IrOp::RemU:
+        emit("ir-op-not-lowered", b, i,
+             mc::dumpInst(inst) +
+                 " survived legalization (no multiply/divide hardware)");
+        return;
+      case IrOp::CvtIF: case IrOp::CvtFI: case IrOp::FMovImm:
+        emit("ir-op-not-lowered", b, i,
+             mc::dumpInst(inst) + " survived legalization (must go "
+                                  "through the GPR<->FPR half moves)");
+        return;
+      case IrOp::Load:
+        if (inst.dst.valid() && inst.dst.cls == RegClass::Fp) {
+            emit("ir-op-not-lowered", b, i,
+                 mc::dumpInst(inst) +
+                     " loads an FP register directly (no FP memory ops)");
+        }
+        break;
+      case IrOp::Store:
+        if (inst.a.valid() && inst.a.cls == RegClass::Fp) {
+            emit("ir-op-not-lowered", b, i,
+                 mc::dumpInst(inst) +
+                     " stores an FP register directly (no FP memory ops)");
+        }
+        break;
+      case IrOp::Add: case IrOp::Sub:
+        if (inst.b.isImm()) {
+            // Codegen may flip add<->sub to negate the immediate.
+            const int64_t v = inst.b.imm;
+            if (!env.aluImmFits(isa::Op::AddI, v) &&
+                !env.aluImmFits(isa::Op::SubI, v) &&
+                !env.aluImmFits(isa::Op::AddI, -v) &&
+                !env.aluImmFits(isa::Op::SubI, -v)) {
+                immErr(v);
+            }
+        }
+        break;
+      case IrOp::And: case IrOp::Or: case IrOp::Xor:
+        if (inst.b.isImm()) {
+            const isa::Op op = inst.op == IrOp::And ? isa::Op::AndI :
+                               inst.op == IrOp::Or ? isa::Op::OrI
+                                                   : isa::Op::XorI;
+            if (!env.aluImmFits(op, inst.b.imm))
+                immErr(inst.b.imm);
+        }
+        break;
+      case IrOp::Shl: case IrOp::ShrL: case IrOp::ShrA:
+        // Same rule legalize applies: shift amounts are mod-32 fields.
+        if (inst.b.isImm() && (inst.b.imm < 0 || inst.b.imm >= 32))
+            immErr(inst.b.imm);
+        break;
+      case IrOp::Cmp: case IrOp::BrCmp:
+        if (inst.b.isImm()) {
+            if (!env.hasCmpImmediate() ||
+                !env.aluImmFits(isa::Op::CmpI, inst.b.imm)) {
+                immErr(inst.b.imm);
+            }
+        }
+        if (!env.hasIntCond(inst.cond)) {
+            emit("ir-cond-unavailable", b, i,
+                 mc::dumpInst(inst) + " uses a condition " +
+                     std::string(isa::condName(inst.cond)) +
+                     " the target cannot encode");
+        }
+        break;
+      case IrOp::FCmp: case IrOp::BrFCmp:
+        if (inst.cond != isa::Cond::Lt && inst.cond != isa::Cond::Le &&
+            inst.cond != isa::Cond::Eq) {
+            emit("ir-cond-unavailable", b, i,
+                 mc::dumpInst(inst) + " uses an FP condition " +
+                     std::string(isa::condName(inst.cond)) +
+                     " the FPU cannot test");
+        }
+        break;
+      default:
+        break;
+    }
+
+    // D16 fused compare-and-branch writes r0 implicitly: no compare
+    // temp; DLXe needs one (ir.hh: "dst = DLXe compare temp; invalid
+    // on D16").
+    if (inst.op == IrOp::BrCmp || inst.op == IrOp::BrFCmp) {
+        if (d16 && inst.dst.valid()) {
+            emit("ir-class-mismatch", b, i,
+                 mc::dumpInst(inst) +
+                     " carries a compare temp on D16 (r0 is implicit)");
+        } else if (!d16 && !inst.dst.valid()) {
+            emit("ir-missing-dst", b, i,
+                 mc::dumpInst(inst) + " needs a compare temp on DLXe");
+        }
+    }
+}
+
+void
+Verifier::checkInstructions()
+{
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        for (size_t i = 0; i < bb.insts.size(); ++i)
+            checkInst(bb.insts[i], static_cast<int>(b),
+                      static_cast<int>(i));
+    }
+}
+
+std::vector<bool>
+Verifier::reachability() const
+{
+    const int n = static_cast<int>(fn.blocks.size());
+    std::vector<bool> reach(n, false);
+    if (n == 0)
+        return reach;
+    std::vector<int> stack = {0};
+    reach[0] = true;
+    while (!stack.empty()) {
+        const int b = stack.back();
+        stack.pop_back();
+        const BasicBlock &bb = fn.blocks[b];
+        if (bb.insts.empty() || !bb.insts.back().isTerminator())
+            continue;  // malformed; already diagnosed
+        const IrInst &t = bb.insts.back();
+        auto push = [&](int s) {
+            if (s >= 0 && s < n && !reach[s]) {
+                reach[s] = true;
+                stack.push_back(s);
+            }
+        };
+        switch (t.op) {
+          case IrOp::Jmp:
+            push(t.thenBB);
+            break;
+          case IrOp::Br: case IrOp::BrCmp: case IrOp::BrFCmp:
+            push(t.thenBB);
+            push(t.elseBB);
+            break;
+          default:
+            break;
+        }
+    }
+    return reach;
+}
+
+void
+Verifier::checkUseBeforeDef()
+{
+    const int n = static_cast<int>(fn.blocks.size());
+    const int nv = fn.numVRegs();
+    if (n == 0 || nv == 0)
+        return;
+    const std::vector<bool> reach = reachability();
+
+    // Forward may-analysis: defined[b] = set of vregs with at least one
+    // reaching definition at block entry. A use outside the set has no
+    // def on ANY path from entry — definitely broken, never a false
+    // positive on conditionally-assigned variables.
+    auto bitGet = [nv](const std::vector<uint64_t> &s, int id) {
+        return (s[id / 64] >> (id % 64)) & 1;
+    };
+    auto bitSet = [](std::vector<uint64_t> &s, int id) {
+        s[id / 64] |= uint64_t{1} << (id % 64);
+    };
+    const size_t words = (nv + 63) / 64;
+    std::vector<std::vector<uint64_t>> in(n,
+                                          std::vector<uint64_t>(words, 0));
+    for (const VReg &p : fn.params) {
+        if (p.id >= 0 && p.id < nv)
+            bitSet(in[0], p.id);
+    }
+    // Precolored vregs are pinned to physical registers the calling
+    // convention may define outside the IR (argument registers read by
+    // the ABI prologue, return registers written by callees), so they
+    // count as defined on entry.
+    for (int id = 0; id < nv; ++id) {
+        if (fn.precolorOf(id) >= 0)
+            bitSet(in[0], id);
+    }
+
+    // Per-block def summaries (gen sets).
+    std::vector<std::vector<uint64_t>> gen(n,
+                                           std::vector<uint64_t>(words, 0));
+    for (int b = 0; b < n; ++b) {
+        for (const IrInst &inst : fn.blocks[b].insts) {
+            const VReg d = mc::defOf(inst);
+            if (d.valid() && d.id < nv)
+                bitSet(gen[b], d.id);
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 0; b < n; ++b) {
+            if (!reach[b])
+                continue;
+            const BasicBlock &bb = fn.blocks[b];
+            if (bb.insts.empty() || !bb.insts.back().isTerminator())
+                continue;
+            std::vector<uint64_t> out = in[b];
+            for (size_t w = 0; w < words; ++w)
+                out[w] |= gen[b][w];
+            for (int s : bb.successors()) {
+                if (s < 0 || s >= n)
+                    continue;
+                for (size_t w = 0; w < words; ++w) {
+                    const uint64_t merged = in[s][w] | out[w];
+                    if (merged != in[s][w]) {
+                        in[s][w] = merged;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    for (int b = 0; b < n; ++b) {
+        if (!reach[b])
+            continue;
+        std::vector<uint64_t> live = in[b];
+        for (size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+            const IrInst &inst = fn.blocks[b].insts[i];
+            mc::forEachUse(inst, [&](VReg r) {
+                if (r.id < 0 || r.id >= nv)
+                    return;  // diagnosed by checkVReg
+                if (!bitGet(live, r.id)) {
+                    std::ostringstream os;
+                    os << "v" << r.id << " is used by "
+                       << mc::dumpInst(inst)
+                       << " but no definition reaches it on any path";
+                    emit("ir-use-before-def", b, static_cast<int>(i),
+                         os.str());
+                    bitSet(live, r.id);  // report each vreg once per block
+                }
+            });
+            const VReg d = mc::defOf(inst);
+            if (d.valid() && d.id < nv)
+                bitSet(live, d.id);
+        }
+    }
+}
+
+} // namespace
+
+bool
+verifyIr(const IrFunction &fn, DiagEngine &diags,
+         const IrVerifyOptions &opts)
+{
+    Verifier v{fn, diags, opts};
+    v.checkCfg();
+    v.checkInstructions();
+    // Dataflow only converges on a structurally sound CFG.
+    if (v.ok)
+        v.checkUseBeforeDef();
+    return v.ok;
+}
+
+void
+verifyIrOrThrow(const IrFunction &fn, const IrVerifyOptions &opts)
+{
+    DiagEngine diags;
+    if (verifyIr(fn, diags, opts))
+        return;
+    std::ostringstream os;
+    os << "IR verification failed for " << fn.name;
+    if (!opts.stage.empty())
+        os << " after " << opts.stage;
+    os << ":\n";
+    diags.renderText(os);
+    panic(os.str());
+}
+
+} // namespace d16sim::verify

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * IR verifier — structural consistency checks over mc IR functions.
+ *
+ * Run after IR generation and after every optimization / lowering pass
+ * (the `--verify-each` hook in CompileOptions), so a pass that corrupts
+ * the CFG or a def-use chain is caught at the pass boundary instead of
+ * silently skewing the paper's measurements. Three groups of checks:
+ *
+ *  - CFG well-formedness: block ids equal their indices, every block
+ *    has exactly one terminator and it is the last instruction (no
+ *    fallthrough off the end), every branch target names an existing
+ *    block, block 0 is the entry.
+ *  - Type/class consistency per mc/type.hh and the RegClass rules of
+ *    mc/ir.hh: integer ops read/write Int vregs, FP arithmetic reads/
+ *    writes Fp vregs, conversions and GPR<->FPR moves cross classes in
+ *    the documented direction, vreg ids index vregClass and agree with
+ *    the recorded class, frame slots exist, load/store sizes are legal,
+ *    and Ret carries a value exactly when the function returns one.
+ *  - Use-before-def: a forward dataflow over virtual registers; a use
+ *    with no reaching definition on ANY path from entry is an error
+ *    (function parameters count as defined on entry). This is a
+ *    may-analysis: it never flags a legitimately conditionally-assigned
+ *    variable, but catches a pass that deletes or reorders a def past
+ *    its use.
+ *
+ * When a MachineEnv is supplied (post-legalization IR), the verifier
+ * additionally enforces machine shape: immediates fit the target's
+ * encodable ranges, compare conditions exist on the target, ops with no
+ * hardware (multiply/divide, direct FP loads/stores, int<->fp value
+ * conversions) are fully lowered, and BrCmp carries a compare temp
+ * exactly on DLXe (D16 writes r0 implicitly).
+ */
+
+#ifndef D16SIM_VERIFY_IR_VERIFY_HH
+#define D16SIM_VERIFY_IR_VERIFY_HH
+
+#include "mc/ir.hh"
+#include "mc/machine_env.hh"
+#include "verify/diag.hh"
+
+namespace d16sim::verify
+{
+
+struct IrVerifyOptions
+{
+    /** When set, also check machine-shaped invariants (legal
+     *  immediates, available conditions, no BrCmp on D16). */
+    const mc::MachineEnv *env = nullptr;
+
+    /** Label recorded in diagnostics, e.g. the pass that just ran. */
+    std::string stage;
+};
+
+/** Verify one function; append findings to `diags`. Returns true when
+ *  no Error-severity diagnostic was produced. */
+bool verifyIr(const mc::IrFunction &fn, DiagEngine &diags,
+              const IrVerifyOptions &opts = {});
+
+/** Verify and throw PanicError listing the findings on any error
+ *  (the compiler is at fault, not the user program). */
+void verifyIrOrThrow(const mc::IrFunction &fn,
+                     const IrVerifyOptions &opts = {});
+
+} // namespace d16sim::verify
+
+#endif // D16SIM_VERIFY_IR_VERIFY_HH

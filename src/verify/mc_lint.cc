@@ -1,0 +1,300 @@
+#include "verify/mc_lint.hh"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "isa/codec.hh"
+#include "isa/disasm.hh"
+#include "isa/reconstruct.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace d16sim::verify
+{
+
+using assem::Image;
+using assem::InsnSite;
+using isa::DecodedInst;
+using isa::Op;
+using isa::OpClass;
+using isa::TargetInfo;
+
+namespace
+{
+
+/** Does the decoded instruction read GPR `reg`? Only GPR reads matter
+ *  here: loads write GPRs, so only a GPR read can hit the load-use
+ *  interlock. */
+bool
+readsGpr(const DecodedInst &d, int reg)
+{
+    switch (opClass(d.op)) {
+      case OpClass::IntAlu:
+        if (d.op == Op::Neg || d.op == Op::Inv || d.op == Op::Mv)
+            return d.rs1 == reg;
+        return d.rs1 == reg || d.rs2 == reg;
+      case OpClass::IntAluImm:
+        if (d.op == Op::MvI || d.op == Op::MvHI)
+            return false;
+        return d.rs1 == reg;
+      case OpClass::Load:
+        return d.rs1 == reg;
+      case OpClass::Store:
+        return d.rs1 == reg || d.rs2 == reg;
+      case OpClass::LoadConst:
+        return false;
+      case OpClass::Branch:
+        return (d.op == Op::Bz || d.op == Op::Bnz) && d.rs1 == reg;
+      case OpClass::Jump:
+        if (d.op == Op::J || d.op == Op::Jl)
+            return false;
+        if (d.op == Op::Jrz || d.op == Op::Jrnz)
+            return d.rs1 == reg || d.rs2 == reg;
+        return d.rs1 == reg;
+      case OpClass::FpMove:
+        // MifL/MifH move a GPR into the FPU; MfiL/MfiH and FMv do not
+        // read GPRs.
+        return (d.op == Op::MifL || d.op == Op::MifH) && d.rs1 == reg;
+      case OpClass::FpAlu:
+      case OpClass::FpConvert:
+      case OpClass::Misc:
+        return false;
+    }
+    return false;
+}
+
+struct Linter
+{
+    const Image &img;
+    DiagEngine &diags;
+    const LintOptions &opts;
+    const TargetInfo &t;
+    bool ok = true;
+
+    /** (addr, name) for every text symbol, ascending — used to blame
+     *  findings on the enclosing function. */
+    std::vector<std::pair<uint32_t, std::string>> textSyms;
+
+    /** Instruction addresses, ascending (mirrors img.insnSites). */
+    std::vector<uint32_t> siteAddrs;
+
+    explicit Linter(const Image &img, DiagEngine &diags,
+                    const LintOptions &opts)
+        : img(img), diags(diags), opts(opts), t(*img.target)
+    {
+        for (const auto &[name, addr] : img.symbols) {
+            if (addr >= img.textBase && addr < img.textBase + img.textSize)
+                textSyms.emplace_back(addr, name);
+        }
+        std::sort(textSyms.begin(), textSyms.end());
+        siteAddrs.reserve(img.insnSites.size());
+        for (const InsnSite &s : img.insnSites)
+            siteAddrs.push_back(s.addr);
+    }
+
+    std::string
+    enclosingSymbol(uint32_t addr) const
+    {
+        auto it = std::upper_bound(
+            textSyms.begin(), textSyms.end(), addr,
+            [](uint32_t a, const auto &s) { return a < s.first; });
+        return it == textSyms.begin() ? std::string() : (it - 1)->second;
+    }
+
+    void
+    emit(Severity sev, std::string code, const InsnSite &site,
+         std::string msg)
+    {
+        Diag d;
+        d.severity = sev;
+        d.code = std::move(code);
+        d.message = std::move(msg);
+        d.addr = site.addr;
+        d.hasAddr = true;
+        d.symbol = enclosingSymbol(site.addr);
+        d.line = site.line;
+        diags.report(std::move(d));
+        if (sev != Severity::Note)
+            ok = false;
+    }
+
+    uint32_t
+    wordAt(uint32_t addr) const
+    {
+        const uint32_t off = addr - img.textBase;
+        uint32_t w = 0;
+        for (int b = 0; b < t.insnBytes(); ++b)
+            w |= static_cast<uint32_t>(img.bytes[off + b]) << (8 * b);
+        return w;
+    }
+
+    bool
+    inText(uint32_t addr) const
+    {
+        return addr >= img.textBase && addr < img.textBase + img.textSize;
+    }
+
+    void run();
+    void checkRoundTrip(const InsnSite &site, uint32_t word);
+    void checkTarget(const InsnSite &site, const DecodedInst &d);
+};
+
+void
+Linter::checkRoundTrip(const InsnSite &site, uint32_t word)
+{
+    const DecodedInst d = isa::decode(t, word);
+    const uint32_t back = isa::encode(t, isa::reconstruct(t, d));
+    if (back != word) {
+        std::ostringstream os;
+        os << "word " << hexString(word, t.insnBytes() * 2)
+           << " re-encodes as " << hexString(back, t.insnBytes() * 2)
+           << " (" << isa::opName(d.op) << ")";
+        emit(Severity::Error, "mc-roundtrip-mismatch", site, os.str());
+    }
+}
+
+void
+Linter::checkTarget(const InsnSite &site, const DecodedInst &d)
+{
+    const OpClass cls = opClass(d.op);
+    const bool pcRelJump = d.op == Op::J || d.op == Op::Jl;
+    if (cls == OpClass::LoadConst) {
+        const uint32_t target =
+            static_cast<uint32_t>((site.addr & ~3u) + d.imm);
+        if (!inText(target) || target % 4 != 0) {
+            std::ostringstream os;
+            os << isa::opName(d.op) << " pool reference "
+               << hexString(target) << " is outside the text section";
+            emit(Severity::Error, "mc-pool-target", site, os.str());
+        }
+        return;
+    }
+    if (cls != OpClass::Branch && !pcRelJump)
+        return;
+    const uint32_t target = static_cast<uint32_t>(site.addr + d.imm);
+    const bool aligned = target % t.insnBytes() == 0;
+    const bool isSite = std::binary_search(siteAddrs.begin(),
+                                           siteAddrs.end(), target);
+    if (!inText(target) || !aligned || !isSite) {
+        std::ostringstream os;
+        os << isa::opName(d.op) << " targets " << hexString(target)
+           << ", which is not an instruction in the text section";
+        emit(Severity::Error, "mc-branch-target", site, os.str());
+    }
+}
+
+void
+Linter::run()
+{
+    const auto &sites = img.insnSites;
+    std::vector<std::optional<DecodedInst>> dec(sites.size());
+
+    for (size_t i = 0; i < sites.size(); ++i) {
+        const uint32_t word = wordAt(sites[i].addr);
+        try {
+            dec[i] = isa::decode(t, word);
+        } catch (const FatalError &e) {
+            std::ostringstream os;
+            os << "word " << hexString(word, t.insnBytes() * 2)
+               << " does not decode: " << e.what();
+            emit(Severity::Error, "mc-reserved-encoding", sites[i],
+                 os.str());
+            continue;
+        }
+        checkRoundTrip(sites[i], word);
+        checkTarget(sites[i], *dec[i]);
+    }
+
+    // Delay-slot discipline: each branch/jump needs a contiguous
+    // following instruction that is not itself control flow.
+    const uint32_t step = static_cast<uint32_t>(t.insnBytes());
+    for (size_t i = 0; i < sites.size(); ++i) {
+        if (!dec[i] || !isControlFlow(dec[i]->op))
+            continue;
+        const bool haveSlot = i + 1 < sites.size() &&
+                              sites[i + 1].addr == sites[i].addr + step;
+        if (!haveSlot) {
+            emit(Severity::Error, "mc-missing-delay-slot", sites[i],
+                 std::string(isa::opName(dec[i]->op)) +
+                     " has no instruction in its delay slot "
+                     "(falls into data or off the end of text)");
+            continue;
+        }
+        if (dec[i + 1] && isControlFlow(dec[i + 1]->op)) {
+            emit(Severity::Error, "mc-branch-in-delay-slot", sites[i + 1],
+                 std::string(isa::opName(dec[i + 1]->op)) +
+                     " sits in the delay slot of the " +
+                     std::string(isa::opName(dec[i]->op)) + " at " +
+                     hexString(sites[i].addr));
+        }
+    }
+
+    // Load-use stalls: legal (the hardware interlocks) but each costs a
+    // cycle, so surface them only as opt-in perf notes.
+    if (opts.perfNotes) {
+        for (size_t i = 0; i + 1 < sites.size(); ++i) {
+            if (!dec[i] || !dec[i + 1])
+                continue;
+            const OpClass cls = opClass(dec[i]->op);
+            if (cls != OpClass::Load && cls != OpClass::LoadConst)
+                continue;
+            if (sites[i + 1].addr != sites[i].addr + step)
+                continue;
+            const int rd = cls == OpClass::LoadConst ? 0 : dec[i]->rd;
+            if (t.r0IsZero() && rd == 0)
+                continue;  // result discarded; no dependence
+            if (readsGpr(*dec[i + 1], rd)) {
+                std::ostringstream os;
+                os << isa::opName(dec[i + 1]->op) << " uses "
+                   << t.regName(rd) << " right after the "
+                   << isa::opName(dec[i]->op) << " that loads it "
+                   "(one interlock stall cycle)";
+                emit(Severity::Note, "mc-load-use-interlock", sites[i + 1],
+                     os.str());
+            }
+        }
+    }
+
+    // Entry point.
+    if (!sites.empty()) {
+        const bool entryOk = std::binary_search(siteAddrs.begin(),
+                                                siteAddrs.end(), img.entry);
+        if (!entryOk) {
+            InsnSite at{img.entry, 0};
+            emit(Severity::Error, "mc-bad-entry", at,
+                 "program entry " + hexString(img.entry) +
+                     " is not an instruction in the text section");
+        }
+    }
+}
+
+} // namespace
+
+bool
+lintImage(const Image &img, DiagEngine &diags, const LintOptions &opts)
+{
+    panicIf(img.target == nullptr, "lintImage: image has no target");
+    Linter l{img, diags, opts};
+    l.run();
+    return l.ok;
+}
+
+void
+lintImageOrThrow(const Image &img, const std::string &unit)
+{
+    DiagEngine diags;
+    diags.setUnit(unit.empty() ? std::string(img.target->name()) : unit);
+    if (lintImage(img, diags))
+        return;
+    std::ostringstream os;
+    os << "machine-code lint failed";
+    if (!unit.empty())
+        os << " for " << unit;
+    os << ":\n";
+    diags.renderText(os);
+    panic(os.str());
+}
+
+} // namespace d16sim::verify

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Machine-code linter — post-link checks over assembled images.
+ *
+ * Walks every instruction site of a linked Image (the assembler records
+ * one per emitted instruction, so in-text constant pools are never
+ * misread as code) and checks, for both encodings:
+ *
+ *  - every word decodes (reserved encodings are rejected by the codecs)
+ *    and survives an encode(reconstruct(decode(w))) == w round trip, so
+ *    what the simulator executes is exactly what the compiler meant;
+ *  - branch, jump, and Ldc displacements land inside the text section,
+ *    on an instruction boundary, and (for control flow) on a real
+ *    instruction rather than a pool word;
+ *  - delay-slot discipline: every branch/jump is followed by a
+ *    contiguous instruction, and that instruction is not itself a
+ *    branch or jump (the pipeline has exactly one delay slot);
+ *  - the program entry point is an instruction inside text.
+ *
+ * A load feeding its result to the very next instruction is legal (the
+ * hardware interlocks and stalls one cycle), so it is reported only as
+ * a Note, and only when LintOptions::perfNotes is set.
+ */
+
+#ifndef D16SIM_VERIFY_MC_LINT_HH
+#define D16SIM_VERIFY_MC_LINT_HH
+
+#include <string>
+
+#include "asm/image.hh"
+#include "verify/diag.hh"
+
+namespace d16sim::verify
+{
+
+struct LintOptions
+{
+    /** Also report Note-severity performance findings (load-use
+     *  interlock stalls). Off by default: they are not defects. */
+    bool perfNotes = false;
+};
+
+/** Lint one linked image; append findings to `diags`. Returns true when
+ *  no Error- or Warning-severity diagnostic was produced. */
+bool lintImage(const assem::Image &img, DiagEngine &diags,
+               const LintOptions &opts = {});
+
+/** Lint and throw PanicError listing the findings on any failure. */
+void lintImageOrThrow(const assem::Image &img, const std::string &unit = "");
+
+} // namespace d16sim::verify
+
+#endif // D16SIM_VERIFY_MC_LINT_HH

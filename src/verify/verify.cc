@@ -1,0 +1,18 @@
+#include "verify/verify.hh"
+
+namespace d16sim::verify
+{
+
+void
+installIrVerifier(mc::CompileOptions &opts)
+{
+    opts.verifyHook = [](const mc::IrFunction &fn, const char *stage,
+                         const mc::MachineEnv *env) {
+        IrVerifyOptions vo;
+        vo.env = env;
+        vo.stage = stage;
+        verifyIrOrThrow(fn, vo);
+    };
+}
+
+} // namespace d16sim::verify

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Umbrella for the toolchain verification layer.
+ *
+ * The layer sits above mc and asm: the compiler knows nothing about it
+ * and only exposes the VerifyHook seam in CompileOptions. core::build
+ * installs the IR verifier through installIrVerifier() (always in debug
+ * builds, on request via CompileOptions::verifyEach elsewhere) and runs
+ * the machine-code linter over the linked image.
+ */
+
+#ifndef D16SIM_VERIFY_VERIFY_HH
+#define D16SIM_VERIFY_VERIFY_HH
+
+#include "mc/options.hh"
+#include "verify/diag.hh"
+#include "verify/ir_verify.hh"
+#include "verify/mc_lint.hh"
+
+namespace d16sim::verify
+{
+
+/** Point opts.verifyHook at the IR verifier: every compile through
+ *  these options then checks the IR at stage boundaries (and, with
+ *  opts.verifyEach, after every optimization pass) and throws
+ *  PanicError naming the offending stage on a broken invariant. */
+void installIrVerifier(mc::CompileOptions &opts);
+
+} // namespace d16sim::verify
+
+#endif // D16SIM_VERIFY_VERIFY_HH

@@ -273,14 +273,19 @@ TEST(Assembler, D16CondBranchRelaxation)
     const Image img = assemble(TargetInfo::d16(), src);
 
     const DecodedInst first = d16Decode(fetchHalf(img, img.textBase));
-    const DecodedInst second = d16Decode(fetchHalf(img, img.textBase + 2));
+    const DecodedInst slot = d16Decode(fetchHalf(img, img.textBase + 2));
+    const DecodedInst third = d16Decode(fetchHalf(img, img.textBase + 4));
     EXPECT_EQ(first.op, Op::Bnz);  // inverted
-    EXPECT_EQ(first.imm, 4);       // skips the far branch
-    EXPECT_EQ(second.op, Op::Br);
-    EXPECT_EQ(img.textBase + 2 + static_cast<uint32_t>(second.imm),
+    // Skips the far branch and lands in its delay slot; the inverted
+    // branch's own delay slot holds a nop (a transfer may not sit in a
+    // delay slot).
+    EXPECT_EQ(first.imm, 6);
+    EXPECT_EQ(slot.op, Op::Mv);  // the D16 nop encoding (mv r0, r0)
+    EXPECT_EQ(third.op, Op::Br);
+    EXPECT_EQ(img.textBase + 4 + static_cast<uint32_t>(third.imm),
               img.symbol("far"));
-    // 600 + relaxed pair + ret.
-    EXPECT_EQ(img.textInsns, 603u);
+    // 600 + relaxed triple + ret.
+    EXPECT_EQ(img.textInsns, 604u);
 }
 
 TEST(Assembler, D16UnconditionalOutOfRangeIsFatal)

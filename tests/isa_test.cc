@@ -251,8 +251,9 @@ expectRoundTrip(const TargetInfo &t, const AsmInst &in, Op op, Cond cond,
     const uint32_t w = encode(t, in);
     const DecodedInst d = decode(t, w);
     EXPECT_EQ(d.op, op) << opName(op) << " got " << opName(d.op);
-    if (hasCond(op))
+    if (hasCond(op)) {
         EXPECT_EQ(d.cond, cond);
+    }
     EXPECT_EQ(int{d.rd}, rd) << opName(op);
     EXPECT_EQ(int{d.rs1}, rs1) << opName(op);
     EXPECT_EQ(int{d.rs2}, rs2) << opName(op);

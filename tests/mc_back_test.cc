@@ -148,8 +148,9 @@ int f(int a, int n) {
     ASSERT_GE(mulBlock, 0);
     for (const auto &bb : f.blocks)
         for (int s : bb.successors())
-            if (s == mulBlock)
+            if (s == mulBlock) {
                 EXPECT_LT(bb.id, mulBlock) << "loop back edge into Mul";
+            }
 }
 
 // ---------------------------------------------------------------------
@@ -278,9 +279,10 @@ int f(int a, int b) { return a > b; }
     legalize(m.functions[0], env);
     for (const auto &bb : m.functions[0].blocks)
         for (const auto &i : bb.insts)
-            if (i.op == IrOp::Cmp || i.op == IrOp::BrCmp)
+            if (i.op == IrOp::Cmp || i.op == IrOp::BrCmp) {
                 EXPECT_TRUE(d16HasCond(i.cond))
                     << isa::condName(i.cond);
+            }
 }
 
 TEST(Legalize, FpMemorySplitsThroughGprs)
@@ -310,8 +312,9 @@ TEST(Legalize, TwoAddressTying)
     // Every tied binop has dst == a.
     for (const auto &bb : m.functions[0].blocks)
         for (const auto &i : bb.insts)
-            if (i.op == IrOp::Add && i.dst.valid())
+            if (i.op == IrOp::Add && i.dst.valid()) {
                 EXPECT_EQ(i.dst.id, i.a.id);
+            }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * d16lint — run the toolchain verification layer from the command line.
+ *
+ * Compiles workloads for the selected targets with the IR verifier
+ * hooked into every pipeline stage, links them, and runs the
+ * machine-code linter over the images. Diagnostics go to stdout as
+ * text, or as JSON (--json) for CI diffing.
+ *
+ *   d16lint                      lint every workload, both targets
+ *   d16lint perm queens          lint specific workloads
+ *   d16lint --isa d16 --opt 0    one target, unoptimized code
+ *   d16lint --verify-each        verify after every optimization pass
+ *   d16lint --perf               include load-use interlock notes
+ *
+ * Exit status: 0 = clean, 1 = diagnostics reported, 2 = build failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "core/workloads.hh"
+#include "mc/compiler.hh"
+#include "support/error.hh"
+#include "verify/verify.hh"
+
+namespace
+{
+
+using namespace d16sim;
+
+struct Args
+{
+    std::vector<std::string> workloads;  //!< empty = all
+    bool d16 = true;
+    bool dlxe = true;
+    int optLevel = 2;
+    bool verifyEach = false;
+    bool json = false;
+    bool perf = false;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--isa d16|dlxe|both] [--opt 0|1|2] "
+                 "[--verify-each] [--perf] [--json] [--list] "
+                 "[workload...]\n",
+                 argv0);
+    return 2;
+}
+
+/** Compile + link one workload for one variant, collecting diagnostics
+ *  instead of throwing. Returns false on a build failure. */
+bool
+lintOne(const core::Workload &w, mc::CompileOptions opts, const Args &args,
+        verify::DiagEngine &diags)
+{
+    opts.optLevel = args.optLevel;
+    opts.verifyEach = args.verifyEach;
+    opts.verifyHook = [&diags](const mc::IrFunction &fn, const char *stage,
+                               const mc::MachineEnv *env) {
+        verify::IrVerifyOptions vo;
+        vo.env = env;
+        vo.stage = stage;
+        verify::verifyIr(fn, diags, vo);
+    };
+    diags.setUnit(w.name + "/" + opts.name());
+
+    try {
+        mc::CompileResult comp = mc::compile(w.source, opts);
+        assem::Assembler as(opts.target());
+        as.add(std::move(comp.items));
+        const assem::Image img = as.link();
+        verify::LintOptions lo;
+        lo.perfNotes = args.perf;
+        verify::lintImage(img, diags, lo);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "d16lint: %s/%s: build failed: %s\n",
+                     w.name.c_str(), opts.name().c_str(), e.what());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "d16lint: %s needs a value\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--isa") {
+            const std::string v = value();
+            args.d16 = v == "d16" || v == "both";
+            args.dlxe = v == "dlxe" || v == "both";
+            if (!args.d16 && !args.dlxe)
+                return usage(argv[0]);
+        } else if (a == "--opt") {
+            args.optLevel = std::atoi(value());
+        } else if (a == "--verify-each") {
+            args.verifyEach = true;
+        } else if (a == "--json") {
+            args.json = true;
+        } else if (a == "--perf") {
+            args.perf = true;
+        } else if (a == "--list") {
+            for (const core::Workload &w : core::workloadSuite())
+                std::printf("%s\n", w.name.c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            args.workloads.push_back(a);
+        }
+    }
+
+    std::vector<const core::Workload *> suite;
+    try {
+        if (args.workloads.empty()) {
+            for (const core::Workload &w : core::workloadSuite())
+                suite.push_back(&w);
+        } else {
+            for (const std::string &name : args.workloads)
+                suite.push_back(&core::workload(name));
+        }
+    } catch (const Error &e) {
+        std::fprintf(stderr, "d16lint: %s\n", e.what());
+        return 2;
+    }
+
+    verify::DiagEngine diags;
+    bool buildFailed = false;
+    int units = 0;
+    for (const core::Workload *w : suite) {
+        if (args.d16) {
+            ++units;
+            buildFailed |=
+                !lintOne(*w, mc::CompileOptions::d16(), args, diags);
+        }
+        if (args.dlxe) {
+            ++units;
+            buildFailed |=
+                !lintOne(*w, mc::CompileOptions::dlxe(), args, diags);
+        }
+    }
+
+    if (args.json)
+        diags.renderJson(std::cout);
+    else
+        diags.renderText(std::cout);
+
+    if (!args.json) {
+        std::fprintf(stderr,
+                     "d16lint: %d units, %d errors, %d warnings, "
+                     "%d notes\n",
+                     units, diags.errors(), diags.warnings(),
+                     diags.notes());
+    }
+    if (buildFailed)
+        return 2;
+    return diags.failures() ? 1 : 0;
+}
