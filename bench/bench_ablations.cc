@@ -21,6 +21,29 @@ main()
 {
     header("Extension ablations", "DESIGN.md design-choice probes");
 
+    // Everything the four ablations consume, sweepable in parallel.
+    {
+        std::vector<JobSpec> plan;
+        CompileOptions narrow = CompileOptions::dlxe();
+        narrow.narrowImmediates = true;
+        for (const Workload &w : workloadSuite()) {
+            plan.push_back(JobSpec::base(w.name, CompileOptions::d16()));
+            plan.push_back(JobSpec::base(w.name, CompileOptions::dlxe()));
+            plan.push_back(JobSpec::base(w.name, narrow));
+            if (!w.cacheBenchmark) {
+                for (const auto &base :
+                     {CompileOptions::d16(), CompileOptions::dlxe()}) {
+                    for (int lvl : {0, 1}) {
+                        CompileOptions o = base;
+                        o.optLevel = lvl;
+                        plan.push_back(JobSpec::base(w.name, o));
+                    }
+                }
+            }
+        }
+        prefetch(std::move(plan));
+    }
+
     // 1. Narrow immediates.
     {
         Table t({"Program", "path DLXe", "path DLXe-narrowimm",
@@ -66,14 +89,12 @@ main()
                 o1.optLevel = 1;
                 o0.optLevel = 0;
                 const auto &m2 = measure(w.name, base);
-                const auto m1 =
-                    buildAndRun(core::workload(w.name).source, o1);
-                const auto m0 =
-                    buildAndRun(core::workload(w.name).source, o0);
+                const auto &m1 = measure(w.name, o1);
+                const auto &m0 = measure(w.name, o0);
                 il2 += m2.run.stats.interlocks();
-                il1 += m1.stats.interlocks();
+                il1 += m1.run.stats.interlocks();
                 p2 += m2.run.stats.instructions;
-                p0 += m0.stats.instructions;
+                p0 += m0.run.stats.instructions;
             }
             t.addRow({base.name(), std::to_string(il2),
                       std::to_string(il1), std::to_string(p2),

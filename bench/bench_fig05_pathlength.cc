@@ -18,6 +18,12 @@ main()
            "Bunda et al. 1993, Fig. 5 and Table 7");
 
     const auto variants = allVariants();
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite())
+        for (const auto &[name, opts] : variants)
+            plan.push_back(JobSpec::base(w.name, opts));
+    prefetch(std::move(plan));
+
     Table t({"Program", "D16/16/2", "DLXe/16/2", "DLXe/16/3",
              "DLXe/32/2", "DLXe/32/3", "ratio DLXe/D16"});
     std::vector<double> ratioSum(variants.size(), 0.0);

@@ -24,6 +24,12 @@ main()
     const CompileOptions dlxe16 = CompileOptions::dlxe(16, true);
     const CompileOptions dlxe32 = CompileOptions::dlxe(32, true);
 
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite())
+        for (const CompileOptions &opts : {d16, dlxe16, dlxe32})
+            plan.push_back(JobSpec::base(w.name, opts));
+    prefetch(std::move(plan));
+
     Table t({"Program", "size16/D16", "size32/D16", "path16/D16",
              "path32/D16", "dtraf D16 %", "dtraf DLXe-16 %"});
     double s16 = 0, s32 = 0, p16 = 0, p32 = 0, tD = 0, tX = 0;

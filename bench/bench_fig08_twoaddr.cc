@@ -29,6 +29,14 @@ main()
         CompileOptions::dlxe(16, false), CompileOptions::dlxe(16, true),
         CompileOptions::dlxe(32, false), CompileOptions::dlxe(32, true)};
 
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite()) {
+        plan.push_back(JobSpec::base(w.name, CompileOptions::d16()));
+        for (const CompileOptions &opts : variants)
+            plan.push_back(JobSpec::base(w.name, opts));
+    }
+    prefetch(std::move(plan));
+
     for (const Workload &w : workloadSuite()) {
         const auto &base = measure(w.name, CompileOptions::d16());
         const double bSize = base.run.sizeBytes;

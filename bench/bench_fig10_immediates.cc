@@ -28,6 +28,14 @@ main()
     CompileOptions narrow = CompileOptions::dlxe(16, false);
     narrow.narrowImmediates = true;
 
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite()) {
+        plan.push_back(JobSpec::base(w.name, d16));
+        plan.push_back(JobSpec::imm(w.name, dlxe162));
+        plan.push_back(JobSpec::base(w.name, narrow));
+    }
+    prefetch(std::move(plan));
+
     Table t({"Program", "speedup DLXe/16/2 vs D16", "cmp-imm %",
              "alu-imm %", "mem-disp %", "total %",
              "narrow-imm path ratio"});
@@ -37,22 +45,21 @@ main()
 
     for (const Workload &w : workloadSuite()) {
         const auto &mD = measure(w.name, d16);
-        // Re-run the restricted DLXe with the immediate classifier.
-        const auto img = build(core::workload(w.name).source, dlxe162);
-        ImmediateClassProbe classifier;
-        const auto mX = run(img, {&classifier});
+        // The restricted DLXe run under the immediate classifier.
+        const auto &mX = measureImm(w.name, dlxe162);
+        const auto &classifier = mX.imm;
         const auto &mN = measure(w.name, narrow);
 
         const double speedup =
             static_cast<double>(mD.run.stats.instructions) /
-            mX.stats.instructions;
+            mX.run.stats.instructions;
         const double narrowRatio =
             static_cast<double>(mN.run.stats.instructions) /
-            mX.stats.instructions;
-        const double cmpPct = classifier.pct(classifier.cmpImmediate());
-        const double aluPct = classifier.pct(classifier.aluImmediate());
+            mX.run.stats.instructions;
+        const double cmpPct = classifier.pct(classifier.cmpImmediate);
+        const double aluPct = classifier.pct(classifier.aluImmediate);
         const double memPct =
-            classifier.pct(classifier.memDisplacement());
+            classifier.pct(classifier.memDisplacement);
 
         speedupSum += speedup;
         cmpSum += cmpPct;

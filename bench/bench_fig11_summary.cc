@@ -19,6 +19,11 @@ main()
            "Bunda et al. 1993, Figs. 11-12 and Table 5");
 
     const auto variants = allVariants();
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite())
+        for (const auto &[name, opts] : variants)
+            plan.push_back(JobSpec::base(w.name, opts));
+    prefetch(std::move(plan));
 
     Table size({"Program", "DLXe/16/2", "DLXe/16/3", "DLXe/32/2",
                 "DLXe/32/3"});

@@ -24,6 +24,12 @@ main()
     const CompileOptions d16 = CompileOptions::d16();
     const CompileOptions dlxe = CompileOptions::dlxe();
 
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite())
+        for (const CompileOptions &opts : {d16, dlxe})
+            plan.push_back(JobSpec::fetch(w.name, opts, 4));
+    prefetch(std::move(plan));
+
     Table t8({"Program", "D16 path", "DLXe path", "D16 I-words",
               "DLXe I-words", "traffic ratio", "static ratio"});
     Table t9({"Program", "D16 ld+st", "DLXe ld+st", "increase %"});
@@ -35,15 +41,14 @@ main()
     int n = 0, nMem = 0;
 
     for (const Workload &w : workloadSuite()) {
-        // Re-run with word fetch counters.
-        const auto imgD = build(core::workload(w.name).source, d16);
-        const auto imgX = build(core::workload(w.name).source, dlxe);
-        FetchBufferProbe fbD(4), fbX(4);
-        const auto mD = run(imgD, {&fbD});
-        const auto mX = run(imgX, {&fbX});
+        // The word-wide fetch-path runs.
+        const auto &jD = measureFetch(w.name, d16, 4);
+        const auto &jX = measureFetch(w.name, dlxe, 4);
+        const auto &mD = jD.run;
+        const auto &mX = jX.run;
 
         const double trafficRatio =
-            static_cast<double>(fbX.words()) / fbD.words();
+            static_cast<double>(jX.fetch.words) / jD.fetch.words;
         const double staticRatio =
             static_cast<double>(mX.sizeBytes) / mD.sizeBytes;
         // Guard the percentage against programs DLXe runs almost
@@ -69,8 +74,8 @@ main()
 
         t8.addRow({w.name, std::to_string(mD.stats.instructions),
                    std::to_string(mX.stats.instructions),
-                   std::to_string(fbD.words()),
-                   std::to_string(fbX.words()), fixed(trafficRatio, 2),
+                   std::to_string(jD.fetch.words),
+                   std::to_string(jX.fetch.words), fixed(trafficRatio, 2),
                    fixed(staticRatio, 2)});
         t9.addRow({w.name, std::to_string(mD.stats.memOps()),
                    std::to_string(mX.stats.memOps()), memIncStr});

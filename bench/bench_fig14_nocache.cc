@@ -24,6 +24,13 @@ main()
     const CompileOptions optD16 = CompileOptions::d16();
     const CompileOptions optDLXe = CompileOptions::dlxe();
 
+    std::vector<JobSpec> plan;
+    for (const Workload &w : workloadSuite())
+        for (const CompileOptions &opts : {optD16, optDLXe})
+            for (uint32_t bus : {4u, 8u})
+                plan.push_back(JobSpec::fetch(w.name, opts, bus));
+    prefetch(std::move(plan));
+
     for (int busBytes : {4, 8}) {
         struct Acc
         {
@@ -39,18 +46,19 @@ main()
         Table ratios({"Program", "l=0", "l=1", "l=2", "l=3"});
 
         for (const Workload &w : workloadSuite()) {
-            const auto imgD = build(core::workload(w.name).source, optD16);
-            const auto imgX = build(core::workload(w.name).source, optDLXe);
-            FetchBufferProbe fbD(busBytes), fbX(busBytes);
-            const auto mD = run(imgD, {&fbD});
-            const auto mX = run(imgX, {&fbX});
+            const auto &jD = measureFetch(
+                w.name, optD16, static_cast<uint32_t>(busBytes));
+            const auto &jX = measureFetch(
+                w.name, optDLXe, static_cast<uint32_t>(busBytes));
+            const auto &mD = jD.run;
+            const auto &mX = jX.run;
 
             std::vector<std::string> row = {w.name};
             for (int l = 0; l <= 3; ++l) {
                 const uint64_t cycD =
-                    cyclesNoCache(mD.stats, l, fbD.requests());
+                    cyclesNoCache(mD.stats, l, jD.fetch.requests);
                 const uint64_t cycX =
-                    cyclesNoCache(mX.stats, l, fbX.requests());
+                    cyclesNoCache(mX.stats, l, jX.fetch.requests);
                 acc.cpiD16[l] += static_cast<double>(cycD) /
                                  mD.stats.instructions;
                 acc.cpiD16Norm[l] += static_cast<double>(cycD) /
@@ -58,9 +66,9 @@ main()
                 acc.cpiDLXe[l] += static_cast<double>(cycX) /
                                   mX.stats.instructions;
                 acc.fpcD16[l] +=
-                    static_cast<double>(fbD.requests()) / cycD;
+                    static_cast<double>(jD.fetch.requests) / cycD;
                 acc.fpcDLXe[l] +=
-                    static_cast<double>(fbX.requests()) / cycX;
+                    static_cast<double>(jX.fetch.requests) / cycX;
                 acc.ratio[l] += static_cast<double>(cycX) / cycD;
                 row.push_back(ratio(cycX, cycD));
             }

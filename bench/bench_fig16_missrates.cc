@@ -24,23 +24,31 @@ main()
     const CompileOptions optD16 = CompileOptions::d16();
     const CompileOptions optDLXe = CompileOptions::dlxe();
 
-    for (const std::string &name : cacheBenchmarkNames()) {
-        const auto imgD = build(core::workload(name).source, optD16);
-        const auto imgX = build(core::workload(name).source, optDLXe);
+    auto config = [](uint32_t kb, uint32_t block) {
+        mem::CacheConfig cfg;
+        cfg.sizeBytes = kb * 1024;
+        cfg.blockBytes = block;
+        cfg.subBlockBytes = std::min(block, 8u);
+        return cfg;
+    };
 
+    std::vector<JobSpec> plan;
+    for (const std::string &name : cacheBenchmarkNames())
+        for (const CompileOptions &opts : {optD16, optDLXe})
+            for (uint32_t kb : {1u, 2u, 4u, 8u, 16u})
+                for (uint32_t block : {8u, 16u, 32u, 64u})
+                    plan.push_back(JobSpec::cache(
+                        name, opts, config(kb, block), config(kb, block)));
+    prefetch(std::move(plan));
+
+    for (const std::string &name : cacheBenchmarkNames()) {
         Table t({"cache", "block", "I D16", "I DLXe", "Dread D16",
                  "Dread DLXe", "Dwrite D16", "Dwrite DLXe"});
         for (uint32_t kb : {1, 2, 4, 8, 16}) {
             for (uint32_t block : {8u, 16u, 32u, 64u}) {
-                mem::CacheConfig icfg, dcfg;
-                icfg.sizeBytes = kb * 1024;
-                icfg.blockBytes = block;
-                icfg.subBlockBytes = std::min(block, 8u);
-                dcfg = icfg;
-
-                CacheProbe pd(icfg, dcfg), px(icfg, dcfg);
-                const auto mD = run(imgD, {&pd});
-                const auto mX = run(imgX, {&px});
+                const mem::CacheConfig cfg = config(kb, block);
+                const auto &jD = measureCache(name, optD16, cfg, cfg);
+                const auto &jX = measureCache(name, optDLXe, cfg, cfg);
 
                 auto perInsn = [](const mem::CacheStats &c,
                                   uint64_t insns) {
@@ -48,14 +56,14 @@ main()
                 };
                 t.addRow({std::to_string(kb) + "K",
                           std::to_string(block),
-                          fixed(perInsn(pd.icache().stats(),
-                                        mD.stats.instructions), 3),
-                          fixed(perInsn(px.icache().stats(),
-                                        mX.stats.instructions), 3),
-                          fixed(pd.dcache().stats().readMissRate(), 3),
-                          fixed(px.dcache().stats().readMissRate(), 3),
-                          fixed(pd.dcache().stats().writeMissRate(), 3),
-                          fixed(px.dcache().stats().writeMissRate(), 3)});
+                          fixed(perInsn(jD.icache,
+                                        jD.run.stats.instructions), 3),
+                          fixed(perInsn(jX.icache,
+                                        jX.run.stats.instructions), 3),
+                          fixed(jD.dcache.readMissRate(), 3),
+                          fixed(jX.dcache.readMissRate(), 3),
+                          fixed(jD.dcache.writeMissRate(), 3),
+                          fixed(jX.dcache.writeMissRate(), 3)});
             }
         }
         t.setTitle("Benchmark: " + name +

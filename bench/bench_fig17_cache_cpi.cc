@@ -26,21 +26,31 @@ main()
     Table t13({"Program", "ISA", "insns", "interlock rate", "Ifetches",
                "Dreads", "Dwrites"});
 
+    auto config = [](uint32_t kb) {
+        mem::CacheConfig cfg;
+        cfg.sizeBytes = kb * 1024;
+        cfg.blockBytes = 32;
+        cfg.subBlockBytes = 8;
+        return cfg;
+    };
+
+    std::vector<JobSpec> plan;
+    for (uint32_t kb : {4u, 16u})
+        for (const std::string &name : cacheBenchmarkNames())
+            for (const CompileOptions &opts : {optD16, optDLXe})
+                plan.push_back(
+                    JobSpec::cache(name, opts, config(kb), config(kb)));
+    prefetch(std::move(plan));
+
     for (uint32_t kb : {4, 16}) {
         std::cout << "---- " << kb << "K instruction and data caches ----"
                   << "\n\n";
         for (const std::string &name : cacheBenchmarkNames()) {
-            const auto imgD = build(core::workload(name).source, optD16);
-            const auto imgX = build(core::workload(name).source, optDLXe);
-
-            mem::CacheConfig cfg;
-            cfg.sizeBytes = kb * 1024;
-            cfg.blockBytes = 32;
-            cfg.subBlockBytes = 8;
-
-            CacheProbe pd(cfg, cfg), px(cfg, cfg);
-            const auto mD = run(imgD, {&pd});
-            const auto mX = run(imgX, {&px});
+            const mem::CacheConfig cfg = config(kb);
+            const auto &jD = measureCache(name, optD16, cfg, cfg);
+            const auto &jX = measureCache(name, optDLXe, cfg, cfg);
+            const auto &mD = jD.run;
+            const auto &mX = jX.run;
 
             if (kb == 4) {
                 t13.addRow({name, "D16",
@@ -61,11 +71,9 @@ main()
                      "D16 CPI (normalized)"});
             for (int penalty : {4, 8, 12, 16}) {
                 const uint64_t cycD = cyclesWithCache(
-                    mD.stats, penalty, pd.icache().stats(),
-                    pd.dcache().stats());
+                    mD.stats, penalty, jD.icache, jD.dcache);
                 const uint64_t cycX = cyclesWithCache(
-                    mX.stats, penalty, px.icache().stats(),
-                    px.dcache().stats());
+                    mX.stats, penalty, jX.icache, jX.dcache);
                 t.addRow({std::to_string(penalty),
                           fixed(static_cast<double>(cycX) /
                                     mX.stats.instructions, 2),

@@ -22,34 +22,39 @@ main()
     const CompileOptions optDLXe = CompileOptions::dlxe();
     const int missPenalty = 4;
 
-    for (const std::string &name : cacheBenchmarkNames()) {
-        const auto imgD = build(core::workload(name).source, optD16);
-        const auto imgX = build(core::workload(name).source, optDLXe);
+    auto config = [](uint32_t kb) {
+        mem::CacheConfig cfg;
+        cfg.sizeBytes = kb * 1024;
+        cfg.blockBytes = 32;
+        cfg.subBlockBytes = 8;
+        return cfg;
+    };
 
+    std::vector<JobSpec> plan;
+    for (const std::string &name : cacheBenchmarkNames())
+        for (const CompileOptions &opts : {optD16, optDLXe})
+            for (uint32_t kb : {1u, 2u, 4u, 8u, 16u})
+                plan.push_back(
+                    JobSpec::cache(name, opts, config(kb), config(kb)));
+    prefetch(std::move(plan));
+
+    for (const std::string &name : cacheBenchmarkNames()) {
         Table t({"cache", "D16 words/cycle", "DLXe words/cycle",
                  "ratio"});
         for (uint32_t kb : {1, 2, 4, 8, 16}) {
-            mem::CacheConfig cfg;
-            cfg.sizeBytes = kb * 1024;
-            cfg.blockBytes = 32;
-            cfg.subBlockBytes = 8;
-            CacheProbe pd(cfg, cfg), px(cfg, cfg);
-            const auto mD = run(imgD, {&pd});
-            const auto mX = run(imgX, {&px});
+            const mem::CacheConfig cfg = config(kb);
+            const auto &jD = measureCache(name, optD16, cfg, cfg);
+            const auto &jX = measureCache(name, optDLXe, cfg, cfg);
 
             const uint64_t cycD = cyclesWithCache(
-                mD.stats, missPenalty, pd.icache().stats(),
-                pd.dcache().stats());
+                jD.run.stats, missPenalty, jD.icache, jD.dcache);
             const uint64_t cycX = cyclesWithCache(
-                mX.stats, missPenalty, px.icache().stats(),
-                px.dcache().stats());
+                jX.run.stats, missPenalty, jX.icache, jX.dcache);
             const double wpcD =
-                static_cast<double>(
-                    pd.icache().stats().wordsTransferred()) /
+                static_cast<double>(jD.icache.wordsTransferred()) /
                 cycD;
             const double wpcX =
-                static_cast<double>(
-                    px.icache().stats().wordsTransferred()) /
+                static_cast<double>(jX.icache.wordsTransferred()) /
                 cycX;
             t.addRow({std::to_string(kb) + "K", fixed(wpcD, 4),
                       fixed(wpcX, 4),

@@ -25,6 +25,10 @@ echo "== d16lint: workloads x {D16, DLXe}, --verify-each =="
 ./build/tools/d16lint --verify-each --json > build/lint.json
 echo "   wrote build/lint.json ($(wc -c < build/lint.json) bytes)"
 
+echo "== d16sweep: smoke matrix vs golden =="
+./build/tools/d16sweep --smoke --jobs "$JOBS" \
+    --json build/sweep.json --golden tests/golden/sweep_golden.json
+
 if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     echo "== sanitizers: ASan + UBSan build =="
     cmake -B build-asan -S . -DD16SIM_SANITIZE=ON >/dev/null

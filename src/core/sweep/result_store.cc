@@ -1,0 +1,277 @@
+#include "core/sweep/result_store.hh"
+
+#include "core/workloads.hh"
+#include "support/error.hh"
+
+namespace d16sim::core::sweep
+{
+
+JobSpec
+JobSpec::base(std::string workload, mc::CompileOptions opts)
+{
+    JobSpec s;
+    s.workload = std::move(workload);
+    s.opts = std::move(opts);
+    return s;
+}
+
+JobSpec
+JobSpec::fetch(std::string workload, mc::CompileOptions opts,
+               uint32_t busBytes)
+{
+    JobSpec s = base(std::move(workload), std::move(opts));
+    s.probe = ProbeKind::FetchBuffer;
+    s.busBytes = busBytes;
+    return s;
+}
+
+JobSpec
+JobSpec::cache(std::string workload, mc::CompileOptions opts,
+               mem::CacheConfig icache, mem::CacheConfig dcache)
+{
+    JobSpec s = base(std::move(workload), std::move(opts));
+    s.probe = ProbeKind::CacheSim;
+    s.icache = icache;
+    s.dcache = dcache;
+    return s;
+}
+
+JobSpec
+JobSpec::imm(std::string workload, mc::CompileOptions opts)
+{
+    JobSpec s = base(std::move(workload), std::move(opts));
+    s.probe = ProbeKind::ImmClass;
+    return s;
+}
+
+std::string
+variantKey(const mc::CompileOptions &opts)
+{
+    std::string key = opts.name();
+    if (opts.optLevel != 2)
+        key += "/O" + std::to_string(opts.optLevel);
+    return key;
+}
+
+std::string
+cacheKey(const mem::CacheConfig &cfg)
+{
+    return std::to_string(cfg.sizeBytes) + ":" +
+           std::to_string(cfg.blockBytes) + ":" +
+           std::to_string(cfg.subBlockBytes) + ":" +
+           std::to_string(cfg.assoc);
+}
+
+std::string
+buildKey(const JobSpec &spec)
+{
+    return spec.workload + "|" + variantKey(spec.opts);
+}
+
+std::string
+jobKey(const JobSpec &spec)
+{
+    std::string key = buildKey(spec);
+    switch (spec.probe) {
+      case ProbeKind::None:
+        break;
+      case ProbeKind::FetchBuffer:
+        key += "|fb" + std::to_string(spec.busBytes);
+        break;
+      case ProbeKind::CacheSim:
+        key += "|cache:i=" + cacheKey(spec.icache) +
+               ",d=" + cacheKey(spec.dcache);
+        break;
+      case ProbeKind::ImmClass:
+        key += "|imm";
+        break;
+    }
+    return key;
+}
+
+JobResult
+executeJob(const JobSpec &spec)
+{
+    const assem::Image image =
+        build(workload(spec.workload).source, spec.opts);
+    return executeJob(spec, image);
+}
+
+JobResult
+executeJob(const JobSpec &spec, const assem::Image &image)
+{
+    JobResult r;
+    r.probe = spec.probe;
+    switch (spec.probe) {
+      case ProbeKind::None:
+        r.run = core::run(image);
+        break;
+      case ProbeKind::FetchBuffer: {
+        FetchBufferProbe fb(spec.busBytes);
+        r.run = core::run(image, {&fb});
+        r.fetch.busBytes = spec.busBytes;
+        r.fetch.requests = fb.requests();
+        r.fetch.words = fb.words();
+        break;
+      }
+      case ProbeKind::CacheSim: {
+        CacheProbe cp(spec.icache, spec.dcache);
+        r.run = core::run(image, {&cp});
+        r.icacheCfg = spec.icache;
+        r.dcacheCfg = spec.dcache;
+        r.icache = cp.icache().stats();
+        r.dcache = cp.dcache().stats();
+        break;
+      }
+      case ProbeKind::ImmClass: {
+        ImmediateClassProbe ic;
+        r.run = core::run(image, {&ic});
+        r.imm.total = ic.total();
+        r.imm.cmpImmediate = ic.cmpImmediate();
+        r.imm.aluImmediate = ic.aluImmediate();
+        r.imm.memDisplacement = ic.memDisplacement();
+        break;
+      }
+    }
+    return r;
+}
+
+namespace
+{
+
+Json
+cacheStatsJson(const mem::CacheConfig &cfg, const mem::CacheStats &s)
+{
+    Json j = Json::object();
+    Json config = Json::object();
+    config["sizeBytes"] = Json(cfg.sizeBytes);
+    config["blockBytes"] = Json(cfg.blockBytes);
+    config["subBlockBytes"] = Json(cfg.subBlockBytes);
+    config["assoc"] = Json(cfg.assoc);
+    j["config"] = std::move(config);
+    j["reads"] = Json(s.reads);
+    j["writes"] = Json(s.writes);
+    j["readMisses"] = Json(s.readMisses);
+    j["writeMisses"] = Json(s.writeMisses);
+    j["wordsIn"] = Json(s.wordsIn);
+    j["wordsOut"] = Json(s.wordsOut);
+    j["missRate"] = Json(s.missRate());
+    return j;
+}
+
+} // namespace
+
+Json
+JobResult::json() const
+{
+    Json j = Json::object();
+
+    Json r = Json::object();
+    r["exitStatus"] = Json(run.exitStatus);
+    r["sizeBytes"] = Json(run.sizeBytes);
+    r["textBytes"] = Json(run.textBytes);
+    r["textInsns"] = Json(run.textInsns);
+    r["instructions"] = Json(run.stats.instructions);
+    r["loads"] = Json(run.stats.loads);
+    r["stores"] = Json(run.stats.stores);
+    r["loadInterlocks"] = Json(run.stats.loadInterlocks);
+    r["fpInterlocks"] = Json(run.stats.fpInterlocks);
+    r["branches"] = Json(run.stats.branches);
+    r["takenBranches"] = Json(run.stats.takenBranches);
+    r["fpOps"] = Json(run.stats.fpOps);
+    r["traps"] = Json(run.stats.traps);
+    j["run"] = std::move(r);
+
+    Json d = Json::object();
+    d["baseCycles"] = Json(run.stats.baseCycles());
+    d["memOps"] = Json(run.stats.memOps());
+    d["interlockRate"] = Json(run.stats.interlockRate());
+    j["derived"] = std::move(d);
+
+    switch (probe) {
+      case ProbeKind::None:
+        break;
+      case ProbeKind::FetchBuffer: {
+        Json f = Json::object();
+        f["busBytes"] = Json(fetch.busBytes);
+        f["requests"] = Json(fetch.requests);
+        f["words"] = Json(fetch.words);
+        j["fetch"] = std::move(f);
+        break;
+      }
+      case ProbeKind::CacheSim:
+        j["icache"] = cacheStatsJson(icacheCfg, icache);
+        j["dcache"] = cacheStatsJson(dcacheCfg, dcache);
+        break;
+      case ProbeKind::ImmClass: {
+        Json m = Json::object();
+        m["total"] = Json(imm.total);
+        m["cmpImmediate"] = Json(imm.cmpImmediate);
+        m["aluImmediate"] = Json(imm.aluImmediate);
+        m["memDisplacement"] = Json(imm.memDisplacement);
+        j["imm"] = std::move(m);
+        break;
+      }
+    }
+    return j;
+}
+
+const JobResult &
+ResultStore::put(const std::string &key, JobResult result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.emplace(key, std::move(result)).first->second;
+}
+
+const JobResult *
+ResultStore::find(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = results_.find(key);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+const JobResult &
+ResultStore::at(const std::string &key) const
+{
+    const JobResult *r = find(key);
+    if (!r)
+        fatal("sweep: no result for job '", key, "'");
+    return *r;
+}
+
+bool
+ResultStore::contains(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+std::vector<std::string>
+ResultStore::keys() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(results_.size());
+    for (const auto &[k, v] : results_)
+        out.push_back(k);
+    return out;
+}
+
+Json
+ResultStore::json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json j = Json::object();
+    for (const auto &[k, v] : results_)
+        j[k] = v.json();
+    return j;
+}
+
+} // namespace d16sim::core::sweep

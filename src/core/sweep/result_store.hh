@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Job specification, job result, and the thread-safe ResultStore the
+ * sweep engine and the bench drivers share.
+ *
+ * Keys follow the convention the old bench memo used —
+ * "<workload>|<variant>" — extended with a third segment naming the
+ * probe configuration ("|fb4", "|imm", "|cache:..."), so one store
+ * holds every measurement a figure needs. std::map keeps the keys
+ * sorted, which is what makes JSON emission canonical.
+ */
+
+#ifndef D16SIM_CORE_SWEEP_RESULT_STORE_HH
+#define D16SIM_CORE_SWEEP_RESULT_STORE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.hh"
+#include "support/json.hh"
+
+namespace d16sim::core::sweep
+{
+
+enum class ProbeKind { None, FetchBuffer, CacheSim, ImmClass };
+
+/** One experiment: build `workload` with `opts`, run it under the
+ *  selected probe. */
+struct JobSpec
+{
+    std::string workload;
+    mc::CompileOptions opts;
+    ProbeKind probe = ProbeKind::None;
+    uint32_t busBytes = 4;          //!< FetchBuffer: fetch-path width
+    mem::CacheConfig icache;        //!< CacheSim
+    mem::CacheConfig dcache;        //!< CacheSim
+
+    static JobSpec base(std::string workload, mc::CompileOptions opts);
+    static JobSpec fetch(std::string workload, mc::CompileOptions opts,
+                         uint32_t busBytes);
+    static JobSpec cache(std::string workload, mc::CompileOptions opts,
+                         mem::CacheConfig icache, mem::CacheConfig dcache);
+    static JobSpec imm(std::string workload, mc::CompileOptions opts);
+};
+
+/** Variant segment of the key: CompileOptions::name() plus an "/O<n>"
+ *  suffix for non-default optimization levels. */
+std::string variantKey(const mc::CompileOptions &opts);
+
+/** "size:block:sub:assoc", e.g. "4096:32:8:1". */
+std::string cacheKey(const mem::CacheConfig &cfg);
+
+/** Build-node key: "<workload>|<variant>". */
+std::string buildKey(const JobSpec &spec);
+
+/** Full job key: buildKey plus the probe segment (empty for base). */
+std::string jobKey(const JobSpec &spec);
+
+struct FetchMetrics
+{
+    uint32_t busBytes = 0;
+    uint64_t requests = 0;  //!< the paper's IRequests
+    uint64_t words = 0;     //!< instruction traffic in 32-bit words
+};
+
+struct ImmMetrics
+{
+    uint64_t total = 0;
+    uint64_t cmpImmediate = 0;
+    uint64_t aluImmediate = 0;
+    uint64_t memDisplacement = 0;
+
+    double
+    pct(uint64_t v) const
+    {
+        return total ? 100.0 * static_cast<double>(v) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Everything one job yields. Probe sections are meaningful only for
+ *  the job's ProbeKind. */
+struct JobResult
+{
+    ProbeKind probe = ProbeKind::None;
+    RunMeasurement run;
+    FetchMetrics fetch;
+    ImmMetrics imm;
+    mem::CacheConfig icacheCfg, dcacheCfg;
+    mem::CacheStats icache, dcache;
+
+    Json json() const;
+};
+
+/** Execute one job in the calling thread (building the image itself). */
+JobResult executeJob(const JobSpec &spec);
+
+/** Execute one job against an already-built image. */
+JobResult executeJob(const JobSpec &spec, const assem::Image &image);
+
+/**
+ * Thread-safe key -> JobResult map. References returned by put()/at()
+ * are stable for the life of the store (std::map nodes never move).
+ */
+class ResultStore
+{
+  public:
+    /** Insert (first writer wins); returns the stored result. */
+    const JobResult &put(const std::string &key, JobResult result);
+
+    /** nullptr when absent. */
+    const JobResult *find(const std::string &key) const;
+
+    /** FatalError when absent. */
+    const JobResult &at(const std::string &key) const;
+
+    bool contains(const std::string &key) const;
+    size_t size() const;
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** The canonical results object: key -> JobResult::json(). */
+    Json json() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, JobResult> results_;
+};
+
+} // namespace d16sim::core::sweep
+
+#endif // D16SIM_CORE_SWEEP_RESULT_STORE_HH

@@ -1,0 +1,506 @@
+#include "core/sweep/sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "core/workloads.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace d16sim::core::sweep
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Fixed-size worker pool. Tasks may submit further tasks (that is how
+ * run jobs are released when their build node finishes); wait()
+ * returns when every transitively submitted task has run. The first
+ * exception any task throws is rethrown from wait().
+ */
+class Pool
+{
+  public:
+    explicit Pool(int threads)
+    {
+        for (int i = 0; i < std::max(1, threads); ++i)
+            workers_.emplace_back([this] { work(); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++outstanding_;
+            queue_.push_back(std::move(task));
+        }
+        cv_.notify_one();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return outstanding_ == 0; });
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    void
+    work()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (true) {
+            cv_.wait(lock, [this] { return done_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (done_)
+                    return;
+                continue;
+            }
+            std::function<void()> task = std::move(queue_.front());
+            queue_.pop_front();
+            lock.unlock();
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> elock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            lock.lock();
+            if (--outstanding_ == 0)
+                idle_.notify_all();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;    //!< work available / shutdown
+    std::condition_variable idle_;  //!< outstanding drained
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int outstanding_ = 0;
+    bool done_ = false;
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+std::vector<std::pair<std::string, mc::CompileOptions>>
+paperVariants()
+{
+    return {
+        {"D16/16/2", mc::CompileOptions::d16()},
+        {"DLXe/16/2", mc::CompileOptions::dlxe(16, false)},
+        {"DLXe/16/3", mc::CompileOptions::dlxe(16, true)},
+        {"DLXe/32/2", mc::CompileOptions::dlxe(32, false)},
+        {"DLXe/32/3", mc::CompileOptions::dlxe(32, true)},
+    };
+}
+
+mc::CompileOptions
+parseVariant(const std::string &key)
+{
+    std::string k = toLower(key);
+    mc::CompileOptions opts;
+
+    // Optional "/oN" optimization suffix.
+    int optLevel = 2;
+    if (k.size() > 3 && k[k.size() - 3] == '/' && k[k.size() - 2] == 'o' &&
+        k.back() >= '0' && k.back() <= '2') {
+        optLevel = k.back() - '0';
+        k.resize(k.size() - 3);
+    }
+
+    if (k == "d16" || k == "d16/16/2") {
+        opts = mc::CompileOptions::d16();
+    } else {
+        bool narrow = false;
+        if (k.size() > 3 && k.substr(k.size() - 3) == "/ni") {
+            narrow = true;
+            k.resize(k.size() - 3);
+        }
+        const auto parts = split(k, '/');
+        if (parts.size() != 3 || parts[0] != "dlxe")
+            fatal("unknown machine variant '", key,
+                  "' (want D16, DLXe/<16|32>/<2|3>[/ni], optionally "
+                  "+ /O0../O2)");
+        const int regs = parts[1] == "16" ? 16 : parts[1] == "32" ? 32 : 0;
+        const bool threeAddr = parts[2] == "3";
+        if (!regs || (parts[2] != "2" && parts[2] != "3"))
+            fatal("unknown machine variant '", key, "'");
+        opts = mc::CompileOptions::dlxe(regs, threeAddr);
+        opts.narrowImmediates = narrow;
+    }
+    opts.optLevel = optLevel;
+    return opts;
+}
+
+Json
+SweepTiming::json() const
+{
+    Json j = Json::object();
+    j["threads"] = Json(threads);
+    j["executedRuns"] = Json(executedRuns);
+    j["executedBuilds"] = Json(executedBuilds);
+    j["dedupedRuns"] = Json(dedupedRuns);
+    j["cachedRuns"] = Json(cachedRuns);
+    j["wallSeconds"] = Json(wallSeconds);
+    j["buildSeconds"] = Json(buildSeconds);
+    j["runSeconds"] = Json(runSeconds);
+    j["busySeconds"] = Json(busySeconds());
+    j["speedup"] = Json(speedup());
+    return j;
+}
+
+SweepEngine::SweepEngine(ResultStore &store, int threads)
+    : store_(store), threads_(std::max(1, threads))
+{
+    timing_.threads = threads_;
+}
+
+void
+SweepEngine::add(JobSpec spec)
+{
+    pending_.push_back(std::move(spec));
+}
+
+void
+SweepEngine::add(std::vector<JobSpec> specs)
+{
+    for (JobSpec &s : specs)
+        pending_.push_back(std::move(s));
+}
+
+void
+SweepEngine::run()
+{
+    // Deduplicate the batch and drop jobs the store already has.
+    std::map<std::string, JobSpec> unique;
+    for (JobSpec &spec : pending_) {
+        const std::string key = jobKey(spec);
+        if (store_.contains(key)) {
+            ++timing_.cachedRuns;
+            continue;
+        }
+        if (!unique.emplace(key, std::move(spec)).second)
+            ++timing_.dedupedRuns;
+    }
+    pending_.clear();
+
+    // Group runs under their build node.
+    struct BuildNode
+    {
+        std::vector<JobSpec> runs;
+    };
+    std::map<std::string, BuildNode> graph;
+    for (auto &[key, spec] : unique)
+        graph[buildKey(spec)].runs.push_back(std::move(spec));
+
+    std::mutex timingMutex;
+    const auto sweepStart = Clock::now();
+    {
+        Pool pool(threads_);
+        for (auto &[bkey, node] : graph) {
+            BuildNode *n = &node;
+            pool.submit([this, n, &pool, &timingMutex] {
+                const auto buildStart = Clock::now();
+                auto image = std::make_shared<const assem::Image>(
+                    build(workload(n->runs.front().workload).source,
+                          n->runs.front().opts));
+                const double dt = secondsSince(buildStart);
+                {
+                    std::lock_guard<std::mutex> lock(timingMutex);
+                    ++timing_.executedBuilds;
+                    timing_.buildSeconds += dt;
+                }
+                // Release the dependent run jobs; each shares the image.
+                for (const JobSpec &spec : n->runs) {
+                    const JobSpec *s = &spec;
+                    pool.submit([this, s, image, &timingMutex] {
+                        const auto runStart = Clock::now();
+                        JobResult r = executeJob(*s, *image);
+                        const double rt = secondsSince(runStart);
+                        store_.put(jobKey(*s), std::move(r));
+                        std::lock_guard<std::mutex> lock(timingMutex);
+                        ++timing_.executedRuns;
+                        timing_.runSeconds += rt;
+                    });
+                }
+            });
+        }
+        pool.wait();
+    }
+    timing_.wallSeconds += secondsSince(sweepStart);
+}
+
+Json
+sweepJson(const ResultStore &store, const SweepTiming *timing)
+{
+    Json doc = Json::object();
+    doc["schema"] = Json("d16sweep-v1");
+    doc["results"] = store.json();
+    if (timing)
+        doc["timing"] = timing->json();
+    return doc;
+}
+
+namespace
+{
+
+void
+compareValues(const Json &got, const Json &want, const std::string &path,
+              double relTol, int &mismatches, std::string &diff);
+
+void
+report(const std::string &path, const std::string &what, int &mismatches,
+       std::string &diff)
+{
+    ++mismatches;
+    if (mismatches <= 10)
+        diff += "  " + path + ": " + what + "\n";
+}
+
+void
+compareObjects(const Json &got, const Json &want, const std::string &path,
+               double relTol, int &mismatches, std::string &diff)
+{
+    for (const auto &[k, wv] : want.members()) {
+        const Json *gv = got.find(k);
+        if (!gv) {
+            report(path + "/" + k, "missing in result", mismatches, diff);
+            continue;
+        }
+        compareValues(*gv, wv, path + "/" + k, relTol, mismatches, diff);
+    }
+    for (const auto &[k, gv] : got.members())
+        if (!want.find(k))
+            report(path + "/" + k, "not in golden", mismatches, diff);
+}
+
+void
+compareValues(const Json &got, const Json &want, const std::string &path,
+              double relTol, int &mismatches, std::string &diff)
+{
+    if (want.isNumber() && got.isNumber()) {
+        if (want.isInt() && got.isInt()) {
+            if (got.asInt() != want.asInt())
+                report(path,
+                       "got " + std::to_string(got.asInt()) + ", want " +
+                           std::to_string(want.asInt()),
+                       mismatches, diff);
+            return;
+        }
+        const double g = got.asDouble(), w = want.asDouble();
+        const double scale = std::max(std::abs(g), std::abs(w));
+        if (std::abs(g - w) > relTol * std::max(scale, 1.0))
+            report(path,
+                   "got " + std::to_string(g) + ", want " +
+                       std::to_string(w),
+                   mismatches, diff);
+        return;
+    }
+    if (got.kind() != want.kind()) {
+        report(path, "kind mismatch", mismatches, diff);
+        return;
+    }
+    switch (want.kind()) {
+      case Json::Kind::Null:
+        break;
+      case Json::Kind::Bool:
+        if (got.asBool() != want.asBool())
+            report(path, "bool mismatch", mismatches, diff);
+        break;
+      case Json::Kind::String:
+        if (got.asString() != want.asString())
+            report(path,
+                   "got \"" + got.asString() + "\", want \"" +
+                       want.asString() + "\"",
+                   mismatches, diff);
+        break;
+      case Json::Kind::Array: {
+        const auto &gi = got.items(), &wi = want.items();
+        if (gi.size() != wi.size()) {
+            report(path, "array size mismatch", mismatches, diff);
+            break;
+        }
+        for (size_t i = 0; i < wi.size(); ++i)
+            compareValues(gi[i], wi[i], path + "[" + std::to_string(i) + "]",
+                          relTol, mismatches, diff);
+        break;
+      }
+      case Json::Kind::Object:
+        compareObjects(got, want, path, relTol, mismatches, diff);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+bool
+compareSweeps(const Json &got, const Json &golden, std::string *diff,
+              double relTol)
+{
+    int mismatches = 0;
+    std::string out;
+    // The comparable section is everything except "timing".
+    for (const auto &[k, wv] : golden.members()) {
+        if (k == "timing")
+            continue;
+        const Json *gv = got.find(k);
+        if (!gv) {
+            report("/" + k, "missing in result", mismatches, out);
+            continue;
+        }
+        compareValues(*gv, wv, "/" + k, relTol, mismatches, out);
+    }
+    for (const auto &[k, gv] : got.members())
+        if (k != "timing" && !golden.find(k))
+            report("/" + k, "not in golden", mismatches, out);
+
+    if (mismatches > 10)
+        out += "  ... and " + std::to_string(mismatches - 10) + " more\n";
+    if (diff)
+        *diff = out;
+    return mismatches == 0;
+}
+
+// ----- standard matrices ----------------------------------------------
+
+namespace
+{
+
+mc::CompileOptions
+narrowed(mc::CompileOptions opts)
+{
+    opts.narrowImmediates = true;
+    return opts;
+}
+
+mem::CacheConfig
+paperCacheConfig(uint32_t sizeBytes, uint32_t blockBytes)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = sizeBytes;
+    cfg.blockBytes = blockBytes;
+    cfg.subBlockBytes = std::min(blockBytes, 8u);
+    return cfg;
+}
+
+} // namespace
+
+std::vector<JobSpec>
+fullMatrix()
+{
+    std::vector<JobSpec> jobs;
+    const auto variants = paperVariants();
+    const mc::CompileOptions d16 = mc::CompileOptions::d16();
+    const mc::CompileOptions dlxe = mc::CompileOptions::dlxe();
+
+    for (const Workload &w : workloadSuite()) {
+        for (const auto &[label, opts] : variants)
+            jobs.push_back(JobSpec::base(w.name, opts));
+
+        // Narrow-immediate ablations (fig10 and bench_ablations).
+        jobs.push_back(JobSpec::base(
+            w.name, narrowed(mc::CompileOptions::dlxe(16, false))));
+        jobs.push_back(JobSpec::base(w.name, narrowed(dlxe)));
+
+        // Immediate classification on restricted DLXe (fig10).
+        jobs.push_back(
+            JobSpec::imm(w.name, mc::CompileOptions::dlxe(16, false)));
+
+        // Fetch-buffer traffic on 32- and 64-bit buses (figs 13-15).
+        for (const mc::CompileOptions &opts : {d16, dlxe})
+            for (uint32_t bus : {4u, 8u})
+                jobs.push_back(JobSpec::fetch(w.name, opts, bus));
+
+        // Optimization-level ablations (bench_ablations; the cache
+        // benchmarks are excluded there to keep the sweep quick).
+        if (!w.cacheBenchmark) {
+            for (const mc::CompileOptions &opts : {d16, dlxe}) {
+                for (int lvl : {0, 1}) {
+                    mc::CompileOptions o = opts;
+                    o.optLevel = lvl;
+                    jobs.push_back(JobSpec::base(w.name, o));
+                }
+            }
+        }
+    }
+
+    // The §4.1 cache sweep (figs 16-19) over the cache benchmarks.
+    for (const std::string &name : cacheBenchmarkNames()) {
+        for (const mc::CompileOptions &opts : {d16, dlxe}) {
+            for (uint32_t kb : {1u, 2u, 4u, 8u, 16u}) {
+                for (uint32_t block : {8u, 16u, 32u, 64u}) {
+                    const mem::CacheConfig cfg =
+                        paperCacheConfig(kb * 1024, block);
+                    jobs.push_back(JobSpec::cache(name, opts, cfg, cfg));
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+std::vector<JobSpec>
+smokeMatrix()
+{
+    std::vector<JobSpec> jobs;
+    const mc::CompileOptions d16 = mc::CompileOptions::d16();
+    const mc::CompileOptions dlxe = mc::CompileOptions::dlxe();
+
+    for (const Workload &w : workloadSuite())
+        for (const auto &[label, opts] : paperVariants())
+            jobs.push_back(JobSpec::base(w.name, opts));
+
+    for (const std::string &name : {std::string("bubblesort"),
+                                    std::string("queens")}) {
+        jobs.push_back(
+            JobSpec::imm(name, mc::CompileOptions::dlxe(16, false)));
+        for (const mc::CompileOptions &opts : {d16, dlxe})
+            for (uint32_t bus : {4u, 8u})
+                jobs.push_back(JobSpec::fetch(name, opts, bus));
+    }
+
+    const mem::CacheConfig cfg = paperCacheConfig(4096, 32);
+    for (const std::string &name : cacheBenchmarkNames())
+        for (const mc::CompileOptions &opts : {d16, dlxe})
+            jobs.push_back(JobSpec::cache(name, opts, cfg, cfg));
+
+    return jobs;
+}
+
+} // namespace d16sim::core::sweep

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * The paper's evaluation is a matrix of (workload x machine variant x
+ * memory configuration) experiments; every figure consumes a slice of
+ * it. The sweep engine executes that matrix as a deduplicated job
+ * graph on a fixed-size thread pool:
+ *
+ *  - a *job* is one build+run: compile a workload for a variant, then
+ *    simulate it, optionally under one measurement probe (fetch-buffer
+ *    counter, split I/D cache, immediate classifier);
+ *  - jobs sharing a (workload, variant) pair share one *build node*:
+ *    the image is compiled once and its dependent runs are released as
+ *    soon as it links;
+ *  - results land in a thread-safe ResultStore keyed by the canonical
+ *    job key, so result identity and ordering are independent of the
+ *    schedule (determinism contract: same matrix => byte-identical
+ *    canonical JSON, whatever --jobs is).
+ *
+ * Per-job wall time and whole-sweep throughput are accounted in
+ * SweepTiming; sweepJson() emits everything the §4 formulas consume
+ * (see DESIGN.md §8 for the schema).
+ */
+
+#ifndef D16SIM_CORE_SWEEP_SWEEP_HH
+#define D16SIM_CORE_SWEEP_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/sweep/result_store.hh"
+#include "support/json.hh"
+
+namespace d16sim::core::sweep
+{
+
+/** The paper's five machine variants (Tables 5-7 column order),
+ *  as (display label, options) pairs. */
+std::vector<std::pair<std::string, mc::CompileOptions>> paperVariants();
+
+/** Parse a variant key ("D16", "DLXe/16/2", "DLXe/32/3/ni",
+ *  optionally with an "/O0".."/O2" suffix); FatalError if unknown. */
+mc::CompileOptions parseVariant(const std::string &key);
+
+/** Whole-sweep accounting. */
+struct SweepTiming
+{
+    int threads = 1;
+    int executedRuns = 0;   //!< run jobs simulated this sweep
+    int executedBuilds = 0; //!< unique images compiled this sweep
+    int dedupedRuns = 0;    //!< duplicate specs folded away
+    int cachedRuns = 0;     //!< jobs already present in the store
+    double wallSeconds = 0; //!< start of run() to completion
+    double buildSeconds = 0;  //!< sum over build nodes
+    double runSeconds = 0;    //!< sum over run jobs
+    /** CPU work executed / wall time: the observed parallel speedup
+     *  (~= min(threads, width of the job graph) when runs dominate). */
+    double busySeconds() const { return buildSeconds + runSeconds; }
+    double
+    speedup() const
+    {
+        return wallSeconds > 0 ? busySeconds() / wallSeconds : 0.0;
+    }
+    Json json() const;
+};
+
+/**
+ * Executes a batch of jobs on `threads` workers. Jobs whose key is
+ * already present in the store are skipped; duplicate specs in one
+ * batch are folded. The first error thrown by any job (build or run)
+ * is rethrown from run() after the pool drains.
+ */
+class SweepEngine
+{
+  public:
+    SweepEngine(ResultStore &store, int threads);
+
+    void add(JobSpec spec);
+    void add(std::vector<JobSpec> specs);
+
+    /** Execute everything added since the last run(); blocks. */
+    void run();
+
+    const SweepTiming &timing() const { return timing_; }
+
+  private:
+    ResultStore &store_;
+    int threads_;
+    std::vector<JobSpec> pending_;
+    SweepTiming timing_;
+};
+
+/**
+ * Full document: {"schema", "matrix", "results"[, "timing"]}. The
+ * comparable section is everything except "timing", which carries
+ * wall-clock measurements and is omitted when `timing` is null —
+ * two sweeps over the same matrix then dump byte-identically.
+ */
+Json sweepJson(const ResultStore &store, const SweepTiming *timing);
+
+/**
+ * Compare two sweep documents' comparable sections: integers, strings
+ * and bools exactly; doubles to a relative tolerance (derived rates).
+ * Returns true on match; else false with a description of the first
+ * few mismatches in *diff.
+ */
+bool compareSweeps(const Json &got, const Json &golden, std::string *diff,
+                   double relTol = 1e-9);
+
+// ----- standard matrices ----------------------------------------------
+
+/**
+ * Every job the 12 bench drivers consume: base runs for all workloads
+ * x all variants (plus narrow-immediate and O0/O1 ablation variants),
+ * fetch-buffer runs on 32- and 64-bit buses, immediate classification,
+ * and the §4.1 cache sweep (1K-16K x 8-64B blocks) over the cache
+ * benchmarks. A full figure regeneration, embarrassingly parallel.
+ */
+std::vector<JobSpec> fullMatrix();
+
+/**
+ * Smoke scale: the full workload x variant base matrix, but only a
+ * representative sample of probe jobs (one cache geometry, two
+ * fetch/imm workloads). This is the golden-regression matrix.
+ */
+std::vector<JobSpec> smokeMatrix();
+
+} // namespace d16sim::core::sweep
+
+#endif // D16SIM_CORE_SWEEP_SWEEP_HH

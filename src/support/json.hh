@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON value type with a canonical serializer and a strict
+ * parser.
+ *
+ * Built for the sweep engine's machine-readable emission (sweep.json)
+ * and its golden-result comparison: objects keep their members in a
+ * std::map, so serialization order is *canonical* (sorted keys), which
+ * is what makes two sweeps byte-comparable regardless of the order
+ * their jobs completed in. Integers and doubles are kept distinct so
+ * golden comparisons can be exact on counters and toleranced on
+ * derived rates.
+ *
+ * Deliberately small: no comments, no NaN/Inf (serialized as null),
+ * UTF-8 passed through untouched, \uXXXX escapes decoded to UTF-8.
+ */
+
+#ifndef D16SIM_SUPPORT_JSON_HH
+#define D16SIM_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d16sim
+{
+
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(int64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(uint64_t v) : kind_(Kind::Int), int_(static_cast<int64_t>(v)) {}
+    Json(uint32_t v) : kind_(Kind::Int), int_(v) {}
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(const char *s) : kind_(Kind::String), string_(s) {}
+    Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; panic on kind mismatch. */
+    bool asBool() const;
+    int64_t asInt() const;
+    double asDouble() const;  //!< accepts Int too
+    const std::string &asString() const;
+    const std::vector<Json> &items() const;
+    const std::map<std::string, Json> &members() const;
+
+    /** Object access: insert-or-get (converts Null to Object). */
+    Json &operator[](const std::string &key);
+    /** Object lookup without insertion; null if absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Array append (converts Null to Array). */
+    void push(Json v);
+
+    size_t size() const;
+
+    /**
+     * Canonical serialization: object keys sorted (the map order),
+     * integers in full, doubles via %.17g (round-trip exact), no
+     * locale dependence. indent > 0 pretty-prints.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a complete JSON document; FatalError on malformed input. */
+    static Json parse(std::string_view text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::map<std::string, Json> object_;
+};
+
+} // namespace d16sim
+
+#endif // D16SIM_SUPPORT_JSON_HH

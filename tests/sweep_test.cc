@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Golden-result regression suite for the parallel sweep engine.
+ *
+ * Runs the smoke-scale experiment matrix (the full workload x variant
+ * base matrix plus representative probe jobs, sweep::smokeMatrix())
+ * and compares every emitted metric against the checked-in golden
+ * file tests/golden/sweep_golden.json: integers exactly, doubles to a
+ * relative tolerance. Any compiler, assembler, simulator, or memory-
+ * model change that shifts a paper-facing number shows up here as a
+ * keyed diff.
+ *
+ * Regenerating the golden after an *intended* metrics change:
+ *
+ *     build/tests/sweep_test --update-golden
+ *
+ * rewrites tests/golden/sweep_golden.json in place (the path is baked
+ * in at configure time); re-run the test afterwards and review the
+ * diff like any other source change.
+ *
+ * Also pins the engine's determinism contract (same matrix =>
+ * byte-identical canonical JSON at --jobs 1 and --jobs 8), the
+ * dedup/caching accounting, and — spot-checking the bench port — the
+ * exact table values the fig04/fig05 drivers printed before they were
+ * ported onto the engine.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/sweep/sweep.hh"
+#include "core/workloads.hh"
+#include "support/error.hh"
+
+using namespace d16sim;
+using namespace d16sim::core;
+
+namespace
+{
+
+bool updateGolden = false;
+
+/** The smoke matrix, swept once and shared by the tests below. */
+const sweep::ResultStore &
+smokeStore()
+{
+    static sweep::ResultStore s;
+    static const bool swept = [] {
+        sweep::SweepEngine engine(s, 4);
+        engine.add(sweep::smokeMatrix());
+        engine.run();
+        return true;
+    }();
+    (void)swept;
+    return s;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read ", path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** A small, fast matrix for the determinism comparison. */
+std::vector<sweep::JobSpec>
+miniMatrix()
+{
+    std::vector<sweep::JobSpec> jobs;
+    for (const std::string w :
+         {"ackermann", "bubblesort", "solver", "whetstone", "queens"})
+        for (const auto &[label, opts] : sweep::paperVariants())
+            jobs.push_back(sweep::JobSpec::base(w, opts));
+    jobs.push_back(sweep::JobSpec::fetch(
+        "bubblesort", mc::CompileOptions::d16(), 4));
+    jobs.push_back(sweep::JobSpec::imm(
+        "queens", mc::CompileOptions::dlxe(16, false)));
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.blockBytes = 32;
+    cfg.subBlockBytes = 8;
+    jobs.push_back(sweep::JobSpec::cache(
+        "bubblesort", mc::CompileOptions::dlxe(), cfg, cfg));
+    return jobs;
+}
+
+} // namespace
+
+TEST(Sweep, GoldenMatch)
+{
+    const Json doc = sweep::sweepJson(smokeStore(), nullptr);
+    if (updateGolden) {
+        std::ofstream out(D16SIM_GOLDEN_JSON);
+        ASSERT_TRUE(out) << "cannot write " << D16SIM_GOLDEN_JSON;
+        out << doc.dump(2) << "\n";
+        std::cout << "sweep_test: regenerated " << D16SIM_GOLDEN_JSON
+                  << " (" << smokeStore().size() << " jobs)\n";
+        return;
+    }
+    const Json golden = Json::parse(readFile(D16SIM_GOLDEN_JSON));
+    std::string diff;
+    EXPECT_TRUE(sweep::compareSweeps(doc, golden, &diff))
+        << "sweep results diverged from " << D16SIM_GOLDEN_JSON << ":\n"
+        << diff
+        << "(rerun with --update-golden if the change is intended)";
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts)
+{
+    sweep::ResultStore serial, parallel;
+    {
+        sweep::SweepEngine engine(serial, 1);
+        engine.add(miniMatrix());
+        engine.run();
+    }
+    {
+        sweep::SweepEngine engine(parallel, 8);
+        engine.add(miniMatrix());
+        engine.run();
+    }
+    // The comparable document (no timing section) must be
+    // byte-identical whatever the schedule was.
+    const std::string a = sweep::sweepJson(serial, nullptr).dump(2);
+    const std::string b = sweep::sweepJson(parallel, nullptr).dump(2);
+    EXPECT_EQ(a, b);
+}
+
+// The exact values the (pre-port, serial) fig04/fig05 drivers printed,
+// proving the engine port changed the execution strategy and not the
+// measurements. Regenerate goldens instead if a compiler change
+// legitimately moves these.
+TEST(Sweep, SpotCheckBenchRowsUnchangedByPort)
+{
+    const sweep::ResultStore &s = smokeStore();
+
+    // bench_fig05_pathlength rows (instructions).
+    EXPECT_EQ(s.at("queens|D16").run.stats.instructions, 1639487u);
+    EXPECT_EQ(s.at("queens|DLXe/16/2").run.stats.instructions, 1550785u);
+    EXPECT_EQ(s.at("queens|DLXe/16/3").run.stats.instructions, 1301595u);
+    EXPECT_EQ(s.at("queens|DLXe/32/2").run.stats.instructions, 1552934u);
+    EXPECT_EQ(s.at("queens|DLXe/32/3").run.stats.instructions, 1301688u);
+    EXPECT_EQ(s.at("ackermann|D16").run.stats.instructions, 827674u);
+    EXPECT_EQ(s.at("assem|D16").run.stats.instructions, 7016046u);
+    EXPECT_EQ(s.at("pi|DLXe/32/3").run.stats.instructions, 16282521u);
+
+    // bench_fig04_density rows (static sizeBytes).
+    EXPECT_EQ(s.at("ackermann|D16").run.sizeBytes, 424u);
+    EXPECT_EQ(s.at("ackermann|DLXe/32/3").run.sizeBytes, 674u);
+    EXPECT_EQ(s.at("queens|D16").run.sizeBytes, 564u);
+    EXPECT_EQ(s.at("queens|DLXe/16/2").run.sizeBytes, 940u);
+    EXPECT_EQ(s.at("pi|DLXe/32/2").run.sizeBytes, 1262u);
+    EXPECT_EQ(s.at("assem|D16").run.sizeBytes, 6748u);
+}
+
+TEST(Sweep, EngineDeduplicatesAndCaches)
+{
+    sweep::ResultStore store;
+    const sweep::JobSpec spec =
+        sweep::JobSpec::base("ackermann", mc::CompileOptions::d16());
+    {
+        sweep::SweepEngine engine(store, 2);
+        engine.add(spec);
+        engine.add(spec);
+        engine.add(spec);
+        engine.run();
+        EXPECT_EQ(engine.timing().executedRuns, 1);
+        EXPECT_EQ(engine.timing().dedupedRuns, 2);
+        EXPECT_EQ(engine.timing().cachedRuns, 0);
+    }
+    EXPECT_EQ(store.size(), 1u);
+    {
+        // A second sweep over the same job hits the store.
+        sweep::SweepEngine engine(store, 2);
+        engine.add(spec);
+        engine.run();
+        EXPECT_EQ(engine.timing().executedRuns, 0);
+        EXPECT_EQ(engine.timing().cachedRuns, 1);
+    }
+}
+
+TEST(Sweep, BuildSharedAcrossProbeJobs)
+{
+    // Three probe variants of one (workload, variant) pair: one build.
+    sweep::ResultStore store;
+    sweep::SweepEngine engine(store, 4);
+    const mc::CompileOptions opts = mc::CompileOptions::d16();
+    engine.add(sweep::JobSpec::base("solver", opts));
+    engine.add(sweep::JobSpec::fetch("solver", opts, 4));
+    engine.add(sweep::JobSpec::fetch("solver", opts, 8));
+    engine.run();
+    EXPECT_EQ(engine.timing().executedRuns, 3);
+    EXPECT_EQ(engine.timing().executedBuilds, 1);
+    // All three saw the same program.
+    const uint64_t insns = store.at("solver|D16").run.stats.instructions;
+    EXPECT_EQ(store.at("solver|D16|fb4").run.stats.instructions, insns);
+    EXPECT_EQ(store.at("solver|D16|fb8").run.stats.instructions, insns);
+}
+
+TEST(Sweep, VariantKeyRoundTrips)
+{
+    std::vector<mc::CompileOptions> all;
+    for (const auto &[label, opts] : sweep::paperVariants())
+        all.push_back(opts);
+    mc::CompileOptions ni = mc::CompileOptions::dlxe(16, false);
+    ni.narrowImmediates = true;
+    all.push_back(ni);
+    mc::CompileOptions o0 = mc::CompileOptions::d16();
+    o0.optLevel = 0;
+    all.push_back(o0);
+
+    for (const mc::CompileOptions &opts : all) {
+        const std::string key = sweep::variantKey(opts);
+        const mc::CompileOptions parsed = sweep::parseVariant(key);
+        EXPECT_EQ(sweep::variantKey(parsed), key);
+        EXPECT_EQ(parsed.isa, opts.isa);
+        EXPECT_EQ(parsed.gprCount, opts.gprCount);
+        EXPECT_EQ(parsed.threeAddress, opts.threeAddress);
+        EXPECT_EQ(parsed.narrowImmediates, opts.narrowImmediates);
+        EXPECT_EQ(parsed.optLevel, opts.optLevel);
+    }
+    EXPECT_THROW(sweep::parseVariant("DLXe/24/3"), FatalError);
+}
+
+TEST(Sweep, CompareSweepsCatchesDrift)
+{
+    Json a = Json::object();
+    a["schema"] = Json("d16sweep-v1");
+    a["results"]["perm|D16"]["run"]["instructions"] = Json(int64_t{100});
+    a["results"]["perm|D16"]["derived"]["interlockRate"] = Json(0.5);
+
+    Json b = Json::parse(a.dump());
+    EXPECT_TRUE(sweep::compareSweeps(a, b, nullptr));
+
+    // Timing differences are not drift.
+    b["timing"]["wallSeconds"] = Json(123.0);
+    EXPECT_TRUE(sweep::compareSweeps(a, b, nullptr));
+
+    // An integer counter off by one is.
+    b["results"]["perm|D16"]["run"]["instructions"] = Json(int64_t{101});
+    std::string diff;
+    EXPECT_FALSE(sweep::compareSweeps(a, b, &diff));
+    EXPECT_NE(diff.find("instructions"), std::string::npos);
+
+    // A double outside tolerance is too; within tolerance is not.
+    b = Json::parse(a.dump());
+    b["results"]["perm|D16"]["derived"]["interlockRate"] =
+        Json(0.5 + 1e-12);
+    EXPECT_TRUE(sweep::compareSweeps(a, b, nullptr));
+    b["results"]["perm|D16"]["derived"]["interlockRate"] = Json(0.51);
+    EXPECT_FALSE(sweep::compareSweeps(a, b, nullptr));
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--update-golden") == 0)
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

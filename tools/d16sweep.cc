@@ -1,0 +1,221 @@
+/**
+ * @file
+ * d16sweep — run the experiment matrix on the parallel sweep engine.
+ *
+ * Executes the deduplicated (workload x variant x memory-config) job
+ * graph behind the paper's figures on a fixed-size thread pool and
+ * emits every raw metric the §4 formulas consume as canonical JSON.
+ *
+ *   d16sweep --jobs 8                      full matrix, 8 workers
+ *   d16sweep --smoke                       golden-regression matrix
+ *   d16sweep --workloads perm,queens       filter by workload
+ *   d16sweep --variants D16,DLXe/32/3      filter by variant key
+ *   d16sweep --json sweep.json             write the document (- = stdout)
+ *   d16sweep --no-timing                   byte-comparable output only
+ *   d16sweep --golden FILE                 compare against a golden file
+ *   d16sweep --list                        print the selected job keys
+ *
+ * The results section is canonical (sorted keys, counters only, no
+ * timestamps): two runs over the same matrix produce byte-identical
+ * JSON whatever --jobs is, which is what the golden regression suite
+ * (tests/sweep_test.cc, tests/golden/sweep_golden.json) pins. Timing
+ * lives in a separate "timing" section (dropped by --no-timing) and
+ * in the stderr summary; its speedup line — busy seconds over wall
+ * seconds — is the engine's own parallelism measurement.
+ *
+ * Exit status: 0 = swept (and matched the golden file, if given),
+ * 1 = golden mismatch, 2 = bad usage or build failure.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep/sweep.hh"
+#include "core/workloads.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::core;
+
+struct Args
+{
+    int jobs = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    bool smoke = false;
+    bool timing = true;
+    bool list = false;
+    std::vector<std::string> workloads;  //!< empty = all
+    std::vector<std::string> variants;   //!< empty = all
+    std::string jsonPath;                //!< empty = no JSON output
+    std::string goldenPath;              //!< empty = no comparison
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--jobs N] [--smoke] [--workloads a,b,...]\n"
+        "       [--variants D16,DLXe/32/3,...] [--json FILE|-]\n"
+        "       [--no-timing] [--golden FILE] [--list]\n",
+        argv0);
+    return 2;
+}
+
+std::vector<std::string>
+csv(const std::string &s)
+{
+    std::vector<std::string> out;
+    for (std::string_view f : split(s, ','))
+        if (!trim(f).empty())
+            out.emplace_back(trim(f));
+    return out;
+}
+
+/** Keep only jobs matching the workload/variant filters. */
+std::vector<sweep::JobSpec>
+filtered(std::vector<sweep::JobSpec> jobs, const Args &args)
+{
+    if (!args.workloads.empty()) {
+        // Validate the names up front for a friendly error.
+        for (const std::string &name : args.workloads)
+            workload(name);
+    }
+    // Normalize variant filters through the parser so "dlxe/32/3"
+    // matches "DLXe/32/3".
+    std::set<std::string> variantKeys;
+    for (const std::string &v : args.variants)
+        variantKeys.insert(sweep::variantKey(sweep::parseVariant(v)));
+
+    std::vector<sweep::JobSpec> out;
+    for (sweep::JobSpec &j : jobs) {
+        if (!args.workloads.empty() &&
+            std::find(args.workloads.begin(), args.workloads.end(),
+                      j.workload) == args.workloads.end())
+            continue;
+        if (!variantKeys.empty() &&
+            !variantKeys.count(sweep::variantKey(j.opts)))
+            continue;
+        out.push_back(std::move(j));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "d16sweep: %s needs a value\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs") {
+            args.jobs = std::max(1, std::atoi(value()));
+        } else if (a == "--smoke") {
+            args.smoke = true;
+        } else if (a == "--workloads") {
+            args.workloads = csv(value());
+        } else if (a == "--variants") {
+            args.variants = csv(value());
+        } else if (a == "--json") {
+            args.jsonPath = value();
+        } else if (a == "--no-timing") {
+            args.timing = false;
+        } else if (a == "--golden") {
+            args.goldenPath = value();
+        } else if (a == "--list") {
+            args.list = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    try {
+        std::vector<sweep::JobSpec> jobs = filtered(
+            args.smoke ? sweep::smokeMatrix() : sweep::fullMatrix(), args);
+        if (args.list) {
+            std::set<std::string> keys;
+            for (const sweep::JobSpec &j : jobs)
+                keys.insert(sweep::jobKey(j));
+            for (const std::string &k : keys)
+                std::printf("%s\n", k.c_str());
+            return 0;
+        }
+
+        sweep::ResultStore store;
+        sweep::SweepEngine engine(store, args.jobs);
+        engine.add(std::move(jobs));
+        engine.run();
+
+        const sweep::SweepTiming &t = engine.timing();
+        std::fprintf(stderr,
+                     "d16sweep: %d runs (%d builds, %d deduped) on %d "
+                     "threads\n"
+                     "d16sweep: wall %.2fs, busy %.2fs (build %.2fs + "
+                     "run %.2fs), speedup %.2fx\n",
+                     t.executedRuns, t.executedBuilds, t.dedupedRuns,
+                     t.threads, t.wallSeconds, t.busySeconds(),
+                     t.buildSeconds, t.runSeconds, t.speedup());
+
+        const Json doc =
+            sweep::sweepJson(store, args.timing ? &t : nullptr);
+        if (!args.jsonPath.empty()) {
+            if (args.jsonPath == "-") {
+                std::cout << doc.dump(2) << "\n";
+            } else {
+                std::ofstream out(args.jsonPath);
+                if (!out)
+                    fatal("cannot write ", args.jsonPath);
+                out << doc.dump(2) << "\n";
+                std::fprintf(stderr, "d16sweep: wrote %s (%zu jobs)\n",
+                             args.jsonPath.c_str(), store.size());
+            }
+        }
+
+        if (!args.goldenPath.empty()) {
+            std::ifstream in(args.goldenPath);
+            if (!in)
+                fatal("cannot read ", args.goldenPath);
+            std::ostringstream text;
+            text << in.rdbuf();
+            const Json golden = Json::parse(text.str());
+            std::string diff;
+            if (!sweep::compareSweeps(doc, golden, &diff)) {
+                std::fprintf(stderr,
+                             "d16sweep: golden mismatch vs %s:\n%s",
+                             args.goldenPath.c_str(), diff.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "d16sweep: matches golden %s\n",
+                         args.goldenPath.c_str());
+        }
+    } catch (const Error &e) {
+        std::fprintf(stderr, "d16sweep: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
