@@ -21,9 +21,17 @@ ctest --test-dir build -j "$JOBS" --output-on-failure
 echo "== lint: clang-tidy (skips if unavailable) =="
 cmake --build build --target lint
 
-echo "== d16lint: workloads x {D16, DLXe}, --verify-each =="
-./build/tools/d16lint --verify-each --json > build/lint.json
+echo "== d16lint: workloads x {D16, DLXe}, --verify-each --cfg =="
+./build/tools/d16lint --verify-each --cfg --json > build/lint.json
 echo "   wrote build/lint.json ($(wc -c < build/lint.json) bytes)"
+
+echo "== d16cfa: binary CFG analysis, workloads x {D16, DLXe} x opt =="
+for opt in 0 1 2; do
+    ./build/tools/d16cfa --opt "$opt" --jobs "$JOBS" > /dev/null
+done
+
+echo "== d16cfa: static/dynamic cross-validation (smoke matrix) =="
+./build/tools/d16cfa --smoke --cross-validate --jobs "$JOBS" > /dev/null
 
 echo "== d16sweep: smoke matrix vs golden =="
 ./build/tools/d16sweep --smoke --jobs "$JOBS" \

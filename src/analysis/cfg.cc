@@ -1,0 +1,581 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "isa/codec.hh"
+#include "support/error.hh"
+#include "support/strings.hh"
+
+namespace d16sim::analysis
+{
+
+using assem::Image;
+using isa::DecodedInst;
+using isa::Op;
+using isa::OpClass;
+using isa::TargetInfo;
+
+namespace
+{
+
+uint32_t
+wordAt(const Image &img, uint32_t addr, int bytes)
+{
+    const uint32_t off = addr - img.textBase;
+    uint32_t w = 0;
+    for (int b = 0; b < bytes; ++b)
+        w |= static_cast<uint32_t>(img.bytes[off + b]) << (8 * b);
+    return w;
+}
+
+bool
+isNopEncoding(const TargetInfo &t, const DecodedInst &d)
+{
+    // D16 nop assembles to `mv r0, r0`, DLXe's to `add r0, r0, r0`;
+    // neither touches architectural state, so they must not count as
+    // reads (a decoded D16 nop would otherwise "read" the at register
+    // the last call clobbered).
+    if (t.kind() == isa::IsaKind::D16)
+        return d.op == Op::Mv && d.rd == 0 && d.rs1 == 0;
+    return d.op == Op::Add && d.rd == 0 && d.rs1 == 0 && d.rs2 == 0;
+}
+
+} // namespace
+
+RegEffects
+regEffects(const TargetInfo &t, const DecodedInst &d)
+{
+    RegEffects e;
+    auto gr = [&](int r) { e.gprRead |= uint64_t{1} << r; };
+    auto gw = [&](int r) { e.gprWrite |= uint64_t{1} << r; };
+    auto fr = [&](int r) { e.fprRead |= uint64_t{1} << r; };
+    auto fw = [&](int r) { e.fprWrite |= uint64_t{1} << r; };
+
+    if (isNopEncoding(t, d))
+        return e;
+
+    switch (opClass(d.op)) {
+      case OpClass::IntAlu:
+        gr(d.rs1);
+        if (d.op != Op::Neg && d.op != Op::Inv && d.op != Op::Mv &&
+            d.op != Op::Cmp)
+            gr(d.rs2);
+        if (d.op == Op::Cmp)
+            gr(d.rs2);
+        gw(d.rd);
+        break;
+      case OpClass::IntAluImm:
+        if (d.op != Op::MvI && d.op != Op::MvHI)
+            gr(d.rs1);
+        gw(d.rd);
+        break;
+      case OpClass::Load:
+        gr(d.rs1);
+        gw(d.rd);
+        break;
+      case OpClass::Store:
+        gr(d.rs1);
+        gr(d.rs2);
+        break;
+      case OpClass::LoadConst:
+        gw(d.rd);  // Ldc: implicit r0 destination (decode sets rd)
+        break;
+      case OpClass::Branch:
+        if (d.op == Op::Bz || d.op == Op::Bnz)
+            gr(d.rs1);
+        break;
+      case OpClass::Jump:
+        if (d.op == Op::Jr || d.op == Op::Jlr)
+            gr(d.rs1);
+        if (d.op == Op::Jrz || d.op == Op::Jrnz) {
+            gr(d.rs1);
+            gr(d.rs2);
+        }
+        if (d.op == Op::Jl || d.op == Op::Jlr)
+            gw(d.rd);  // link register (decode sets rd = 1)
+        break;
+      case OpClass::FpAlu:
+        fr(d.rs1);
+        if (d.op != Op::FNegS && d.op != Op::FNegD)
+            fr(d.rs2);
+        if (d.op != Op::FCmpS && d.op != Op::FCmpD)
+            fw(d.rd);  // FCmp writes the status register, not an FPR
+        break;
+      case OpClass::FpConvert:
+        fr(d.rs1);
+        fw(d.rd);
+        break;
+      case OpClass::FpMove:
+        if (d.op == Op::FMv) {
+            fr(d.rs1);
+            fw(d.rd);
+        } else if (d.op == Op::MifL || d.op == Op::MifH) {
+            // A double is materialized as a MifL/MifH pair; either
+            // half-write counts as defining the FPR, and the preserved
+            // other half is not treated as a read.
+            gr(d.rs1);
+            fw(d.rd);
+        } else {  // MfiL / MfiH
+            fr(d.rs1);
+            gw(d.rd);
+        }
+        break;
+      case OpClass::Misc:
+        if (d.op == Op::Trap) {
+            gr(2);  // service argument (print/halt/alloc)
+            fr(2);  // print_f64 argument; f2 is an FP arg reg, so this
+                    // is never a spurious undefined-use
+            gw(2);  // alloc result
+        } else if (d.op == Op::Rdsr) {
+            gw(d.rd);
+        }
+        break;
+    }
+    if (t.r0IsZero()) {
+        // DLXe r0 reads as zero and ignores writes: never a dependence.
+        e.gprRead &= ~uint64_t{1};
+        e.gprWrite &= ~uint64_t{1};
+    }
+    return e;
+}
+
+// ----- ImageCfg queries -----------------------------------------------
+
+int
+ImageCfg::insnAt(uint32_t addr) const
+{
+    auto it = std::lower_bound(
+        insns.begin(), insns.end(), addr,
+        [](const Insn &a, uint32_t v) { return a.addr < v; });
+    if (it == insns.end() || it->addr != addr)
+        return -1;
+    return static_cast<int>(it - insns.begin());
+}
+
+int
+ImageCfg::blockAt(uint32_t addr) const
+{
+    const int i = insnAt(addr);
+    if (i < 0)
+        return -1;
+    const int b = blockOf(i);
+    return blocks[b].first == i ? b : -1;
+}
+
+int
+ImageCfg::blockOf(int i) const
+{
+    auto it = std::upper_bound(
+        blocks.begin(), blocks.end(), i,
+        [](int v, const Block &b) { return v < b.first; });
+    panicIf(it == blocks.begin(), "blockOf: no block for insn ", i);
+    return static_cast<int>(it - blocks.begin()) - 1;
+}
+
+std::string
+ImageCfg::enclosingSymbol(uint32_t addr) const
+{
+    auto it = std::upper_bound(
+        textSyms.begin(), textSyms.end(), addr,
+        [](uint32_t a, const auto &s) { return a < s.first; });
+    return it == textSyms.begin() ? std::string() : (it - 1)->second;
+}
+
+int
+ImageCfg::edgeCount() const
+{
+    int n = 0;
+    for (const Block &b : blocks)
+        n += static_cast<int>(b.succs.size());
+    return n;
+}
+
+int
+ImageCfg::callEdgeCount() const
+{
+    int n = 0;
+    for (const Function &f : funcs)
+        n += static_cast<int>(f.callees.size());
+    return n;
+}
+
+// ----- construction ---------------------------------------------------
+
+namespace
+{
+
+struct Builder
+{
+    const Image &img;
+    const TargetInfo &t;
+    const uint32_t step;
+    ImageCfg cfg;
+
+    explicit Builder(const Image &img)
+        : img(img), t(*img.target),
+          step(static_cast<uint32_t>(img.target->insnBytes()))
+    {
+        cfg.image = &img;
+        cfg.textSyms = img.textSymbols();
+    }
+
+    bool
+    contiguous(int i) const
+    {
+        return i + 1 < static_cast<int>(cfg.insns.size()) &&
+               cfg.insns[i + 1].addr == cfg.insns[i].addr + step;
+    }
+
+    void
+    decodeAll()
+    {
+        cfg.insns.reserve(img.insnSites.size());
+        for (const assem::InsnSite &s : img.insnSites) {
+            Insn in;
+            in.addr = s.addr;
+            in.line = s.line;
+            in.d = isa::decode(t, wordAt(img, s.addr, t.insnBytes()));
+            cfg.insns.push_back(in);
+        }
+    }
+
+    /**
+     * Resolve the callee address of the `jlr` at insn `i`: walk back
+     * through the contiguous straight-line run for the last def of the
+     * jump register; if it is an Ldc, the callee address is the pool
+     * word it loads. Returns false when the def is out of sight (a
+     * genuinely indirect call).
+     */
+    bool
+    resolveJlr(int i, uint32_t &callee) const
+    {
+        const int target = cfg.insns[i].d.rs1;
+        for (int j = i - 1; j >= 0; --j) {
+            if (cfg.insns[j + 1].addr != cfg.insns[j].addr + step)
+                return false;  // crossed a pool: different run
+            const DecodedInst &d = cfg.insns[j].d;
+            if (isControlFlow(d.op))
+                return false;  // crossed a join/transfer
+            const RegEffects e = regEffects(t, d);
+            if (!(e.gprWrite & (uint64_t{1} << target)))
+                continue;
+            if (d.op != Op::Ldc)
+                return false;  // defined by arithmetic: indirect
+            const uint32_t pool =
+                static_cast<uint32_t>((cfg.insns[j].addr & ~3u) + d.imm);
+            if (pool < img.textBase ||
+                pool + 4 > img.textBase + img.textSize)
+                return false;
+            callee = wordAt(img, pool, 4);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    build()
+    {
+        decodeAll();
+        const int n = static_cast<int>(cfg.insns.size());
+        panicIf(n == 0, "buildCfg: image has no instructions");
+
+        // Branch targets, call targets, unresolved indirect calls.
+        std::set<uint32_t> branchTargets;
+        std::set<uint32_t> callTargets;
+        std::map<int, uint32_t> calleeOfCallsite;  // insn -> callee addr
+        std::set<int> unresolvedCallsites;
+        for (int i = 0; i < n; ++i) {
+            const DecodedInst &d = cfg.insns[i].d;
+            const uint32_t pcrel =
+                static_cast<uint32_t>(cfg.insns[i].addr + d.imm);
+            switch (d.op) {
+              case Op::Br: case Op::Bz: case Op::Bnz: case Op::J:
+                branchTargets.insert(pcrel);
+                break;
+              case Op::Jl:
+                callTargets.insert(pcrel);
+                calleeOfCallsite[i] = pcrel;
+                break;
+              case Op::Jlr: {
+                uint32_t callee = 0;
+                if (resolveJlr(i, callee)) {
+                    callTargets.insert(callee);
+                    calleeOfCallsite[i] = callee;
+                } else {
+                    unresolvedCallsites.insert(i);
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        // Leaders: first insn, program entry, every branch/call target,
+        // the insn after each control-flow insn's delay slot, and the
+        // insn after any contiguity gap (an in-text pool).
+        std::vector<bool> leader(n, false);
+        leader[0] = true;
+        auto markLeader = [&](uint32_t addr) {
+            const int i = cfg.insnAt(addr);
+            if (i >= 0)
+                leader[i] = true;
+        };
+        markLeader(img.entry);
+        for (uint32_t a : branchTargets)
+            markLeader(a);
+        for (uint32_t a : callTargets)
+            markLeader(a);
+        for (int i = 0; i < n; ++i) {
+            if (isControlFlow(cfg.insns[i].d.op) && i + 2 < n)
+                leader[i + 2] = true;
+            if (!contiguous(i) && i + 1 < n)
+                leader[i + 1] = true;
+        }
+
+        // Blocks: maximal [leader, next leader) runs.
+        for (int i = 0; i < n; ++i) {
+            if (leader[i]) {
+                Block b;
+                b.id = static_cast<int>(cfg.blocks.size());
+                b.first = i;
+                cfg.blocks.push_back(b);
+            }
+            cfg.blocks.back().last = i;
+        }
+
+        // Terminators and edges.
+        for (Block &b : cfg.blocks) {
+            for (int i = b.first; i <= b.last; ++i) {
+                if (isControlFlow(cfg.insns[i].d.op)) {
+                    b.cfIndex = i;
+                    break;
+                }
+            }
+            if (b.cfIndex < 0) {
+                // Plain fall-through into the next leader (if any and
+                // contiguous; a gap means the code runs into a pool,
+                // which the machine-code linter reports).
+                if (contiguous(b.last))
+                    addEdge(b.id, b.id + 1);
+                continue;
+            }
+            const Insn &cf = cfg.insns[b.cfIndex];
+            const uint32_t target =
+                static_cast<uint32_t>(cf.addr + cf.d.imm);
+            const bool haveFall =
+                b.id + 1 < static_cast<int>(cfg.blocks.size()) &&
+                contiguous(b.last);
+            switch (cf.d.op) {
+              case Op::Br: case Op::J:
+                addEdgeTo(b.id, target);
+                break;
+              case Op::Bz: case Op::Bnz:
+                addEdgeTo(b.id, target);
+                if (haveFall)
+                    addEdge(b.id, b.id + 1);
+                break;
+              case Op::Jl: case Op::Jlr:
+                b.isCall = true;
+                if (haveFall)
+                    addEdge(b.id, b.id + 1);  // the return point
+                if (unresolvedCallsites.count(b.cfIndex))
+                    b.hasIndirect = true;
+                break;
+              case Op::Jr:
+                if (cf.d.rs1 == t.raReg())
+                    b.isReturn = true;
+                else
+                    b.hasIndirect = true;
+                break;
+              case Op::Jrz: case Op::Jrnz:
+                b.hasIndirect = true;
+                if (haveFall)
+                    addEdge(b.id, b.id + 1);
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Functions: the entry plus every resolved call target, claimed
+        // by intraprocedural traversal; then orphan text symbols (dead
+        // code) the same way.
+        std::vector<uint32_t> entries(callTargets.begin(),
+                                      callTargets.end());
+        if (!callTargets.count(img.entry))
+            entries.insert(entries.begin(), img.entry);
+        std::sort(entries.begin(), entries.end());
+        for (uint32_t addr : entries)
+            addFunction(addr, /*orphan=*/false);
+        for (const auto &[addr, name] : cfg.textSyms) {
+            if (startsWith(name, ".L"))
+                continue;  // local label (block/pool/string)
+            const int blk = cfg.blockAt(addr);
+            if (blk >= 0 && cfg.blocks[blk].func < 0)
+                addFunction(addr, /*orphan=*/true);
+        }
+
+        // Attach call edges + per-block callee indices.
+        std::map<uint32_t, int> funcAt;
+        for (size_t f = 0; f < cfg.funcs.size(); ++f)
+            funcAt[cfg.funcs[f].entryAddr] = static_cast<int>(f);
+        for (Block &b : cfg.blocks) {
+            if (!b.isCall || b.func < 0)
+                continue;
+            auto ci = calleeOfCallsite.find(b.cfIndex);
+            if (ci == calleeOfCallsite.end()) {
+                cfg.funcs[b.func].hasUnresolvedCall = true;
+                continue;
+            }
+            auto fi = funcAt.find(ci->second);
+            if (fi == funcAt.end()) {
+                cfg.funcs[b.func].hasUnresolvedCall = true;
+                continue;
+            }
+            b.callee = fi->second;
+            cfg.funcs[b.func].callees.push_back(fi->second);
+        }
+        for (Function &f : cfg.funcs) {
+            std::sort(f.callees.begin(), f.callees.end());
+            f.callees.erase(
+                std::unique(f.callees.begin(), f.callees.end()),
+                f.callees.end());
+        }
+
+        // Entry function + call-graph reachability.
+        auto ei = funcAt.find(img.entry);
+        if (ei != funcAt.end()) {
+            cfg.entryFunc = ei->second;
+            std::deque<int> work{cfg.entryFunc};
+            while (!work.empty()) {
+                const int f = work.front();
+                work.pop_front();
+                if (cfg.funcs[f].reachable)
+                    continue;
+                cfg.funcs[f].reachable = true;
+                for (int c : cfg.funcs[f].callees)
+                    work.push_back(c);
+            }
+        }
+
+        for (Function &f : cfg.funcs)
+            findFrame(f);
+    }
+
+    void
+    addEdge(int from, int to)
+    {
+        cfg.blocks[from].succs.push_back(to);
+        cfg.blocks[to].preds.push_back(from);
+    }
+
+    void
+    addEdgeTo(int from, uint32_t targetAddr)
+    {
+        const int to = cfg.blockAt(targetAddr);
+        if (to >= 0)
+            addEdge(from, to);
+        else
+            cfg.blocks[from].hasIndirect = true;  // target off the map
+    }
+
+    /** Claim every block reachable intraprocedurally from `addr`. */
+    void
+    addFunction(uint32_t addr, bool orphan)
+    {
+        const int entryBlk = cfg.blockAt(addr);
+        if (entryBlk < 0 || cfg.blocks[entryBlk].func >= 0)
+            return;
+        Function fn;
+        fn.entryAddr = addr;
+        fn.entryBlock = entryBlk;
+        fn.orphan = orphan;
+        fn.name = cfg.enclosingSymbol(addr);
+        if (fn.name.empty() || img.symbols.at(fn.name) != addr)
+            fn.name = hexString(addr);
+        const int idx = static_cast<int>(cfg.funcs.size());
+
+        std::deque<int> work{entryBlk};
+        while (!work.empty()) {
+            const int b = work.front();
+            work.pop_front();
+            if (cfg.blocks[b].func >= 0)
+                continue;
+            cfg.blocks[b].func = idx;
+            fn.blocks.push_back(b);
+            for (int s : cfg.blocks[b].succs)
+                work.push_back(s);
+        }
+        std::sort(fn.blocks.begin(), fn.blocks.end());
+        cfg.funcs.push_back(std::move(fn));
+    }
+
+    /**
+     * Static frame size from the prologue's sp adjustment. The code
+     * generator emits one of `subi sp, N`, `addi sp, sp, -N`, or (big
+     * D16 frames) a materialization into `at` followed by
+     * `sub sp, sp, at`; leaf runtime routines touch sp not at all.
+     */
+    void
+    findFrame(Function &fn)
+    {
+        const int sp = t.spReg();
+        const Block &entry = cfg.blocks[fn.entryBlock];
+        int64_t atVal = 0;
+        bool atKnown = false;
+        for (int i = entry.first; i <= entry.last; ++i) {
+            const DecodedInst &d = cfg.insns[i].d;
+            if (d.op == Op::SubI && d.rd == sp && d.rs1 == sp) {
+                fn.frameBytes = d.imm;
+                return;
+            }
+            if (d.op == Op::AddI && d.rd == sp && d.rs1 == sp &&
+                d.imm < 0) {
+                fn.frameBytes = -d.imm;
+                return;
+            }
+            if (d.op == Op::Sub && d.rd == sp && d.rs1 == sp) {
+                if (atKnown && d.rs2 == t.atReg()) {
+                    fn.frameBytes = static_cast<int>(atVal);
+                } else {
+                    fn.frameKnown = false;
+                }
+                return;
+            }
+            if (d.op == Op::MvI && d.rd == t.atReg()) {
+                atVal = d.imm;
+                atKnown = true;
+            } else if (d.op == Op::Ldc && d.rd == t.atReg()) {
+                const uint32_t pool = static_cast<uint32_t>(
+                    (cfg.insns[i].addr & ~3u) + d.imm);
+                if (pool >= img.textBase &&
+                    pool + 4 <= img.textBase + img.textSize) {
+                    atVal = wordAt(img, pool, 4);
+                    atKnown = true;
+                }
+            } else if (regEffects(t, d).gprWrite &
+                       (uint64_t{1} << sp)) {
+                fn.frameKnown = false;  // unrecognized sp adjustment
+                return;
+            }
+        }
+        fn.frameBytes = 0;  // leaf with no frame
+    }
+};
+
+} // namespace
+
+ImageCfg
+buildCfg(const Image &img)
+{
+    panicIf(img.target == nullptr, "buildCfg: image has no target");
+    Builder b{img};
+    b.build();
+    return std::move(b.cfg);
+}
+
+} // namespace d16sim::analysis

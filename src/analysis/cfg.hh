@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Whole-program CFG recovery from a linked image.
+ *
+ * The analyzer works on the *binary*, not the compiler IR: it decodes
+ * every instruction site of an `assem::Image` (both ISAs), splits the
+ * text into basic blocks at branch targets and fall-throughs, and
+ * groups blocks into functions by traversal from the program entry and
+ * every resolved call target. The structures here are what every
+ * downstream analysis (dominators/loops, register dataflow, stack
+ * bounds, cross-validation) consumes.
+ *
+ * Delay-slot semantics (one slot on both machines): the instruction in
+ * a branch's delay slot executes before the transfer, so it belongs to
+ * the *branch's* block — a block ends after the slot, and a leader
+ * starts two sites past any control-flow instruction. Conditional
+ * branches therefore get two successors: the target block and the
+ * fall-through block that starts after the slot.
+ *
+ * Call resolution: DLXe calls are direct (`jl sym`). D16 calls load
+ * the callee address from a constant pool (`ldc .LPf_i` then `jlr at`);
+ * the callee is recovered by scanning back through the straight-line
+ * run for the last def of the jump register and reading the 32-bit
+ * pool word out of the image.
+ */
+
+#ifndef D16SIM_ANALYSIS_CFG_HH
+#define D16SIM_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/image.hh"
+#include "isa/decoded.hh"
+
+namespace d16sim::analysis
+{
+
+/** One decoded instruction site. */
+struct Insn
+{
+    uint32_t addr = 0;
+    int line = 0;              //!< assembler source line, 0 = unknown
+    isa::DecodedInst d;
+};
+
+struct Block
+{
+    int id = -1;
+    int first = 0;             //!< index of first insn (inclusive)
+    int last = 0;              //!< index of last insn (inclusive)
+    int func = -1;             //!< owning function, -1 = unclaimed
+    std::vector<int> succs;    //!< intraprocedural successor block ids
+    std::vector<int> preds;
+
+    int cfIndex = -1;          //!< insn index of the terminator, -1 = none
+    int callee = -1;           //!< function index of a direct call target
+    bool isCall = false;       //!< ends in Jl/Jlr
+    bool isReturn = false;     //!< ends in Jr ra
+    bool hasIndirect = false;  //!< unresolvable indirect transfer
+
+    int size() const { return last - first + 1; }
+};
+
+struct Function
+{
+    std::string name;          //!< text symbol at entry, or hex address
+    uint32_t entryAddr = 0;
+    int entryBlock = -1;
+    std::vector<int> blocks;   //!< block ids, ascending address
+    std::vector<int> callees;  //!< function indices, sorted unique
+    bool hasUnresolvedCall = false;
+
+    /** Reachable from the program entry through the call graph; dead
+     *  functions (the always-linked runtime routines a workload never
+     *  calls) are reported as notes, not failures. */
+    bool reachable = false;
+
+    /** Discovered from an orphan text symbol rather than a call site
+     *  (never-called code; implies !reachable). */
+    bool orphan = false;
+
+    int frameBytes = 0;        //!< static stack frame from the prologue
+    bool frameKnown = true;    //!< false if the sp adjustment didn't parse
+};
+
+struct ImageCfg
+{
+    const assem::Image *image = nullptr;
+    std::vector<Insn> insns;        //!< ascending address, = insnSites
+    std::vector<Block> blocks;      //!< ascending address
+    std::vector<Function> funcs;    //!< ascending entry address
+    int entryFunc = -1;
+
+    /** (addr, name) text symbols, ascending (cached Image::textSymbols). */
+    std::vector<std::pair<uint32_t, std::string>> textSyms;
+
+    /** Insn index at exactly `addr`, or -1. */
+    int insnAt(uint32_t addr) const;
+
+    /** Block whose first insn is at `addr`, or -1. */
+    int blockAt(uint32_t addr) const;
+
+    /** Block containing insn index `i`. */
+    int blockOf(int i) const;
+
+    /** Name of the nearest preceding text symbol, "" if none. */
+    std::string enclosingSymbol(uint32_t addr) const;
+
+    /** Total intraprocedural edges. */
+    int edgeCount() const;
+
+    /** Total call-graph edges. */
+    int callEdgeCount() const;
+};
+
+/**
+ * Decode + partition + claim. Throws FatalError if a site does not
+ * decode (run the machine-code linter first for a diagnosis). The
+ * returned graph is structurally complete; orphan blocks that belong
+ * to no function stay with func == -1 and are the unreachable-code
+ * findings of analyzeImage().
+ */
+ImageCfg buildCfg(const assem::Image &img);
+
+// ----- shared register model ------------------------------------------
+
+/** Register read/write sets of one decoded instruction, as bit masks
+ *  over GPR/FPR numbers. The canonical nop encodings (D16 `mv r0,r0`,
+ *  DLXe `add r0,r0,r0`) report no effects. Trap conservatively reads
+ *  r2 (service argument) and f2 (print_f64) and writes r2 (alloc). */
+struct RegEffects
+{
+    uint64_t gprRead = 0, gprWrite = 0;
+    uint64_t fprRead = 0, fprWrite = 0;
+};
+
+RegEffects regEffects(const isa::TargetInfo &t, const isa::DecodedInst &d);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_CFG_HH

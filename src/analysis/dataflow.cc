@@ -1,0 +1,237 @@
+#include "analysis/dataflow.hh"
+
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace d16sim::analysis
+{
+
+using isa::DecodedInst;
+using isa::Op;
+using isa::TargetInfo;
+using verify::Diag;
+using verify::DiagEngine;
+using verify::Severity;
+
+namespace
+{
+
+enum : uint8_t { Undef = 0, Clobbered = 1, Def = 2 };
+
+/** 64 lattice cells: [0..31] GPRs, [32..63] FPRs. */
+using State = std::array<uint8_t, 64>;
+
+bool
+merge(State &into, const State &from)
+{
+    bool changed = false;
+    for (int i = 0; i < 64; ++i) {
+        if (from[i] > into[i]) {
+            into[i] = from[i];
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+struct Dataflow
+{
+    const ImageCfg &cfg;
+    const Abi &abi;
+    const TargetInfo &t;
+    DiagEngine &diags;
+    int findings = 0;
+
+    /** (insn, cell) pairs already reported, to cap the flood. */
+    std::set<std::pair<int, int>> reported;
+
+    State
+    entryState() const
+    {
+        State s{};
+        s.fill(Undef);
+        auto def = [&](int cell) { s[cell] = Def; };
+        def(t.atReg());  // D16: holds the callee address at entry
+        def(t.raReg());
+        def(t.gpReg());
+        def(t.spReg());
+        for (int r = 2; r < 2 + abi.intArgCount; ++r)
+            def(r);
+        for (int r = abi.intCalleeFirst; r <= abi.intCalleeLast; ++r)
+            def(r);
+        for (int r = 2; r < 2 + abi.fpArgCount; ++r)
+            def(32 + r);
+        for (int r = abi.fpCalleeFirst; r <= abi.fpCalleeLast; ++r)
+            def(32 + r);
+        return s;
+    }
+
+    /** Caller-saved kill after a call completes: allocatable registers
+     *  below the callee-saved boundary drop Def -> Clobbered, and the
+     *  return/link registers become Def. `at` is the emission scratch
+     *  and is clobbered too (D16; on DLXe it is the hardwired zero). */
+    void
+    applyCallSummary(State &s) const
+    {
+        auto kill = [&](int cell) {
+            if (s[cell] == Def)
+                s[cell] = Clobbered;
+        };
+        for (int r = 2; r <= abi.intAllocLast; ++r)
+            if (r < abi.intCalleeFirst || r > abi.intCalleeLast)
+                kill(r);
+        if (!t.r0IsZero())
+            kill(t.atReg());
+        for (int r = 1; r <= abi.fpAllocLast; ++r)
+            if (r < abi.fpCalleeFirst || r > abi.fpCalleeLast)
+                kill(32 + r);
+        kill(32 + 0);                    // f0, the FP scratch
+        s[2] = Def;                      // integer return value
+        s[32 + 2] = Def;                 // FP return value
+        s[t.raReg()] = Def;              // restored by the callee
+    }
+
+    void
+    emit(Severity sev, const char *code, int insnIdx, int cell,
+         const char *what)
+    {
+        if (!reported.insert({insnIdx, cell}).second)
+            return;
+        const Insn &in = cfg.insns[insnIdx];
+        Diag d;
+        d.severity = sev;
+        d.code = code;
+        const std::string reg = cell < 32 ? t.regName(cell)
+                                          : t.fregName(cell - 32);
+        std::ostringstream os;
+        os << opName(in.d.op) << " reads " << reg << ", which " << what;
+        d.message = os.str();
+        d.addr = in.addr;
+        d.hasAddr = true;
+        d.symbol = cfg.enclosingSymbol(in.addr);
+        d.line = in.line;
+        diags.report(std::move(d));
+        ++findings;
+    }
+
+    /** Transfer one instruction; report reads when `report` is set. */
+    void
+    step(State &s, int insnIdx, bool report)
+    {
+        const RegEffects e = regEffects(t, cfg.insns[insnIdx].d);
+        if (report) {
+            for (int r = 0; r < 32; ++r) {
+                if (!(e.gprRead & (uint64_t{1} << r)))
+                    continue;
+                if (s[r] == Undef) {
+                    emit(Severity::Error, "cfa-use-before-def", insnIdx,
+                         r, "no path from the function entry defines");
+                } else if (s[r] == Clobbered) {
+                    emit(Severity::Warning, "cfa-clobbered-across-call",
+                         insnIdx, r,
+                         "is caller-saved and was not preserved by an "
+                         "intervening call");
+                }
+            }
+            for (int r = 0; r < 32; ++r) {
+                if (!(e.fprRead & (uint64_t{1} << r)))
+                    continue;
+                if (s[32 + r] == Undef) {
+                    emit(Severity::Error, "cfa-use-before-def", insnIdx,
+                         32 + r,
+                         "no path from the function entry defines");
+                } else if (s[32 + r] == Clobbered) {
+                    emit(Severity::Warning, "cfa-clobbered-across-call",
+                         insnIdx, 32 + r,
+                         "is caller-saved and was not preserved by an "
+                         "intervening call");
+                }
+            }
+        }
+        for (int r = 0; r < 32; ++r)
+            if (e.gprWrite & (uint64_t{1} << r))
+                s[r] = Def;
+        for (int r = 0; r < 32; ++r)
+            if (e.fprWrite & (uint64_t{1} << r))
+                s[32 + r] = Def;
+    }
+
+    /** Transfer a whole block. The call summary applies at block exit:
+     *  the delay slot executes before control reaches the callee. */
+    void
+    transfer(const Block &b, State &s, bool report)
+    {
+        for (int i = b.first; i <= b.last; ++i)
+            step(s, i, report);
+        if (b.isCall)
+            applyCallSummary(s);
+    }
+
+    void
+    runFunction(const Function &fn)
+    {
+        if (fn.entryBlock < 0)
+            return;
+        std::map<int, State> in;
+        in[fn.entryBlock] = entryState();
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b : fn.blocks) {
+                auto it = in.find(b);
+                if (it == in.end())
+                    continue;
+                State out = it->second;
+                transfer(cfg.blocks[b], out, false);
+                for (int s : cfg.blocks[b].succs) {
+                    if (cfg.blocks[s].func != cfg.blocks[b].func)
+                        continue;
+                    auto [si, fresh] = in.emplace(s, out);
+                    if (fresh || merge(si->second, out))
+                        changed = true;
+                }
+            }
+        }
+        // Reporting pass at the fixpoint, deterministic block order.
+        for (int b : fn.blocks) {
+            auto it = in.find(b);
+            if (it == in.end())
+                continue;
+            State s = it->second;
+            transfer(cfg.blocks[b], s, true);
+        }
+    }
+};
+
+} // namespace
+
+Abi
+Abi::defaultFor(const TargetInfo &t)
+{
+    Abi a;
+    const bool d16 = t.kind() == isa::IsaKind::D16;
+    a.intArgCount = d16 ? 4 : 8;
+    a.fpArgCount = d16 ? 4 : 8;
+    a.intCalleeFirst = d16 ? 10 : 16;
+    a.intCalleeLast = d16 ? 13 : 29;
+    a.fpCalleeFirst = d16 ? 10 : 16;
+    a.fpCalleeLast = d16 ? 15 : 31;
+    a.intAllocLast = d16 ? 13 : 29;
+    a.fpAllocLast = d16 ? 15 : 31;
+    return a;
+}
+
+int
+analyzeDataflow(const ImageCfg &cfg, const Abi &abi, DiagEngine &diags)
+{
+    Dataflow df{cfg, abi, *cfg.image->target, diags};
+    for (const Function &fn : cfg.funcs)
+        df.runFunction(fn);
+    return df.findings;
+}
+
+} // namespace d16sim::analysis

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interprocedural machine-register dataflow over the recovered CFG.
+ *
+ * A forward may-analysis per function with calling-convention
+ * summaries at call sites. Each GPR and FPR carries one of three
+ * lattice states:
+ *
+ *     Undef < Clobbered < Def
+ *
+ * merged by max (a register counts as defined if it is defined on ANY
+ * path — the same deliberate policy as the IR verifier, so only
+ * provably-uninitialized uses are flagged). At function entry the
+ * arguments, the callee-saved range, and the dedicated registers
+ * (at/ra/gp/sp, DLXe r0) are Def; caller temps beyond the arguments
+ * are Undef. A call kills the caller-saved range Def -> Clobbered and
+ * defines the return registers (r2/f2) and the link register; the
+ * delay-slot instruction is accounted before the kill, because it
+ * executes before the callee.
+ *
+ * Findings: a read of an Undef register is `cfa-use-before-def`
+ * (Error: no def reaches on any path from the entry); a read of a
+ * Clobbered register is `cfa-clobbered-across-call` (Warning: the
+ * value was held in a caller-saved register across a call).
+ */
+
+#ifndef D16SIM_ANALYSIS_DATAFLOW_HH
+#define D16SIM_ANALYSIS_DATAFLOW_HH
+
+#include "analysis/cfg.hh"
+#include "verify/diag.hh"
+
+namespace d16sim::mc
+{
+struct CompileOptions;
+}
+
+namespace d16sim::analysis
+{
+
+/** Calling convention as the analyzer needs it. Build with `from()`
+ *  for the exact compile variant (restricted DLXe register sets move
+ *  the callee-saved boundary!) or `defaultFor()` when only the target
+ *  is known (D16, or full DLXe conventions). */
+struct Abi
+{
+    int intArgCount = 8;      //!< args in r2 .. r2+n-1
+    int fpArgCount = 8;       //!< args in f2 .. f2+n-1
+    int intCalleeFirst = 16;  //!< callee-saved GPRs [first, last]
+    int intCalleeLast = 29;
+    int fpCalleeFirst = 16;   //!< callee-saved FPRs [first, last]
+    int fpCalleeLast = 31;
+    int intAllocLast = 29;    //!< highest allocatable GPR
+    int fpAllocLast = 31;
+
+    static Abi defaultFor(const isa::TargetInfo &t);
+
+    /** Exact conventions of one compile variant, derived from the same
+     *  MachineEnv the register allocator used (defined in analysis.cc
+     *  to keep this header free of mc dependencies). */
+    static Abi from(const mc::CompileOptions &opts);
+};
+
+/** Run the dataflow over every function, reporting through `diags`.
+ *  Returns the number of findings. */
+int analyzeDataflow(const ImageCfg &cfg, const Abi &abi,
+                    verify::DiagEngine &diags);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,108 @@
+#include "analysis/dom.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace d16sim::analysis
+{
+
+bool
+DomInfo::dominates(int a, int b) const
+{
+    for (int x = b; x >= 0; x = idom[x]) {
+        if (x == a)
+            return true;
+        if (idom[x] == x)
+            break;
+    }
+    return false;
+}
+
+DomInfo
+computeDoms(const ImageCfg &cfg, const Function &fn)
+{
+    DomInfo out;
+    out.idom.assign(cfg.blocks.size(), -1);
+    if (fn.entryBlock < 0)
+        return out;
+
+    // Reverse postorder over the function's blocks.
+    const int fidx = cfg.blocks[fn.entryBlock].func;
+    std::vector<int> rpo;
+    std::vector<int> state(cfg.blocks.size(), 0);  // 0 new, 1 open, 2 done
+    std::vector<std::pair<int, size_t>> stack{{fn.entryBlock, 0}};
+    state[fn.entryBlock] = 1;
+    while (!stack.empty()) {
+        const int b = stack.back().first;
+        size_t &next = stack.back().second;
+        const auto &succs = cfg.blocks[b].succs;
+        if (next < succs.size()) {
+            const int s = succs[next++];
+            if (state[s] == 0 && cfg.blocks[s].func == fidx) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            rpo.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(rpo.begin(), rpo.end());
+
+    std::vector<int> order(cfg.blocks.size(), -1);  // block -> rpo index
+    for (size_t i = 0; i < rpo.size(); ++i)
+        order[rpo[i]] = static_cast<int>(i);
+
+    // Iterative idom (Cooper-Harvey-Kennedy). The entry's idom is
+    // itself during iteration; reported as -1 afterwards.
+    std::vector<int> idom(cfg.blocks.size(), -1);
+    idom[fn.entryBlock] = fn.entryBlock;
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (order[a] > order[b])
+                a = idom[a];
+            while (order[b] > order[a])
+                b = idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == fn.entryBlock)
+                continue;
+            int newIdom = -1;
+            for (int p : cfg.blocks[b].preds) {
+                if (order[p] < 0 || idom[p] < 0)
+                    continue;  // pred outside the function / unprocessed
+                newIdom = newIdom < 0 ? p : intersect(p, newIdom);
+            }
+            if (newIdom >= 0 && idom[b] != newIdom) {
+                idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    // Natural loops: back edges t -> h with h dominating t.
+    out.idom = idom;
+    std::vector<int> headers;
+    for (int b : rpo) {
+        for (int s : cfg.blocks[b].succs) {
+            if (order[s] >= 0 && out.dominates(s, b))
+                headers.push_back(s);
+        }
+    }
+    std::sort(headers.begin(), headers.end());
+    headers.erase(std::unique(headers.begin(), headers.end()),
+                  headers.end());
+    out.loopHeaders = std::move(headers);
+
+    out.idom[fn.entryBlock] = -1;
+    return out;
+}
+
+} // namespace d16sim::analysis

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Dominator trees and natural-loop detection over a recovered CFG.
+ *
+ * Per function: immediate dominators by the iterative Cooper-Harvey-
+ * Kennedy algorithm over a reverse-postorder of the function's blocks,
+ * then natural loops as back edges t -> h where h dominates t. Loop
+ * counts (distinct headers) feed the per-function summary; the
+ * dominator query is exposed for the tests.
+ */
+
+#ifndef D16SIM_ANALYSIS_DOM_HH
+#define D16SIM_ANALYSIS_DOM_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace d16sim::analysis
+{
+
+/** Dominance facts for one function. Block ids are global (ImageCfg)
+ *  ids; blocks outside the function answer false/-1. */
+struct DomInfo
+{
+    /** idom[b] = immediate dominator of global block b, -1 for the
+     *  function entry and for blocks not in this function. */
+    std::vector<int> idom;
+
+    /** Back-edge headers, sorted: one entry per natural loop. */
+    std::vector<int> loopHeaders;
+
+    /** Does block `a` dominate block `b`? */
+    bool dominates(int a, int b) const;
+
+    int loopCount() const { return static_cast<int>(loopHeaders.size()); }
+};
+
+DomInfo computeDoms(const ImageCfg &cfg, const Function &fn);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_DOM_HH

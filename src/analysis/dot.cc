@@ -1,0 +1,89 @@
+#include "analysis/dot.hh"
+
+#include "support/strings.hh"
+
+namespace d16sim::analysis
+{
+
+namespace
+{
+
+/** Quote a symbol for a DOT identifier/label. */
+std::string
+q(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+blockLabel(const ImageCfg &cfg, const Block &b)
+{
+    const uint32_t lo = cfg.insns[b.first].addr;
+    const uint32_t hi = cfg.insns[b.last].addr;
+    std::string l = hexString(lo, 4);
+    if (hi != lo)
+        l += "-" + hexString(hi, 4);
+    l += "\\n" + std::to_string(b.size()) + " insn";
+    return l;
+}
+
+} // namespace
+
+void
+writeCfgDot(const ImageCfg &cfg, std::ostream &os)
+{
+    os << "digraph cfg {\n"
+       << "  node [shape=box, fontname=monospace, fontsize=9];\n";
+    for (size_t f = 0; f < cfg.funcs.size(); ++f) {
+        const Function &fn = cfg.funcs[f];
+        os << "  subgraph cluster_" << f << " {\n"
+           << "    label=" << q(fn.name) << ";\n";
+        if (!fn.reachable)
+            os << "    style=dashed;\n";
+        for (int b : fn.blocks)
+            os << "    b" << b << " [label=\""
+               << blockLabel(cfg, cfg.blocks[b]) << "\"];\n";
+        os << "  }\n";
+    }
+    for (const Block &b : cfg.blocks) {
+        if (b.func < 0)
+            os << "  b" << b.id << " [label=\"" << blockLabel(cfg, b)
+               << "\", style=dashed];\n";
+    }
+    for (const Block &b : cfg.blocks) {
+        for (int s : b.succs)
+            os << "  b" << b.id << " -> b" << s << ";\n";
+        if (b.isCall && b.callee >= 0)
+            os << "  b" << b.id << " -> b"
+               << cfg.funcs[b.callee].entryBlock
+               << " [style=dotted, constraint=false];\n";
+    }
+    os << "}\n";
+}
+
+void
+writeCallGraphDot(const ImageCfg &cfg, std::ostream &os)
+{
+    os << "digraph calls {\n"
+       << "  node [shape=box, fontname=monospace, fontsize=10];\n";
+    for (size_t f = 0; f < cfg.funcs.size(); ++f) {
+        const Function &fn = cfg.funcs[f];
+        os << "  f" << f << " [label=" << q(fn.name);
+        if (!fn.reachable)
+            os << ", style=dashed";
+        os << "];\n";
+    }
+    for (size_t f = 0; f < cfg.funcs.size(); ++f)
+        for (int c : cfg.funcs[f].callees)
+            os << "  f" << f << " -> f" << c << ";\n";
+    os << "}\n";
+}
+
+} // namespace d16sim::analysis

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Graphviz export of the recovered control-flow and call graphs
+ * (`d16cfa --cfg` / `--calls`).
+ */
+
+#ifndef D16SIM_ANALYSIS_DOT_HH
+#define D16SIM_ANALYSIS_DOT_HH
+
+#include <ostream>
+
+#include "analysis/cfg.hh"
+
+namespace d16sim::analysis
+{
+
+/** Whole-program CFG, one cluster per function; blocks are labeled
+ *  with their address range and instruction count. Unclaimed
+ *  (unreachable) blocks render outside any cluster, dashed. */
+void writeCfgDot(const ImageCfg &cfg, std::ostream &os);
+
+/** Call graph: one node per function (dead ones dashed), one edge per
+ *  caller/callee pair. */
+void writeCallGraphDot(const ImageCfg &cfg, std::ostream &os);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_DOT_HH

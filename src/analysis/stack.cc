@@ -1,0 +1,147 @@
+#include "analysis/stack.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace d16sim::analysis
+{
+
+using verify::Diag;
+using verify::DiagEngine;
+using verify::Severity;
+
+namespace
+{
+
+/** Tarjan SCC over the call graph. */
+struct Scc
+{
+    const ImageCfg &cfg;
+    int counter = 0;
+    std::vector<int> index, low, comp;
+    std::vector<bool> onStack;
+    std::vector<int> stack;
+    std::vector<std::vector<int>> comps;
+
+    explicit Scc(const ImageCfg &cfg)
+        : cfg(cfg), index(cfg.funcs.size(), -1),
+          low(cfg.funcs.size(), 0), comp(cfg.funcs.size(), -1),
+          onStack(cfg.funcs.size(), false)
+    {
+        for (size_t f = 0; f < cfg.funcs.size(); ++f)
+            if (index[f] < 0)
+                visit(static_cast<int>(f));
+    }
+
+    void
+    visit(int f)
+    {
+        index[f] = low[f] = counter++;
+        stack.push_back(f);
+        onStack[f] = true;
+        for (int c : cfg.funcs[f].callees) {
+            if (index[c] < 0) {
+                visit(c);
+                low[f] = std::min(low[f], low[c]);
+            } else if (onStack[c]) {
+                low[f] = std::min(low[f], index[c]);
+            }
+        }
+        if (low[f] == index[f]) {
+            std::vector<int> members;
+            int m;
+            do {
+                m = stack.back();
+                stack.pop_back();
+                onStack[m] = false;
+                comp[m] = static_cast<int>(comps.size());
+                members.push_back(m);
+            } while (m != f);
+            std::sort(members.begin(), members.end());
+            comps.push_back(std::move(members));
+        }
+    }
+
+    bool
+    hasCycle(int c) const
+    {
+        if (comps[c].size() > 1)
+            return true;
+        const int f = comps[c][0];
+        const auto &cal = cfg.funcs[f].callees;
+        return std::find(cal.begin(), cal.end(), f) != cal.end();
+    }
+};
+
+} // namespace
+
+StackBounds
+analyzeStack(const ImageCfg &cfg, DiagEngine &diags)
+{
+    StackBounds out;
+    out.depth.assign(cfg.funcs.size(), 0);
+    if (cfg.funcs.empty())
+        return out;
+
+    const Scc scc(cfg);
+
+    // Report each cyclic component once, at its lexically-first member.
+    for (size_t c = 0; c < scc.comps.size(); ++c) {
+        if (!scc.hasCycle(static_cast<int>(c)))
+            continue;
+        out.recursive = true;
+        std::ostringstream os;
+        os << "recursive call cycle: ";
+        for (size_t i = 0; i < scc.comps[c].size(); ++i) {
+            if (i)
+                os << " -> ";
+            os << cfg.funcs[scc.comps[c][i]].name;
+        }
+        os << " (static stack bound is unbounded)";
+        const Function &head = cfg.funcs[scc.comps[c][0]];
+        Diag d;
+        d.severity = Severity::Note;
+        d.code = "cfa-recursive-cycle";
+        d.message = os.str();
+        d.addr = head.entryAddr;
+        d.hasAddr = true;
+        d.symbol = head.name;
+        diags.report(std::move(d));
+    }
+
+    // Longest frame-weighted path, memoized over the component DAG
+    // (Tarjan numbers components in reverse topological order, so
+    // callees' components are complete before callers').
+    std::vector<int64_t> depth(cfg.funcs.size(), -2);  // -2 = unset
+    // Process functions so callees resolve first: by component index
+    // ascending (callees have smaller component numbers).
+    std::vector<int> order(cfg.funcs.size());
+    for (size_t f = 0; f < order.size(); ++f)
+        order[f] = static_cast<int>(f);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return scc.comp[a] < scc.comp[b];
+    });
+    for (int f : order) {
+        if (scc.hasCycle(scc.comp[f])) {
+            depth[f] = -1;  // unbounded
+            continue;
+        }
+        int64_t calleeMax = 0;
+        bool unbounded = false;
+        for (int c : cfg.funcs[f].callees) {
+            if (depth[c] == -1)
+                unbounded = true;
+            else
+                calleeMax = std::max(calleeMax, depth[c]);
+        }
+        if (!cfg.funcs[f].frameKnown)
+            out.framesKnown = false;
+        depth[f] = unbounded ? -1 : cfg.funcs[f].frameBytes + calleeMax;
+    }
+    out.depth = depth;
+    out.maxStackBytes =
+        cfg.entryFunc >= 0 ? depth[cfg.entryFunc] : 0;
+    return out;
+}
+
+} // namespace d16sim::analysis

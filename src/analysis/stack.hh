@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Worst-case static stack bounds over the call graph.
+ *
+ * Each function's frame size comes from its prologue (recovered in
+ * cfg.cc); the stack bound is the longest frame-weighted path from the
+ * program entry through the call graph. Recursion makes the bound
+ * unbounded: every strongly-connected component with a cycle is
+ * reported once as a `cfa-recursive-cycle` note (several of the
+ * paper's workloads — ackermann, queens, towers — are legitimately
+ * recursive, so recursion is informational, never a failure).
+ */
+
+#ifndef D16SIM_ANALYSIS_STACK_HH
+#define D16SIM_ANALYSIS_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "verify/diag.hh"
+
+namespace d16sim::analysis
+{
+
+struct StackBounds
+{
+    /** Worst-case stack bytes from the program entry; -1 = unbounded
+     *  (recursion reachable from the entry). */
+    int64_t maxStackBytes = 0;
+
+    /** True when any call-graph cycle exists (reachable or not). */
+    bool recursive = false;
+
+    /** True when every frame on the bounding path parsed. */
+    bool framesKnown = true;
+
+    /** Per-function worst-case depth including the function's own
+     *  frame; -1 = unbounded. Indexed like ImageCfg::funcs. */
+    std::vector<int64_t> depth;
+};
+
+StackBounds analyzeStack(const ImageCfg &cfg, verify::DiagEngine &diags);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_STACK_HH

@@ -1,0 +1,103 @@
+#include "analysis/xvalidate.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace d16sim::analysis
+{
+
+using verify::Diag;
+using verify::DiagEngine;
+using verify::Severity;
+
+namespace
+{
+
+int
+emit(DiagEngine &diags, const ImageCfg &cfg, const char *code,
+     uint32_t addr, bool hasAddr, std::string message)
+{
+    Diag d;
+    d.severity = Severity::Error;
+    d.code = code;
+    d.message = std::move(message);
+    d.addr = addr;
+    d.hasAddr = hasAddr;
+    if (hasAddr)
+        d.symbol = cfg.enclosingSymbol(addr);
+    diags.report(std::move(d));
+    return 1;
+}
+
+} // namespace
+
+int
+crossValidate(const ImageCfg &cfg, const ExecProbe &probe,
+              const sim::SimStats &stats, DiagEngine &diags)
+{
+    int findings = 0;
+    uint64_t total = 0;
+    uint64_t cfTotal = 0;
+
+    // Per-site checks + totals.
+    std::vector<uint64_t> siteCount(cfg.insns.size(), 0);
+    for (const auto &[pc, count] : probe.counts()) {
+        total += count;
+        const int i = cfg.insnAt(pc);
+        if (i < 0) {
+            findings += emit(
+                diags, cfg, "cfa-xval-unknown-pc", pc, true,
+                "executed PC is not a decoded instruction site");
+            continue;
+        }
+        siteCount[i] = count;
+        const isa::OpClass cls = isa::opClass(cfg.insns[i].d.op);
+        if (cls == isa::OpClass::Branch || cls == isa::OpClass::Jump)
+            cfTotal += count;
+        const int b = cfg.blockOf(i);
+        if (cfg.blocks[b].func < 0) {
+            findings += emit(
+                diags, cfg, "cfa-xval-unreachable-executed", pc, true,
+                "executed PC lies in a block the static analysis "
+                "found unreachable");
+        }
+    }
+
+    // Exact dynamic totals.
+    if (total != stats.instructions) {
+        findings += emit(
+            diags, cfg, "cfa-xval-count-mismatch", 0, false,
+            "per-site execution counts sum to " + std::to_string(total) +
+                " but the machine retired " +
+                std::to_string(stats.instructions) + " instructions");
+    }
+    if (cfTotal != stats.branches) {
+        findings += emit(
+            diags, cfg, "cfa-xval-count-mismatch", 0, false,
+            "branch/jump-site counts sum to " + std::to_string(cfTotal) +
+                " but the machine counted " +
+                std::to_string(stats.branches) + " branches");
+    }
+
+    // Prefix-shaped execution within each block.
+    for (const Block &b : cfg.blocks) {
+        for (int i = b.first; i < b.last; ++i) {
+            if (siteCount[i + 1] > siteCount[i]) {
+                findings += emit(
+                    diags, cfg, "cfa-xval-block-profile",
+                    cfg.insns[i + 1].addr, true,
+                    "instruction executed " +
+                        std::to_string(siteCount[i + 1]) +
+                        " times, more than its block predecessor (" +
+                        std::to_string(siteCount[i]) +
+                        "): block boundaries are wrong");
+                break;  // one finding per block is enough
+            }
+        }
+    }
+
+    return findings;
+}
+
+} // namespace d16sim::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Static/dynamic cross-validation.
+ *
+ * An ExecProbe attached to a simulated run records how many times each
+ * PC executed; crossValidate() then checks the static analysis against
+ * that ground truth *exactly* (no tolerances):
+ *
+ *  - every executed PC is a decoded instruction site inside a block
+ *    the static call-graph traversal claimed (nothing executed code the
+ *    analyzer called unreachable);
+ *  - the per-site counts sum to SimStats::instructions;
+ *  - the counts at branch/jump sites sum to SimStats::branches;
+ *  - within each block, execution is prefix-shaped: counts are
+ *    non-increasing from the block head (a block can only be entered
+ *    at its head; only a halting trap may exit it early).
+ *
+ * Violations are Error-severity `cfa-xval-*` diagnostics.
+ */
+
+#ifndef D16SIM_ANALYSIS_XVALIDATE_HH
+#define D16SIM_ANALYSIS_XVALIDATE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/cfg.hh"
+#include "sim/probe.hh"
+#include "sim/stats.hh"
+#include "verify/diag.hh"
+
+namespace d16sim::analysis
+{
+
+/** Per-PC execution counter (ordered so validation is deterministic). */
+class ExecProbe : public sim::Probe
+{
+  public:
+    void
+    onExec(const isa::DecodedInst &inst, uint32_t pc) override
+    {
+        (void)inst;
+        ++counts_[pc];
+    }
+
+    const std::map<uint32_t, uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::map<uint32_t, uint64_t> counts_;
+};
+
+/** Validate a recorded run against the static CFG. Returns the number
+ *  of findings reported (0 = the analyses agree exactly). */
+int crossValidate(const ImageCfg &cfg, const ExecProbe &probe,
+                  const sim::SimStats &stats, verify::DiagEngine &diags);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_XVALIDATE_HH

@@ -1,0 +1,20 @@
+#include "asm/image.hh"
+
+#include <algorithm>
+
+namespace d16sim::assem
+{
+
+std::vector<std::pair<uint32_t, std::string>>
+Image::textSymbols() const
+{
+    std::vector<std::pair<uint32_t, std::string>> out;
+    for (const auto &[name, addr] : symbols) {
+        if (addr >= textBase && addr < textBase + textSize)
+            out.emplace_back(addr, name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace d16sim::assem

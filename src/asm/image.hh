@@ -61,6 +61,12 @@ struct Image
      *  this to separate instructions from in-text constant pools. */
     std::vector<InsnSite> insnSites;
 
+    /** (addr, name) for every symbol that lands inside the text
+     *  section, ascending by address — the order the verification and
+     *  analysis layers use to blame findings on the enclosing
+     *  function. Ties (aliased labels) sort by name. */
+    std::vector<std::pair<uint32_t, std::string>> textSymbols() const;
+
     uint32_t
     symbol(const std::string &name) const
     {

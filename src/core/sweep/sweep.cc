@@ -503,4 +503,14 @@ smokeMatrix()
     return jobs;
 }
 
+std::vector<JobSpec>
+smokeBaseMatrix()
+{
+    std::vector<JobSpec> jobs;
+    for (JobSpec &j : smokeMatrix())
+        if (j.probe == ProbeKind::None)
+            jobs.push_back(std::move(j));
+    return jobs;
+}
+
 } // namespace d16sim::core::sweep

@@ -126,6 +126,13 @@ std::vector<JobSpec> fullMatrix();
  */
 std::vector<JobSpec> smokeMatrix();
 
+/**
+ * The probe-less slice of the smoke matrix: one base build+run per
+ * (workload x paper variant). This is what d16cfa's cross-validation
+ * sweeps — every image the golden regression pins, no probe duplicates.
+ */
+std::vector<JobSpec> smokeBaseMatrix();
+
 } // namespace d16sim::core::sweep
 
 #endif // D16SIM_CORE_SWEEP_SWEEP_HH

@@ -1,5 +1,6 @@
 #include "core/toolchain.hh"
 
+#include "analysis/analysis.hh"
 #include "verify/verify.hh"
 
 namespace d16sim::core
@@ -23,8 +24,10 @@ build(std::string_view source, const mc::CompileOptions &opts)
     assem::Assembler as(opts.target());
     as.add(std::move(comp.items));
     assem::Image img = as.link();
-    if (verifying)
+    if (verifying) {
         verify::lintImageOrThrow(img, std::string(opts.name()));
+        analysis::analyzeImageOrThrow(img, opts, std::string(opts.name()));
+    }
     return img;
 }
 

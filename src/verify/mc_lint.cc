@@ -84,11 +84,7 @@ struct Linter
                     const LintOptions &opts)
         : img(img), diags(diags), opts(opts), t(*img.target)
     {
-        for (const auto &[name, addr] : img.symbols) {
-            if (addr >= img.textBase && addr < img.textBase + img.textSize)
-                textSyms.emplace_back(addr, name);
-        }
-        std::sort(textSyms.begin(), textSyms.end());
+        textSyms = img.textSymbols();
         siteAddrs.reserve(img.insnSites.size());
         for (const InsnSite &s : img.insnSites)
             siteAddrs.push_back(s.addr);

@@ -11,20 +11,22 @@
  *   d16lint perm queens          lint specific workloads
  *   d16lint --isa d16 --opt 0    one target, unoptimized code
  *   d16lint --verify-each        verify after every optimization pass
+ *   d16lint --cfg                also run the binary CFG analyzer
  *   d16lint --perf               include load-use interlock notes
  *
  * Exit status: 0 = clean, 1 = diagnostics reported, 2 = build failure.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hh"
 #include "asm/assembler.hh"
 #include "core/workloads.hh"
 #include "mc/compiler.hh"
+#include "support/cli.hh"
 #include "support/error.hh"
 #include "verify/verify.hh"
 
@@ -42,18 +44,8 @@ struct Args
     bool verifyEach = false;
     bool json = false;
     bool perf = false;
+    bool cfg = false;
 };
-
-int
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--isa d16|dlxe|both] [--opt 0|1|2] "
-                 "[--verify-each] [--perf] [--json] [--list] "
-                 "[workload...]\n",
-                 argv0);
-    return 2;
-}
 
 /** Compile + link one workload for one variant, collecting diagnostics
  *  instead of throwing. Returns false on a build failure. */
@@ -80,6 +72,9 @@ lintOne(const core::Workload &w, mc::CompileOptions opts, const Args &args,
         verify::LintOptions lo;
         lo.perfNotes = args.perf;
         verify::lintImage(img, diags, lo);
+        if (args.cfg)
+            analysis::analyzeImage(img, diags,
+                                   analysis::Abi::from(opts));
     } catch (const Error &e) {
         std::fprintf(stderr, "d16lint: %s/%s: build failed: %s\n",
                      w.name.c_str(), opts.name().c_str(), e.what());
@@ -94,42 +89,30 @@ int
 main(int argc, char **argv)
 {
     Args args;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "d16lint: %s needs a value\n",
-                             a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--isa") {
-            const std::string v = value();
-            args.d16 = v == "d16" || v == "both";
-            args.dlxe = v == "dlxe" || v == "both";
-            if (!args.d16 && !args.dlxe)
-                return usage(argv[0]);
-        } else if (a == "--opt") {
-            args.optLevel = std::atoi(value());
-        } else if (a == "--verify-each") {
-            args.verifyEach = true;
-        } else if (a == "--json") {
-            args.json = true;
-        } else if (a == "--perf") {
-            args.perf = true;
-        } else if (a == "--list") {
-            for (const core::Workload &w : core::workloadSuite())
-                std::printf("%s\n", w.name.c_str());
-            return 0;
-        } else if (a == "--help" || a == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else if (!a.empty() && a[0] == '-') {
-            return usage(argv[0]);
-        } else {
-            args.workloads.push_back(a);
-        }
+    cli::Cli parser("d16lint",
+                    "[--isa d16|dlxe|both] [--opt 0|1|2] [--verify-each]\n"
+                    "       [--cfg] [--perf] [--json] [--list] "
+                    "[workload...]");
+    parser.value("--isa", [&](const std::string &v) {
+        args.d16 = v == "d16" || v == "both";
+        args.dlxe = v == "dlxe" || v == "both";
+        return args.d16 || args.dlxe;
+    });
+    parser.intValue("--opt", &args.optLevel);
+    parser.flag("--verify-each", &args.verifyEach);
+    parser.flag("--json", &args.json);
+    parser.flag("--perf", &args.perf);
+    parser.flag("--cfg", &args.cfg);
+    parser.flag("--list", [] {
+        for (const core::Workload &w : core::workloadSuite())
+            std::printf("%s\n", w.name.c_str());
+        std::exit(0);
+    });
+    parser.positionals(&args.workloads);
+    switch (parser.parse(argc, argv)) {
+      case cli::CliStatus::Help: return 0;
+      case cli::CliStatus::Error: return 2;
+      case cli::CliStatus::Ok: break;
     }
 
     std::vector<const core::Workload *> suite;

@@ -30,7 +30,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -41,8 +40,8 @@
 
 #include "core/sweep/sweep.hh"
 #include "core/workloads.hh"
+#include "support/cli.hh"
 #include "support/error.hh"
-#include "support/strings.hh"
 
 namespace
 {
@@ -62,28 +61,6 @@ struct Args
     std::string jsonPath;                //!< empty = no JSON output
     std::string goldenPath;              //!< empty = no comparison
 };
-
-int
-usage(const char *argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [--jobs N] [--smoke] [--workloads a,b,...]\n"
-        "       [--variants D16,DLXe/32/3,...] [--json FILE|-]\n"
-        "       [--no-timing] [--golden FILE] [--list]\n",
-        argv0);
-    return 2;
-}
-
-std::vector<std::string>
-csv(const std::string &s)
-{
-    std::vector<std::string> out;
-    for (std::string_view f : split(s, ','))
-        if (!trim(f).empty())
-            out.emplace_back(trim(f));
-    return out;
-}
 
 /** Keep only jobs matching the workload/variant filters. */
 std::vector<sweep::JobSpec>
@@ -120,38 +97,31 @@ int
 main(int argc, char **argv)
 {
     Args args;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "d16sweep: %s needs a value\n",
-                             a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--jobs") {
-            args.jobs = std::max(1, std::atoi(value()));
-        } else if (a == "--smoke") {
-            args.smoke = true;
-        } else if (a == "--workloads") {
-            args.workloads = csv(value());
-        } else if (a == "--variants") {
-            args.variants = csv(value());
-        } else if (a == "--json") {
-            args.jsonPath = value();
-        } else if (a == "--no-timing") {
-            args.timing = false;
-        } else if (a == "--golden") {
-            args.goldenPath = value();
-        } else if (a == "--list") {
-            args.list = true;
-        } else if (a == "--help" || a == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            return usage(argv[0]);
-        }
+    cli::Cli parser("d16sweep",
+                    "[--jobs N] [--smoke] [--workloads a,b,...]\n"
+                    "       [--variants D16,DLXe/32/3,...] [--json FILE|-]\n"
+                    "       [--no-timing] [--golden FILE] [--list]");
+    parser.value("--jobs", [&](const std::string &v) {
+        args.jobs = std::max(1, std::atoi(v.c_str()));
+        return true;
+    });
+    parser.flag("--smoke", &args.smoke);
+    parser.value("--workloads", [&](const std::string &v) {
+        args.workloads = cli::csvList(v);
+        return true;
+    });
+    parser.value("--variants", [&](const std::string &v) {
+        args.variants = cli::csvList(v);
+        return true;
+    });
+    parser.stringValue("--json", &args.jsonPath);
+    parser.flag("--no-timing", [&] { args.timing = false; });
+    parser.stringValue("--golden", &args.goldenPath);
+    parser.flag("--list", &args.list);
+    switch (parser.parse(argc, argv)) {
+      case cli::CliStatus::Help: return 0;
+      case cli::CliStatus::Error: return 2;
+      case cli::CliStatus::Ok: break;
     }
 
     try {
