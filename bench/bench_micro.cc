@@ -8,20 +8,24 @@
 #include <benchmark/benchmark.h>
 
 #include "asm/assembler.hh"
+#include "core/replay/replay.hh"
+#include "core/replay/trace.hh"
 #include "core/toolchain.hh"
 #include "core/workloads.hh"
 #include "isa/codec.hh"
 #include "mem/cache.hh"
 #include "sim/machine.hh"
+#include "sim/predecode.hh"
 
 using namespace d16sim;
 
 static void
 BM_D16Decode(benchmark::State &state)
 {
-    // A representative mix of encodings.
+    // A representative valid mix; 0x17fe is LDC (0x1ffe, previously
+    // listed here, is the *reserved* LDC form and decode fatals on it).
     const uint16_t words[] = {0x4a00, 0x8123, 0xa456, 0x2345,
-                              0x6789, 0x0404, 0x1ffe, 0xc123};
+                              0x6789, 0x0404, 0x17fe, 0xc123};
     size_t i = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -82,5 +86,59 @@ BM_SimulateQueens(benchmark::State &state)
                             static_cast<int64_t>(1639487));
 }
 BENCHMARK(BM_SimulateQueens)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulateQueensPredecoded(benchmark::State &state)
+{
+    // The sweep engine's configuration: one decode table built up
+    // front and shared by every run of the image.
+    const auto img = core::build(core::workload("queens").source,
+                                 mc::CompileOptions::dlxe());
+    const auto text = std::make_shared<const sim::DecodedText>(img);
+    for (auto _ : state) {
+        sim::Machine m(img, {}, text);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().instructions);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(1639487));
+}
+BENCHMARK(BM_SimulateQueensPredecoded)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TraceCaptureQueens(benchmark::State &state)
+{
+    const auto img = core::build(core::workload("queens").source,
+                                 mc::CompileOptions::dlxe());
+    const auto text = std::make_shared<const sim::DecodedText>(img);
+    for (auto _ : state) {
+        const auto trace = core::replay::capture(img, text);
+        benchmark::DoNotOptimize(trace.runs.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(1639487));
+}
+BENCHMARK(BM_TraceCaptureQueens)->Unit(benchmark::kMillisecond);
+
+static void
+BM_ReplayCacheQueens(benchmark::State &state)
+{
+    // One full cache evaluation from a recorded trace — the unit of
+    // work d16sweep does per cache variant instead of re-simulating.
+    const auto img = core::build(core::workload("queens").source,
+                                 mc::CompileOptions::dlxe());
+    const auto trace = core::replay::capture(img);
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.blockBytes = 32;
+    cfg.subBlockBytes = 8;
+    for (auto _ : state) {
+        const auto stats = core::replay::replayCache(trace, cfg, cfg);
+        benchmark::DoNotOptimize(stats.first.misses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(1639487));
+}
+BENCHMARK(BM_ReplayCacheQueens)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -6,11 +6,18 @@
  * the smallest cache where each machine reaches 95% of its
  * large-cache performance.
  *
+ * Each machine is built and simulated exactly once: the run is
+ * captured as a trace (core/replay) and every cache size is then
+ * evaluated from the recorded reference streams in a single pass —
+ * the same build-once/replay-many structure d16sweep uses.
+ *
  * Usage: ./build/examples/cache_tuning [workload] [missPenalty]
  */
 
 #include <iostream>
 
+#include "core/replay/replay.hh"
+#include "core/replay/trace.hh"
 #include "core/toolchain.hh"
 #include "core/workloads.hh"
 #include "support/table.hh"
@@ -31,43 +38,57 @@ main(int argc, char **argv)
     Table t({"I-cache", "D16 CPI", "DLXe CPI", "D16 miss/insn",
              "DLXe miss/insn"});
 
+    const std::vector<uint32_t> sizesKb = {1, 2, 4, 8, 16, 32};
+
     struct Point
     {
         uint32_t kb;
         double cpi[2];
+        double missPerInsn[2];
     };
     std::vector<Point> points;
+    points.reserve(sizesKb.size());
+    for (uint32_t kb : sizesKb)
+        points.push_back({kb, {0, 0}, {0, 0}});
 
-    for (uint32_t kb : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        Point pt{kb, {0, 0}};
-        std::vector<std::string> row = {std::to_string(kb) + "K"};
-        std::vector<std::string> missCols;
-        int idx = 0;
-        for (const auto &opts :
-             {mc::CompileOptions::d16(), mc::CompileOptions::dlxe()}) {
+    // Build and simulate each machine once; every cache size is
+    // evaluated from the captured trace in one pass.
+    int idx = 0;
+    for (const auto &opts :
+         {mc::CompileOptions::d16(), mc::CompileOptions::dlxe()}) {
+        const auto img = build(w.source, opts);
+        const replay::Trace trace = replay::capture(img);
+
+        std::vector<replay::CacheEval> evals(sizesKb.size());
+        for (size_t i = 0; i < sizesKb.size(); ++i) {
             mem::CacheConfig cfg;
-            cfg.sizeBytes = kb * 1024;
+            cfg.sizeBytes = sizesKb[i] * 1024;
             cfg.blockBytes = 32;
             cfg.subBlockBytes = 8;
-            CacheProbe probe(cfg, cfg);
-            const auto img = build(w.source, opts);
-            const auto m = run(img, {&probe});
-            const uint64_t cycles =
-                cyclesWithCache(m.stats, missPenalty,
-                                probe.icache().stats(),
-                                probe.dcache().stats());
-            pt.cpi[idx] =
-                static_cast<double>(cycles) / m.stats.instructions;
-            row.push_back(fixed(pt.cpi[idx], 2));
-            missCols.push_back(fixed(
-                static_cast<double>(probe.icache().stats().misses()) /
-                    m.stats.instructions,
-                4));
-            ++idx;
+            evals[i].icache = cfg;
+            evals[i].dcache = cfg;
         }
-        row.insert(row.end(), missCols.begin(), missCols.end());
-        t.addRow(std::move(row));
-        points.push_back(pt);
+        replay::replayCaches(trace, evals);
+
+        for (size_t i = 0; i < evals.size(); ++i) {
+            const uint64_t cycles =
+                cyclesWithCache(trace.base.stats, missPenalty,
+                                evals[i].icacheStats,
+                                evals[i].dcacheStats);
+            const double insns = static_cast<double>(
+                trace.base.stats.instructions);
+            points[i].cpi[idx] = static_cast<double>(cycles) / insns;
+            points[i].missPerInsn[idx] =
+                static_cast<double>(evals[i].icacheStats.misses()) /
+                insns;
+        }
+        ++idx;
+    }
+
+    for (const Point &pt : points) {
+        t.addRow({std::to_string(pt.kb) + "K", fixed(pt.cpi[0], 2),
+                  fixed(pt.cpi[1], 2), fixed(pt.missPerInsn[0], 4),
+                  fixed(pt.missPerInsn[1], 4)});
     }
     t.print(std::cout);
 

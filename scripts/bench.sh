@@ -1,0 +1,86 @@
+#!/bin/sh
+# Performance benchmark: timed d16sweep runs (replay on and off) plus
+# the bench_micro microbenchmarks, emitting one machine-readable
+# measurement entry.
+#
+#   scripts/bench.sh                 smoke matrix (fast)
+#   scripts/bench.sh --full          full experiment matrix
+#   scripts/bench.sh --out FILE      write JSON here
+#                                    (default build/bench_sweep.json)
+#   scripts/bench.sh --label NAME    label recorded in the entry
+#   JOBS=N ...                       worker threads (default nproc)
+#
+# The entry's "sweep" object is the engine's own per-phase accounting
+# (wall clock split into build / simulate / replay, instructions
+# simulated, sim MIPS); "sweepNoReplay" is the same matrix with every
+# job re-simulated, so their wall-clock ratio is the measured replay
+# speedup. Entries in this format are appended to the committed
+# BENCH_sweep.json history. Requires jq.
+#
+# Run from the repository root. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+
+MATRIX=smoke
+OUT=build/bench_sweep.json
+LABEL=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --full) MATRIX=full ;;
+      --out) OUT=$2; shift ;;
+      --label) LABEL=$2; shift ;;
+      *) echo "bench.sh: unknown option $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+[ -n "$LABEL" ] || LABEL="$MATRIX matrix"
+
+SMOKE_FLAG=""
+[ "$MATRIX" = smoke ] && SMOKE_FLAG="--smoke"
+
+echo "== build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target d16sweep bench_micro
+
+echo "== d16sweep: $MATRIX matrix, replay on, $JOBS threads =="
+# shellcheck disable=SC2086  # SMOKE_FLAG is intentionally word-split
+./build/tools/d16sweep $SMOKE_FLAG --jobs "$JOBS" \
+    --json build/bench_replay.json
+
+echo "== d16sweep: $MATRIX matrix, replay off (A/B baseline) =="
+# shellcheck disable=SC2086
+./build/tools/d16sweep $SMOKE_FLAG --jobs "$JOBS" --no-replay \
+    --json build/bench_noreplay.json
+
+echo "== bench_micro =="
+./build/bench/bench_micro --benchmark_format=console \
+    --benchmark_out_format=json --benchmark_out=build/bench_micro.json
+
+jq -n \
+    --arg lbl "$LABEL" \
+    --arg matrix "$MATRIX" \
+    --argjson jobs "$JOBS" \
+    --slurpfile replay build/bench_replay.json \
+    --slurpfile noreplay build/bench_noreplay.json \
+    --slurpfile micro build/bench_micro.json \
+    '{
+        "label": $lbl,
+        "matrix": $matrix,
+        "jobs": $jobs,
+        "sweep": $replay[0].timing,
+        "sweepNoReplay": $noreplay[0].timing,
+        "replaySpeedup": (if $replay[0].timing.wallSeconds > 0
+                          then ($noreplay[0].timing.wallSeconds /
+                                $replay[0].timing.wallSeconds)
+                          else 0 end),
+        "micro": ($micro[0].benchmarks
+                  | map({"key": .name,
+                         "value": {"realTime": .real_time,
+                                   "timeUnit": .time_unit}})
+                  | from_entries)
+     }' > "$OUT"
+
+echo "bench.sh: wrote $OUT"
+jq -r '"bench.sh: \(.label): wall \(.sweep.wallSeconds | . * 100 | round / 100)s with replay (build \(.sweep.buildSeconds | . * 100 | round / 100)s + simulate \(.sweep.simulateSeconds | . * 100 | round / 100)s + replay \(.sweep.replaySeconds | . * 100 | round / 100)s), \(.sweepNoReplay.wallSeconds | . * 100 | round / 100)s without, speedup \(.replaySpeedup * 100 | round / 100)x, \(.sweep.simMips | . * 10 | round / 10) sim MIPS"' "$OUT"

@@ -33,9 +33,14 @@ done
 echo "== d16cfa: static/dynamic cross-validation (smoke matrix) =="
 ./build/tools/d16cfa --smoke --cross-validate --jobs "$JOBS" > /dev/null
 
-echo "== d16sweep: smoke matrix vs golden =="
+echo "== d16sweep: smoke matrix vs golden (trace replay on) =="
 ./build/tools/d16sweep --smoke --jobs "$JOBS" \
     --json build/sweep.json --golden tests/golden/sweep_golden.json
+
+echo "== d16sweep: smoke matrix vs golden, --no-replay (A/B) =="
+./build/tools/d16sweep --smoke --jobs "$JOBS" --no-replay \
+    --json build/sweep_noreplay.json \
+    --golden tests/golden/sweep_golden.json
 
 if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     echo "== sanitizers: ASan + UBSan build =="

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Trace — the recorded reference streams of one simulated execution,
+ * plus the probe that captures them.
+ *
+ * The paper's §4 memory experiments evaluate the *same* execution
+ * under many cache/latency parameterizations; the machine deliberately
+ * does not model memory latency, so those models consume nothing but
+ * the reference streams and the base-cycle statistics. A Trace records
+ * exactly that, once, so every memory configuration can be evaluated
+ * without re-simulating:
+ *
+ *  - the fetch stream, run-length encoded as (startPc, count) runs of
+ *    sequential fetches — a new run starts at every taken-branch
+ *    target, so the run boundaries *are* the taken-branch markers;
+ *  - the data-access stream in program order, each access classed as
+ *    read or write with its byte size (the split I/D cache models of
+ *    §4.1 consume the two streams independently, so no interleaving
+ *    with the fetch stream is needed);
+ *  - the complete RunMeasurement of the capture run (path length,
+ *    interlocks, static sizes, program output), identical to what a
+ *    probe-less run reports, since probes never perturb execution.
+ *
+ * The serialized form is a compact little-endian binary ("D16T"): 8
+ * bytes per fetch run, 5 bytes per data access, with header/trailer
+ * magics and structural cross-checks so truncated or corrupted traces
+ * are rejected rather than replayed.
+ */
+
+#ifndef D16SIM_CORE_REPLAY_TRACE_HH
+#define D16SIM_CORE_REPLAY_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.hh"
+#include "sim/probe.hh"
+
+namespace d16sim::core::replay
+{
+
+/** `count` sequential fetches starting at `startPc` (insnBytes apart). */
+struct FetchRun
+{
+    uint32_t startPc = 0;
+    uint32_t count = 0;
+};
+
+/** One data reference: `size` bytes at `addr`, read or write. */
+struct DataAccess
+{
+    uint32_t addr = 0;
+    uint8_t size = 0;
+    bool write = false;
+};
+
+struct Trace
+{
+    uint32_t insnBytes = 4;  //!< fetch width of the traced machine
+    RunMeasurement base;     //!< the capture run's full measurement
+    std::vector<FetchRun> runs;
+    std::vector<DataAccess> accesses;
+
+    /** Total fetches recorded (== base.stats.instructions). */
+    uint64_t fetchCount() const;
+
+    /** Serialize to the compact binary format. */
+    std::vector<uint8_t> serialize() const;
+
+    /** Parse a serialized trace; FatalError on truncation, bad magic,
+     *  or structural corruption. */
+    static Trace deserialize(const std::vector<uint8_t> &bytes);
+
+    /** File convenience wrappers around (de)serialize. */
+    void writeFile(const std::string &path) const;
+    static Trace readFile(const std::string &path);
+};
+
+/**
+ * High-throughput capture probe. onIFetch folds sequential pcs into
+ * the open run with one compare; data callbacks append fixed-size
+ * records. Attach to one Machine, run to completion, then take() the
+ * trace (with the run's measurement).
+ */
+class TraceProbe : public sim::Probe
+{
+  public:
+    explicit TraceProbe(uint32_t insnBytes) : insnBytes_(insnBytes)
+    {
+        trace_.insnBytes = insnBytes;
+        trace_.runs.reserve(1024);
+        trace_.accesses.reserve(4096);
+    }
+
+    void
+    onIFetch(uint32_t pc) override
+    {
+        if (pc == nextPc_ && !trace_.runs.empty()) {
+            ++trace_.runs.back().count;
+        } else {
+            trace_.runs.push_back({pc, 1});
+        }
+        nextPc_ = pc + insnBytes_;
+    }
+
+    void
+    onDataRead(uint32_t addr, int size) override
+    {
+        trace_.accesses.push_back(
+            {addr, static_cast<uint8_t>(size), false});
+    }
+
+    void
+    onDataWrite(uint32_t addr, int size) override
+    {
+        trace_.accesses.push_back(
+            {addr, static_cast<uint8_t>(size), true});
+    }
+
+    /** Finish capture: attach the run's measurement and move the trace
+     *  out (the probe is spent afterwards). */
+    Trace
+    take(RunMeasurement measurement)
+    {
+        trace_.base = std::move(measurement);
+        return std::move(trace_);
+    }
+
+  private:
+    uint32_t insnBytes_;
+    uint32_t nextPc_ = 0;
+    Trace trace_;
+};
+
+/** Simulate `image` once with a TraceProbe attached and return the
+ *  recorded trace. `predecoded` is forwarded to the machine. */
+Trace capture(const assem::Image &image,
+              std::shared_ptr<const sim::DecodedText> predecoded = nullptr,
+              sim::MachineConfig config = {});
+
+} // namespace d16sim::core::replay
+
+#endif // D16SIM_CORE_REPLAY_TRACE_HH

@@ -1,5 +1,7 @@
 #include "core/sweep/result_store.hh"
 
+#include "core/replay/replay.hh"
+#include "core/replay/trace.hh"
 #include "core/workloads.hh"
 #include "support/error.hh"
 
@@ -98,17 +100,18 @@ executeJob(const JobSpec &spec)
 }
 
 JobResult
-executeJob(const JobSpec &spec, const assem::Image &image)
+executeJob(const JobSpec &spec, const assem::Image &image,
+           std::shared_ptr<const sim::DecodedText> predecoded)
 {
     JobResult r;
     r.probe = spec.probe;
     switch (spec.probe) {
       case ProbeKind::None:
-        r.run = core::run(image);
+        r.run = core::run(image, {}, {}, std::move(predecoded));
         break;
       case ProbeKind::FetchBuffer: {
         FetchBufferProbe fb(spec.busBytes);
-        r.run = core::run(image, {&fb});
+        r.run = core::run(image, {&fb}, {}, std::move(predecoded));
         r.fetch.busBytes = spec.busBytes;
         r.fetch.requests = fb.requests();
         r.fetch.words = fb.words();
@@ -116,7 +119,7 @@ executeJob(const JobSpec &spec, const assem::Image &image)
       }
       case ProbeKind::CacheSim: {
         CacheProbe cp(spec.icache, spec.dcache);
-        r.run = core::run(image, {&cp});
+        r.run = core::run(image, {&cp}, {}, std::move(predecoded));
         r.icacheCfg = spec.icache;
         r.dcacheCfg = spec.dcache;
         r.icache = cp.icache().stats();
@@ -125,13 +128,50 @@ executeJob(const JobSpec &spec, const assem::Image &image)
       }
       case ProbeKind::ImmClass: {
         ImmediateClassProbe ic;
-        r.run = core::run(image, {&ic});
+        r.run = core::run(image, {&ic}, {}, std::move(predecoded));
         r.imm.total = ic.total();
         r.imm.cmpImmediate = ic.cmpImmediate();
         r.imm.aluImmediate = ic.aluImmediate();
         r.imm.memDisplacement = ic.memDisplacement();
         break;
       }
+    }
+    return r;
+}
+
+bool
+replayable(const JobSpec &spec)
+{
+    return spec.probe == ProbeKind::None ||
+           spec.probe == ProbeKind::FetchBuffer ||
+           spec.probe == ProbeKind::CacheSim;
+}
+
+JobResult
+replayJob(const JobSpec &spec, const replay::Trace &trace)
+{
+    panicIf(!replayable(spec), "job kind cannot be replayed");
+    JobResult r;
+    r.probe = spec.probe;
+    r.run = trace.base;
+    switch (spec.probe) {
+      case ProbeKind::None:
+        break;
+      case ProbeKind::FetchBuffer:
+        r.fetch.busBytes = spec.busBytes;
+        r.fetch.requests = replay::replayFetchRequests(trace, spec.busBytes);
+        r.fetch.words = r.fetch.requests * (spec.busBytes / 4);
+        break;
+      case ProbeKind::CacheSim: {
+        r.icacheCfg = spec.icache;
+        r.dcacheCfg = spec.dcache;
+        auto stats = replay::replayCache(trace, spec.icache, spec.dcache);
+        r.icache = stats.first;
+        r.dcache = stats.second;
+        break;
+      }
+      case ProbeKind::ImmClass:
+        break;
     }
     return r;
 }

@@ -21,6 +21,11 @@
 #include "core/toolchain.hh"
 #include "support/json.hh"
 
+namespace d16sim::core::replay
+{
+struct Trace;
+}
+
 namespace d16sim::core::sweep
 {
 
@@ -98,8 +103,23 @@ struct JobResult
 /** Execute one job in the calling thread (building the image itself). */
 JobResult executeJob(const JobSpec &spec);
 
-/** Execute one job against an already-built image. */
-JobResult executeJob(const JobSpec &spec, const assem::Image &image);
+/** Execute one job against an already-built image; `predecoded`
+ *  optionally shares one decode table across the image's runs. */
+JobResult executeJob(const JobSpec &spec, const assem::Image &image,
+                     std::shared_ptr<const sim::DecodedText> predecoded =
+                         nullptr);
+
+/** True when the job's measurement is fully determined by a recorded
+ *  trace of its (workload, variant) execution — no re-simulation
+ *  needed. Base, cache, and fetch-buffer jobs are; the immediate
+ *  classifier is not (it consumes the decoded instruction stream,
+ *  which traces do not record). */
+bool replayable(const JobSpec &spec);
+
+/** Evaluate one replayable job from a recorded trace. The run section
+ *  is the trace's capture measurement; probe sections are computed by
+ *  the replay evaluators — bit-identical to direct simulation. */
+JobResult replayJob(const JobSpec &spec, const replay::Trace &trace);
 
 /**
  * Thread-safe key -> JobResult map. References returned by put()/at()

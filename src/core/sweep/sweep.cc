@@ -9,6 +9,8 @@
 #include <memory>
 #include <thread>
 
+#include "core/replay/replay.hh"
+#include "core/replay/trace.hh"
 #include "core/workloads.hh"
 #include "support/error.hh"
 #include "support/strings.hh"
@@ -175,11 +177,16 @@ SweepTiming::json() const
     j["executedBuilds"] = Json(executedBuilds);
     j["dedupedRuns"] = Json(dedupedRuns);
     j["cachedRuns"] = Json(cachedRuns);
+    j["replayedRuns"] = Json(replayedRuns);
+    j["capturedTraces"] = Json(capturedTraces);
+    j["simulatedInstructions"] = Json(simulatedInstructions);
     j["wallSeconds"] = Json(wallSeconds);
     j["buildSeconds"] = Json(buildSeconds);
-    j["runSeconds"] = Json(runSeconds);
+    j["simulateSeconds"] = Json(simulateSeconds);
+    j["replaySeconds"] = Json(replaySeconds);
     j["busySeconds"] = Json(busySeconds());
     j["speedup"] = Json(speedup());
+    j["simMips"] = Json(simMips());
     return j;
 }
 
@@ -234,29 +241,101 @@ SweepEngine::run()
         for (auto &[bkey, node] : graph) {
             BuildNode *n = &node;
             pool.submit([this, n, &pool, &timingMutex] {
+                // Build once per node: compile+assemble+link, then
+                // predecode the text section for every dependent run.
                 const auto buildStart = Clock::now();
                 auto image = std::make_shared<const assem::Image>(
                     build(workload(n->runs.front().workload).source,
                           n->runs.front().opts));
-                const double dt = secondsSince(buildStart);
+                auto predecoded =
+                    std::make_shared<const sim::DecodedText>(*image);
+                const double bt = secondsSince(buildStart);
                 {
                     std::lock_guard<std::mutex> lock(timingMutex);
                     ++timing_.executedBuilds;
-                    timing_.buildSeconds += dt;
+                    timing_.buildSeconds += bt;
                 }
-                // Release the dependent run jobs; each shares the image.
-                for (const JobSpec &spec : n->runs) {
-                    const JobSpec *s = &spec;
-                    pool.submit([this, s, image, &timingMutex] {
-                        const auto runStart = Clock::now();
-                        JobResult r = executeJob(*s, *image);
-                        const double rt = secondsSince(runStart);
+
+                auto submitDirect = [this, image, predecoded, &pool,
+                                     &timingMutex](const JobSpec *s) {
+                    pool.submit([this, s, image, predecoded,
+                                 &timingMutex] {
+                        const auto simStart = Clock::now();
+                        JobResult r = executeJob(*s, *image, predecoded);
+                        const double st = secondsSince(simStart);
+                        const uint64_t insns = r.run.stats.instructions;
                         store_.put(jobKey(*s), std::move(r));
                         std::lock_guard<std::mutex> lock(timingMutex);
                         ++timing_.executedRuns;
-                        timing_.runSeconds += rt;
+                        timing_.simulateSeconds += st;
+                        timing_.simulatedInstructions += insns;
                     });
+                };
+
+                // Trace-replay is worth a capture when the recorded
+                // streams settle more than one job (the base run rides
+                // along for free) — otherwise simulate directly.
+                const JobSpec *baseSpec = nullptr;
+                int probeReplayable = 0;
+                for (const JobSpec &spec : n->runs) {
+                    if (spec.probe == ProbeKind::None)
+                        baseSpec = &spec;
+                    else if (replayable(spec))
+                        ++probeReplayable;
                 }
+                const bool useTrace =
+                    replay_ && probeReplayable >= 1 &&
+                    (baseSpec != nullptr || probeReplayable >= 2);
+
+                if (!useTrace) {
+                    for (const JobSpec &spec : n->runs)
+                        submitDirect(&spec);
+                    return;
+                }
+
+                // Simulate once under the trace probe; the capture IS
+                // the base job's run. Fan out one cheap replay per
+                // cache/fetch-buffer key; non-replayable jobs (imm
+                // classification) still simulate against the shared
+                // image.
+                pool.submit([this, n, image, predecoded, baseSpec,
+                             submitDirect, &pool, &timingMutex] {
+                    const auto simStart = Clock::now();
+                    auto trace = std::make_shared<const replay::Trace>(
+                        replay::capture(*image, predecoded));
+                    const double st = secondsSince(simStart);
+                    if (baseSpec)
+                        store_.put(jobKey(*baseSpec),
+                                   replayJob(*baseSpec, *trace));
+                    {
+                        std::lock_guard<std::mutex> lock(timingMutex);
+                        ++timing_.capturedTraces;
+                        timing_.simulateSeconds += st;
+                        timing_.simulatedInstructions +=
+                            trace->base.stats.instructions;
+                        if (baseSpec)
+                            ++timing_.executedRuns;
+                    }
+                    for (const JobSpec &spec : n->runs) {
+                        if (spec.probe == ProbeKind::None)
+                            continue;
+                        const JobSpec *s = &spec;
+                        if (!replayable(spec)) {
+                            submitDirect(s);
+                            continue;
+                        }
+                        pool.submit([this, s, trace, &timingMutex] {
+                            const auto replayStart = Clock::now();
+                            JobResult r = replayJob(*s, *trace);
+                            const double rt = secondsSince(replayStart);
+                            store_.put(jobKey(*s), std::move(r));
+                            std::lock_guard<std::mutex> lock(timingMutex);
+                            ++timing_.executedRuns;
+                            ++timing_.replayedRuns;
+                            timing_.replaySeconds += rt;
+                        });
+                    }
+                });
             });
         }
         pool.wait();

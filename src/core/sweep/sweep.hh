@@ -43,24 +43,43 @@ std::vector<std::pair<std::string, mc::CompileOptions>> paperVariants();
  *  optionally with an "/O0".."/O2" suffix); FatalError if unknown. */
 mc::CompileOptions parseVariant(const std::string &key);
 
-/** Whole-sweep accounting. */
+/** Whole-sweep accounting, split by phase (build / simulate / replay)
+ *  so BENCH numbers are attributable: a cache-variant job evaluated
+ *  from a trace books replay time, never build or simulate time. */
 struct SweepTiming
 {
     int threads = 1;
-    int executedRuns = 0;   //!< run jobs simulated this sweep
+    int executedRuns = 0;   //!< jobs evaluated this sweep (sim or replay)
     int executedBuilds = 0; //!< unique images compiled this sweep
     int dedupedRuns = 0;    //!< duplicate specs folded away
     int cachedRuns = 0;     //!< jobs already present in the store
-    double wallSeconds = 0; //!< start of run() to completion
-    double buildSeconds = 0;  //!< sum over build nodes
-    double runSeconds = 0;    //!< sum over run jobs
+    int replayedRuns = 0;   //!< jobs evaluated from a recorded trace
+    int capturedTraces = 0; //!< trace-capture simulations
+    uint64_t simulatedInstructions = 0;  //!< across sims + captures
+    double wallSeconds = 0;  //!< start of run() to completion
+    double buildSeconds = 0; //!< compile+assemble+link, per build node
+    double simulateSeconds = 0;  //!< direct sims + trace captures
+    double replaySeconds = 0;    //!< trace replays
     /** CPU work executed / wall time: the observed parallel speedup
      *  (~= min(threads, width of the job graph) when runs dominate). */
-    double busySeconds() const { return buildSeconds + runSeconds; }
+    double
+    busySeconds() const
+    {
+        return buildSeconds + simulateSeconds + replaySeconds;
+    }
     double
     speedup() const
     {
         return wallSeconds > 0 ? busySeconds() / wallSeconds : 0.0;
+    }
+    /** Simulation throughput in millions of instructions per second. */
+    double
+    simMips() const
+    {
+        return simulateSeconds > 0
+                   ? static_cast<double>(simulatedInstructions) /
+                         simulateSeconds / 1e6
+                   : 0.0;
     }
     Json json() const;
 };
@@ -79,6 +98,17 @@ class SweepEngine
     void add(JobSpec spec);
     void add(std::vector<JobSpec> specs);
 
+    /**
+     * Trace-replay mode (default on): a build node with more than one
+     * replayable job simulates its image once under a TraceProbe and
+     * evaluates the cache/fetch-buffer variants from the recorded
+     * streams. Results are bit-identical either way (the golden gate
+     * runs both); off re-simulates every job as a correctness
+     * cross-check and for A/B timing.
+     */
+    void setReplay(bool enabled) { replay_ = enabled; }
+    bool replayEnabled() const { return replay_; }
+
     /** Execute everything added since the last run(); blocks. */
     void run();
 
@@ -87,6 +117,7 @@ class SweepEngine
   private:
     ResultStore &store_;
     int threads_;
+    bool replay_ = true;
     std::vector<JobSpec> pending_;
     SweepTiming timing_;
 };

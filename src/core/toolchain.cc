@@ -33,9 +33,10 @@ build(std::string_view source, const mc::CompileOptions &opts)
 
 RunMeasurement
 run(const assem::Image &image, std::vector<sim::Probe *> probes,
-    sim::MachineConfig config)
+    sim::MachineConfig config,
+    std::shared_ptr<const sim::DecodedText> predecoded)
 {
-    sim::Machine machine(image, config);
+    sim::Machine machine(image, config, std::move(predecoded));
     for (sim::Probe *p : probes) {
         if (auto *cp = dynamic_cast<CacheProbe *>(p))
             cp->setInsnBytes(image.target->insnBytes());

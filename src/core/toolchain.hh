@@ -164,10 +164,14 @@ struct RunMeasurement
     uint32_t textInsns = 0;   //!< static instruction count
 };
 
-/** Run to completion with optional probes (not owned). */
+/** Run to completion with optional probes (not owned). `predecoded`
+ *  optionally shares one decode table across runs of the same image
+ *  (see sim::DecodedText). */
 RunMeasurement run(const assem::Image &image,
                    std::vector<sim::Probe *> probes = {},
-                   sim::MachineConfig config = {});
+                   sim::MachineConfig config = {},
+                   std::shared_ptr<const sim::DecodedText> predecoded =
+                       nullptr);
 
 /** Convenience: build + run. */
 RunMeasurement buildAndRun(std::string_view source,

@@ -20,6 +20,13 @@ Cache::Cache(CacheConfig config) : config_(config)
     numSets_ = c.sizeBytes / (c.blockBytes * c.assoc);
     subPerBlock_ = c.blockBytes / c.subBlockBytes;
     wordsPerSub_ = c.subBlockBytes / 4;
+    panicIf(!isPowerOfTwo(numSets_),
+            "set count must be a power of two");
+    blockShift_ = floorLog2(c.blockBytes);
+    subShift_ = floorLog2(c.subBlockBytes);
+    setShift_ = floorLog2(numSets_);
+    setMask_ = numSets_ - 1;
+    blockMask_ = c.blockBytes - 1;
     frames_.resize(numSets_ * c.assoc);
     for (Frame &f : frames_) {
         f.valid.assign(subPerBlock_, false);
@@ -61,8 +68,8 @@ Cache::access(uint32_t addr, int size, bool isWrite)
 {
     panicIf(size <= 0 || static_cast<uint32_t>(size) > config_.subBlockBytes,
             "access size ", size, " exceeds sub-block");
-    panicIf((addr / config_.subBlockBytes) !=
-                ((addr + size - 1) / config_.subBlockBytes),
+    panicIf((addr >> subShift_) !=
+                ((addr + static_cast<uint32_t>(size) - 1) >> subShift_),
             "access spans a sub-block boundary");
 
     if (isWrite)
@@ -70,10 +77,10 @@ Cache::access(uint32_t addr, int size, bool isWrite)
     else
         stats_.reads += 1;
 
-    const uint32_t blockAddr = addr / config_.blockBytes;
-    const uint32_t set = blockAddr % numSets_;
-    const uint32_t tag = blockAddr / numSets_;
-    const uint32_t sub = (addr % config_.blockBytes) / config_.subBlockBytes;
+    const uint32_t blockAddr = addr >> blockShift_;
+    const uint32_t set = blockAddr & setMask_;
+    const uint32_t tag = blockAddr >> setShift_;
+    const uint32_t sub = (addr & blockMask_) >> subShift_;
 
     // Look for the tag in the set.
     Frame *hitFrame = nullptr;
@@ -149,6 +156,46 @@ Cache::access(uint32_t addr, int size, bool isWrite)
             stats_.wordsOut += (size + 3) / 4;
     }
     return false;
+}
+
+void
+Cache::readSeq(uint32_t addr, int size, uint32_t count)
+{
+    const uint32_t stride = static_cast<uint32_t>(size);
+    while (count) {
+        // References left in this sub-block: the stride equals the
+        // access size, so the i-th reference lands at addr + i*size.
+        uint32_t k =
+            (config_.subBlockBytes - (addr & (config_.subBlockBytes - 1))) /
+            stride;
+        if (k == 0)
+            k = 1;  // let access() report the span violation
+        if (k > count)
+            k = count;
+        access(addr, size, false);
+        if (k > 1) {
+            // The sub-block is resident now (a read miss demand-fills
+            // it) and nothing intervenes, so the next k-1 reads are
+            // guaranteed full hits; fold their counter updates.
+            const uint32_t blockAddr = addr >> blockShift_;
+            const uint32_t set = blockAddr & setMask_;
+            const uint32_t tag = blockAddr >> setShift_;
+            Frame *frame = nullptr;
+            for (uint32_t w = 0; w < config_.assoc; ++w) {
+                Frame &f = frames_[set * config_.assoc + w];
+                if (f.anyValid && f.tag == tag) {
+                    frame = &f;
+                    break;
+                }
+            }
+            panicIf(!frame, "readSeq lost the frame it just filled");
+            stats_.reads += k - 1;
+            useClock_ += k - 1;
+            frame->lastUse = useClock_;
+        }
+        addr += k * stride;
+        count -= k;
+    }
 }
 
 void

@@ -93,6 +93,16 @@ class Cache
     /** Write access convenience. */
     bool write(uint32_t addr, int size) { return access(addr, size, true); }
 
+    /**
+     * `count` sequential reads of `size` bytes each, starting at
+     * `addr` and advancing by `size` — exactly equivalent to calling
+     * read() `count` times, but references after the first to one
+     * sub-block are folded into the counters (they are guaranteed
+     * hits: nothing can evict the sub-block between them). This is the
+     * trace-replay fast path for instruction streams.
+     */
+    void readSeq(uint32_t addr, int size, uint32_t count);
+
     /** Flush: write back all dirty sub-blocks and invalidate. */
     void flush();
 
@@ -119,6 +129,16 @@ class Cache
     uint32_t numSets_ = 0;
     uint32_t subPerBlock_ = 0;
     uint32_t wordsPerSub_ = 0;
+
+    // Shift/mask forms of the geometry divisors. Every dimension is a
+    // power of two (asserted in the constructor), so set indexing and
+    // sub-block selection are single-cycle bit operations on the
+    // access hot path.
+    uint32_t blockShift_ = 0;  //!< log2(blockBytes)
+    uint32_t subShift_ = 0;    //!< log2(subBlockBytes)
+    uint32_t setShift_ = 0;    //!< log2(numSets)
+    uint32_t setMask_ = 0;     //!< numSets - 1
+    uint32_t blockMask_ = 0;   //!< blockBytes - 1
     uint64_t useClock_ = 0;
     std::vector<Frame> frames_;  //!< numSets x assoc
     CacheStats stats_;

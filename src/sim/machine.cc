@@ -1,5 +1,6 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
@@ -45,7 +46,8 @@ fromDouble(double d)
 
 } // namespace
 
-Machine::Machine(const assem::Image &image, MachineConfig config)
+Machine::Machine(const assem::Image &image, MachineConfig config,
+                 std::shared_ptr<const DecodedText> predecoded)
     : target_(image.target),
       config_(config),
       memory_(config.memBytes)
@@ -55,8 +57,11 @@ Machine::Machine(const assem::Image &image, MachineConfig config)
     pc_ = image.entry;
     textBase_ = image.textBase;
     textEnd_ = image.textBase + image.textSize;
-    dcache_.resize((textEnd_ - textBase_) / target_->insnBytes() + 1);
-    dcacheValid_.assign(dcache_.size(), 0);
+    text_ = predecoded ? std::move(predecoded)
+                       : std::make_shared<const DecodedText>(image);
+    panicIf(text_->base() != textBase_,
+            "predecoded table does not match image");
+    limitCheckAt_ = std::min(config_.maxInstructions, LimitCheckInterval);
 
     // ABI environment the startup stub would otherwise establish:
     // stack at the top of memory, gp at the data segment, return into
@@ -83,17 +88,20 @@ Machine::fregD(int r) const
 const DecodedInst &
 Machine::decoded(uint32_t pc)
 {
+    // Hot path: one shift, one bounds check, one table load. A pc
+    // below textBase_ wraps to a huge index and lands in the slow path.
+    const uint32_t idx = (pc - textBase_) >> text_->insnShift();
+    if (idx < text_->size() && text_->valid(idx))
+        return text_->at(idx);
+
     if (pc < textBase_ || pc >= textEnd_)
         fatal("pc ", hexString(pc), " outside text section");
-    const uint32_t idx = (pc - textBase_) / target_->insnBytes();
-    if (!dcacheValid_[idx]) {
-        const uint32_t word = target_->insnBytes() == 2
-                                  ? memory_.read16(pc)
-                                  : memory_.read32(pc);
-        dcache_[idx] = isa::decode(*target_, word);
-        dcacheValid_[idx] = 1;
-    }
-    return dcache_[idx];
+    // Executing a word that is not an emitted instruction (in-text pool
+    // data): decode the raw memory word as before the predecode table.
+    const uint32_t word = target_->insnBytes() == 2 ? memory_.read16(pc)
+                                                    : memory_.read32(pc);
+    scratch_ = isa::decode(*target_, word);
+    return scratch_;
 }
 
 void
@@ -169,14 +177,20 @@ Machine::step()
         exitStatus_ = static_cast<int>(gpr_[2]);
         return false;
     }
-    if (stats_.instructions >= config_.maxInstructions)
-        fatal("instruction limit exceeded (runaway program?)");
+    if (stats_.instructions >= limitCheckAt_) {
+        if (stats_.instructions >= config_.maxInstructions)
+            fatal("instruction limit exceeded (runaway program?)");
+        limitCheckAt_ = std::min(config_.maxInstructions,
+                                 stats_.instructions + LimitCheckInterval);
+    }
 
     const DecodedInst &inst = decoded(pc_);
-    for (Probe *p : probes_)
-        p->onIFetch(pc_);
-    for (Probe *p : probes_)
-        p->onExec(inst, pc_);
+    if (!probes_.empty()) {
+        for (Probe *p : probes_)
+            p->onIFetch(pc_);
+        for (Probe *p : probes_)
+            p->onExec(inst, pc_);
+    }
 
     stats_.instructions += 1;
     stallThisInsn_ = 0;
@@ -211,13 +225,15 @@ Machine::execute(const DecodedInst &inst)
 
     auto dataRead = [&](uint32_t addr, int size) {
         stats_.loads += 1;
-        for (Probe *p : probes_)
-            p->onDataRead(addr, size);
+        if (!probes_.empty())
+            for (Probe *p : probes_)
+                p->onDataRead(addr, size);
     };
     auto dataWrite = [&](uint32_t addr, int size) {
         stats_.stores += 1;
-        for (Probe *p : probes_)
-            p->onDataWrite(addr, size);
+        if (!probes_.empty())
+            for (Probe *p : probes_)
+                p->onDataWrite(addr, size);
     };
 
     switch (op) {

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "isa/decoded.hh"
 #include "isa/target.hh"
 #include "mem/memory.hh"
+#include "sim/predecode.hh"
 #include "sim/probe.hh"
 #include "sim/stats.hh"
 
@@ -65,7 +67,12 @@ struct MachineConfig
 class Machine
 {
   public:
-    Machine(const assem::Image &image, MachineConfig config = {});
+    /** `predecoded` is an optional shared decode table for the image's
+     *  text section (see DecodedText); when null the machine builds a
+     *  private one. Passing the same table to many machines amortizes
+     *  decoding across runs of one image. */
+    Machine(const assem::Image &image, MachineConfig config = {},
+            std::shared_ptr<const DecodedText> predecoded = nullptr);
 
     /** Attach an observation probe (not owned). */
     void addProbe(Probe *p) { probes_.push_back(p); }
@@ -126,11 +133,18 @@ class Machine
     std::array<uint64_t, 32> fprReady_{};
     uint64_t statusReady_ = 0;
 
-    // Decoded-instruction cache over the text section.
+    // Immutable predecoded text section (shared or privately built).
     uint32_t textBase_ = 0;
     uint32_t textEnd_ = 0;
-    std::vector<isa::DecodedInst> dcache_;
-    std::vector<uint8_t> dcacheValid_;
+    std::shared_ptr<const DecodedText> text_;
+    isa::DecodedInst scratch_;  //!< decode target for non-site words
+
+    // The runaway guard is re-armed every LimitCheckInterval
+    // instructions instead of comparing against maxInstructions in the
+    // hot loop; limitCheckAt_ never exceeds maxInstructions, so the
+    // limit still fires exactly.
+    static constexpr uint64_t LimitCheckInterval = 4096;
+    uint64_t limitCheckAt_ = 0;
 
     uint32_t heapPtr_ = 0;
 

@@ -1,0 +1,37 @@
+#include "sim/predecode.hh"
+
+#include "isa/codec.hh"
+#include "support/error.hh"
+
+namespace d16sim::sim
+{
+
+DecodedText::DecodedText(const assem::Image &image)
+{
+    panicIf(!image.target, "image has no target");
+    const isa::TargetInfo &target = *image.target;
+    const uint32_t ib = static_cast<uint32_t>(target.insnBytes());
+    base_ = image.textBase;
+    shift_ = ib == 2 ? 1 : 2;
+
+    const uint32_t slots = (image.textSize + ib - 1) >> shift_;
+    insts_.resize(slots);
+    valid_.assign(slots, 0);
+
+    for (const assem::InsnSite &site : image.insnSites) {
+        const uint32_t off = site.addr - image.textBase;
+        panicIf(off + ib > image.bytes.size(),
+                "instruction site outside image bytes");
+        uint32_t word = static_cast<uint32_t>(image.bytes[off]) |
+                        (static_cast<uint32_t>(image.bytes[off + 1]) << 8);
+        if (ib == 4) {
+            word |= (static_cast<uint32_t>(image.bytes[off + 2]) << 16) |
+                    (static_cast<uint32_t>(image.bytes[off + 3]) << 24);
+        }
+        const uint32_t idx = off >> shift_;
+        insts_[idx] = isa::decode(target, word);
+        valid_[idx] = 1;
+    }
+}
+
+} // namespace d16sim::sim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DecodedText — an immutable predecoded view of an image's text
+ * section.
+ *
+ * The table is built once per image (every InsnSite decoded eagerly)
+ * and can be shared, read-only, by any number of Machines across
+ * threads; the sweep engine builds one per build node so the dozens of
+ * runs that share an image never re-decode it. Slots that hold no
+ * emitted instruction (in-text constant pools, padding) stay invalid;
+ * a machine that reaches one falls back to decoding the raw memory
+ * word, preserving the exact pre-table behaviour for stray control
+ * flow.
+ */
+
+#ifndef D16SIM_SIM_PREDECODE_HH
+#define D16SIM_SIM_PREDECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/image.hh"
+#include "isa/decoded.hh"
+
+namespace d16sim::sim
+{
+
+class DecodedText
+{
+  public:
+    explicit DecodedText(const assem::Image &image);
+
+    uint32_t base() const { return base_; }
+
+    /** log2(insnBytes): pc -> slot is (pc - base()) >> insnShift(). */
+    unsigned insnShift() const { return shift_; }
+
+    /** Number of slots (text bytes / instruction width). */
+    uint32_t size() const { return static_cast<uint32_t>(insts_.size()); }
+
+    /** True when the slot holds a decoded instruction (not pool data). */
+    bool valid(uint32_t idx) const { return valid_[idx] != 0; }
+
+    const isa::DecodedInst &at(uint32_t idx) const { return insts_[idx]; }
+
+  private:
+    uint32_t base_ = 0;
+    unsigned shift_ = 2;
+    std::vector<isa::DecodedInst> insts_;
+    std::vector<uint8_t> valid_;
+};
+
+} // namespace d16sim::sim
+
+#endif // D16SIM_SIM_PREDECODE_HH

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Trace-replay tests: replay-vs-direct equivalence over the smoke
+ * matrix (exact CacheStats and CPI for every cache variant), binary
+ * round-trip of the D16T format, and the truncated/corrupt-trace
+ * error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/replay/replay.hh"
+#include "core/replay/trace.hh"
+#include "core/sweep/sweep.hh"
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using namespace d16sim::core;
+using mc::CompileOptions;
+using replay::Trace;
+
+/** A small program with loops (taken branches), loads and stores of
+ *  several sizes — enough structure to exercise every trace record. */
+constexpr const char *kProgram = R"(
+int sums[8];
+char bytes[16];
+
+int main() {
+    int i;
+    int j;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 16; i = i + 1)
+        bytes[i] = i * 3;
+    for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 16; j = j + 1)
+            acc = acc + bytes[j];
+        sums[i] = acc;
+    }
+    print_int(acc);
+    return 0;
+}
+)";
+
+Trace
+captureProgram(const CompileOptions &opts)
+{
+    const assem::Image image = build(kProgram, opts);
+    return replay::capture(image);
+}
+
+// ----- capture basics -------------------------------------------------
+
+TEST(TraceCapture, StreamsCrossCheckWithMeasurement)
+{
+    for (const CompileOptions &opts :
+         {CompileOptions::d16(), CompileOptions::dlxe()}) {
+        const Trace t = captureProgram(opts);
+        EXPECT_EQ(t.insnBytes,
+                  static_cast<uint32_t>(opts.target().insnBytes()));
+        // Every executed instruction is one recorded fetch...
+        EXPECT_EQ(t.fetchCount(), t.base.stats.instructions);
+        // ...and every load/store is one recorded data access.
+        EXPECT_EQ(t.accesses.size(), t.base.stats.memOps());
+        // Run-length encoding only breaks at taken branches, so the
+        // run count is bounded by taken branches + 1.
+        EXPECT_LE(t.runs.size(), t.base.stats.takenBranches + 1);
+        EXPECT_GT(t.runs.size(), 1u);
+    }
+}
+
+TEST(TraceCapture, MeasurementMatchesProbelessRun)
+{
+    // Probes never perturb execution: the capture run's measurement is
+    // identical to a probe-less run of the same image.
+    const assem::Image image = build(kProgram, CompileOptions::d16());
+    const RunMeasurement direct = run(image);
+    const Trace t = replay::capture(image);
+    EXPECT_EQ(t.base.output, direct.output);
+    EXPECT_EQ(t.base.exitStatus, direct.exitStatus);
+    EXPECT_EQ(t.base.stats.instructions, direct.stats.instructions);
+    EXPECT_EQ(t.base.stats.baseCycles(), direct.stats.baseCycles());
+    EXPECT_EQ(t.base.stats.memOps(), direct.stats.memOps());
+}
+
+// ----- replay equivalence ---------------------------------------------
+
+/** Feed the trace through a live-simulation CacheProbe equivalent and
+ *  through the replay evaluator; both must agree bit-for-bit. */
+void
+expectCacheEquivalence(const assem::Image &image, const Trace &trace,
+                       const mem::CacheConfig &icfg,
+                       const mem::CacheConfig &dcfg)
+{
+    CacheProbe probe(icfg, dcfg);
+    probe.setInsnBytes(static_cast<int>(trace.insnBytes));
+    run(image, {&probe});
+
+    const auto [istats, dstats] = replay::replayCache(trace, icfg, dcfg);
+
+    const mem::CacheStats &di = probe.icache().stats();
+    const mem::CacheStats &dd = probe.dcache().stats();
+    EXPECT_EQ(istats.reads, di.reads);
+    EXPECT_EQ(istats.readMisses, di.readMisses);
+    EXPECT_EQ(istats.wordsIn, di.wordsIn);
+    EXPECT_EQ(istats.wordsOut, di.wordsOut);
+    EXPECT_EQ(dstats.reads, dd.reads);
+    EXPECT_EQ(dstats.writes, dd.writes);
+    EXPECT_EQ(dstats.readMisses, dd.readMisses);
+    EXPECT_EQ(dstats.writeMisses, dd.writeMisses);
+    EXPECT_EQ(dstats.wordsIn, dd.wordsIn);
+    EXPECT_EQ(dstats.wordsOut, dd.wordsOut);
+}
+
+TEST(Replay, CacheStatsMatchDirectSimulation)
+{
+    for (const CompileOptions &opts :
+         {CompileOptions::d16(), CompileOptions::dlxe()}) {
+        const assem::Image image = build(kProgram, opts);
+        const Trace trace = replay::capture(image);
+        // Tiny caches force conflict misses and write-backs.
+        for (uint32_t size : {256u, 1024u}) {
+            mem::CacheConfig cfg;
+            cfg.sizeBytes = size;
+            cfg.blockBytes = 16;
+            cfg.subBlockBytes = 8;
+            expectCacheEquivalence(image, trace, cfg, cfg);
+        }
+    }
+}
+
+TEST(Replay, FetchRequestsMatchDirectSimulation)
+{
+    const assem::Image image = build(kProgram, CompileOptions::d16());
+    const Trace trace = replay::capture(image);
+    for (uint32_t bus : {4u, 8u}) {
+        FetchBufferProbe probe(bus);
+        run(image, {&probe});
+        EXPECT_EQ(replay::replayFetchRequests(trace, bus),
+                  probe.requests())
+            << "bus " << bus;
+    }
+}
+
+TEST(Replay, SinglePassMatchesIndependentPasses)
+{
+    const assem::Image image = build(kProgram, CompileOptions::d16());
+    const Trace trace = replay::capture(image);
+
+    std::vector<replay::CacheEval> evals(3);
+    for (size_t i = 0; i < evals.size(); ++i) {
+        evals[i].icache.sizeBytes = 256u << i;
+        evals[i].icache.blockBytes = 16;
+        evals[i].dcache = evals[i].icache;
+    }
+    replay::replayCaches(trace, evals);
+
+    for (const replay::CacheEval &e : evals) {
+        const auto [istats, dstats] =
+            replay::replayCache(trace, e.icache, e.dcache);
+        EXPECT_EQ(e.icacheStats.misses(), istats.misses());
+        EXPECT_EQ(e.icacheStats.wordsTransferred(),
+                  istats.wordsTransferred());
+        EXPECT_EQ(e.dcacheStats.misses(), dstats.misses());
+        EXPECT_EQ(e.dcacheStats.wordsTransferred(),
+                  dstats.wordsTransferred());
+    }
+}
+
+TEST(Replay, SmokeMatrixJobsMatchDirectExecution)
+{
+    // The acceptance check behind the golden gate: every replayable
+    // job of the golden-regression matrix evaluates from a trace to a
+    // result bit-identical to direct simulation — same canonical JSON,
+    // same CacheStats, same CPI.
+    std::map<std::string, std::vector<sweep::JobSpec>> groups;
+    for (sweep::JobSpec &j : sweep::smokeMatrix()) {
+        if (j.probe == sweep::ProbeKind::None ||
+            !sweep::replayable(j)) {
+            continue;
+        }
+        groups[sweep::buildKey(j)].push_back(std::move(j));
+    }
+    ASSERT_FALSE(groups.empty());
+
+    int checked = 0;
+    for (const auto &[key, specs] : groups) {
+        const assem::Image image =
+            build(workload(specs.front().workload).source,
+                  specs.front().opts);
+        const Trace trace = replay::capture(image);
+        for (const sweep::JobSpec &spec : specs) {
+            const sweep::JobResult direct =
+                sweep::executeJob(spec, image);
+            const sweep::JobResult replayed =
+                sweep::replayJob(spec, trace);
+            // Canonical JSON covers the run measurement and every
+            // probe metric the sweep document publishes.
+            EXPECT_EQ(replayed.json().dump(), direct.json().dump())
+                << sweep::jobKey(spec);
+            if (spec.probe == sweep::ProbeKind::CacheSim) {
+                // CPI from the §4.1 formula must agree exactly too.
+                for (int penalty : {8, 16}) {
+                    EXPECT_EQ(
+                        cyclesWithCache(replayed.run.stats, penalty,
+                                        replayed.icache,
+                                        replayed.dcache),
+                        cyclesWithCache(direct.run.stats, penalty,
+                                        direct.icache, direct.dcache))
+                        << sweep::jobKey(spec);
+                }
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GE(checked, 4);
+}
+
+// ----- binary round-trip ----------------------------------------------
+
+TEST(TraceFormat, SerializeDeserializeRoundTripsByteExactly)
+{
+    for (const CompileOptions &opts :
+         {CompileOptions::d16(), CompileOptions::dlxe()}) {
+        const Trace t = captureProgram(opts);
+        const std::vector<uint8_t> bytes = t.serialize();
+        const Trace back = Trace::deserialize(bytes);
+
+        EXPECT_EQ(back.insnBytes, t.insnBytes);
+        ASSERT_EQ(back.runs.size(), t.runs.size());
+        ASSERT_EQ(back.accesses.size(), t.accesses.size());
+        EXPECT_EQ(back.fetchCount(), t.fetchCount());
+        // Re-serializing the parsed trace reproduces the bytes.
+        EXPECT_EQ(back.serialize(), bytes);
+    }
+}
+
+TEST(TraceFormat, FileRoundTrip)
+{
+    const Trace t = captureProgram(CompileOptions::d16());
+    const std::string path = ::testing::TempDir() + "replay_test.d16t";
+    t.writeFile(path);
+    const Trace back = Trace::readFile(path);
+    EXPECT_EQ(back.serialize(), t.serialize());
+    std::remove(path.c_str());
+}
+
+// ----- error paths ----------------------------------------------------
+
+TEST(TraceFormat, RejectsTruncatedTrace)
+{
+    std::vector<uint8_t> bytes =
+        captureProgram(CompileOptions::d16()).serialize();
+    // Chop anywhere: header, mid-stream, or just the trailer.
+    for (size_t keep : {size_t{0}, size_t{3}, bytes.size() / 2,
+                        bytes.size() - 1}) {
+        std::vector<uint8_t> cut(bytes.begin(),
+                                 bytes.begin() +
+                                     static_cast<long>(keep));
+        EXPECT_THROW(Trace::deserialize(cut), FatalError)
+            << "kept " << keep << " bytes";
+    }
+    // Trailing garbage is also structural corruption.
+    std::vector<uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_THROW(Trace::deserialize(padded), FatalError);
+}
+
+TEST(TraceFormat, RejectsCorruptedTrace)
+{
+    const std::vector<uint8_t> good =
+        captureProgram(CompileOptions::d16()).serialize();
+
+    {
+        std::vector<uint8_t> bad = good;
+        bad[0] ^= 0xff;  // header magic
+        EXPECT_THROW(Trace::deserialize(bad), FatalError);
+    }
+    {
+        std::vector<uint8_t> bad = good;
+        bad[4] = 99;  // unsupported version
+        EXPECT_THROW(Trace::deserialize(bad), FatalError);
+    }
+    {
+        std::vector<uint8_t> bad = good;
+        bad[bad.size() - 1] ^= 0xff;  // trailer magic
+        EXPECT_THROW(Trace::deserialize(bad), FatalError);
+    }
+}
+
+} // namespace

@@ -12,6 +12,8 @@
  *   d16sweep --variants D16,DLXe/32/3      filter by variant key
  *   d16sweep --json sweep.json             write the document (- = stdout)
  *   d16sweep --no-timing                   byte-comparable output only
+ *   d16sweep --no-replay                   re-simulate every job (A/B
+ *                                          check of the trace-replay path)
  *   d16sweep --golden FILE                 compare against a golden file
  *   d16sweep --list                        print the selected job keys
  *
@@ -55,6 +57,7 @@ struct Args
         std::max(1u, std::thread::hardware_concurrency()));
     bool smoke = false;
     bool timing = true;
+    bool replay = true;
     bool list = false;
     std::vector<std::string> workloads;  //!< empty = all
     std::vector<std::string> variants;   //!< empty = all
@@ -100,7 +103,8 @@ main(int argc, char **argv)
     cli::Cli parser("d16sweep",
                     "[--jobs N] [--smoke] [--workloads a,b,...]\n"
                     "       [--variants D16,DLXe/32/3,...] [--json FILE|-]\n"
-                    "       [--no-timing] [--golden FILE] [--list]");
+                    "       [--no-timing] [--no-replay] [--golden FILE]\n"
+                    "       [--list]");
     parser.value("--jobs", [&](const std::string &v) {
         args.jobs = std::max(1, std::atoi(v.c_str()));
         return true;
@@ -116,6 +120,7 @@ main(int argc, char **argv)
     });
     parser.stringValue("--json", &args.jsonPath);
     parser.flag("--no-timing", [&] { args.timing = false; });
+    parser.flag("--no-replay", [&] { args.replay = false; });
     parser.stringValue("--golden", &args.goldenPath);
     parser.flag("--list", &args.list);
     switch (parser.parse(argc, argv)) {
@@ -138,18 +143,24 @@ main(int argc, char **argv)
 
         sweep::ResultStore store;
         sweep::SweepEngine engine(store, args.jobs);
+        engine.setReplay(args.replay);
         engine.add(std::move(jobs));
         engine.run();
 
         const sweep::SweepTiming &t = engine.timing();
         std::fprintf(stderr,
-                     "d16sweep: %d runs (%d builds, %d deduped) on %d "
-                     "threads\n"
+                     "d16sweep: %d runs (%d builds, %d deduped, %d "
+                     "replayed from %d traces) on %d threads\n"
                      "d16sweep: wall %.2fs, busy %.2fs (build %.2fs + "
-                     "run %.2fs), speedup %.2fx\n",
+                     "simulate %.2fs + replay %.2fs), speedup %.2fx\n"
+                     "d16sweep: %llu instructions simulated, %.1f MIPS\n",
                      t.executedRuns, t.executedBuilds, t.dedupedRuns,
-                     t.threads, t.wallSeconds, t.busySeconds(),
-                     t.buildSeconds, t.runSeconds, t.speedup());
+                     t.replayedRuns, t.capturedTraces, t.threads,
+                     t.wallSeconds, t.busySeconds(), t.buildSeconds,
+                     t.simulateSeconds, t.replaySeconds, t.speedup(),
+                     static_cast<unsigned long long>(
+                         t.simulatedInstructions),
+                     t.simMips());
 
         const Json doc =
             sweep::sweepJson(store, args.timing ? &t : nullptr);
