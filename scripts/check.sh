@@ -42,6 +42,9 @@ echo "== d16sweep: smoke matrix vs golden, --no-replay (A/B) =="
     --json build/sweep_noreplay.json \
     --golden tests/golden/sweep_golden.json
 
+echo "== d16fuzz: corpus replay + 200-seed differential fuzz =="
+./build/tools/d16fuzz --corpus tests/corpus --seeds 200 --jobs "$JOBS"
+
 if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     echo "== sanitizers: ASan + UBSan build =="
     cmake -B build-asan -S . -DD16SIM_SANITIZE=ON >/dev/null
@@ -49,6 +52,10 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
 
     echo "== sanitizers: tests =="
     ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+
+    echo "== sanitizers: d16fuzz corpus replay + 50-seed fuzz =="
+    ./build-asan/tools/d16fuzz --corpus tests/corpus --seeds 50 \
+        --jobs "$JOBS"
 fi
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,141 @@
+#include "fuzz/fuzz.hh"
+
+#include <array>
+
+#include "core/toolchain.hh"
+#include "oracle/interp.hh"
+#include "support/error.hh"
+
+namespace d16sim::fuzz
+{
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    mc::CompileOptions opts;
+};
+
+std::array<Variant, 5>
+variants()
+{
+    return {{
+        {"D16", mc::CompileOptions::d16()},
+        {"DLXe/16/2", mc::CompileOptions::dlxe(16, false)},
+        {"DLXe/16/3", mc::CompileOptions::dlxe(16, true)},
+        {"DLXe/32/2", mc::CompileOptions::dlxe(32, false)},
+        {"DLXe/32/3", mc::CompileOptions::dlxe(32, true)},
+    }};
+}
+
+bool
+isInstructionLimit(const std::string &msg)
+{
+    return msg.find("instruction limit") != std::string::npos;
+}
+
+std::string
+excerpt(const std::string &s)
+{
+    if (s.size() <= 160)
+        return s;
+    return s.substr(0, 160) + "...";
+}
+
+} // namespace
+
+DiffOutcome
+runDifferential(const std::string &source)
+{
+    DiffOutcome out;
+
+    // The oracle runs first: a program that traps or blows a budget
+    // has no pinned meaning, so it is discarded without ever building
+    // (CSmith-style discard of undefined candidates).
+    oracle::RunResult ref;
+    try {
+        oracle::Limits lim;
+        lim.maxSteps = 20'000'000;
+        ref = oracle::interpretSource(source, lim);
+    } catch (const FatalError &e) {
+        // The front end (parse + sema) is shared with the compiler: a
+        // rejection means the program is simply invalid, not that the
+        // toolchain diverged.  Skip keeps the minimizer from shrinking
+        // reproducers into syntax errors.
+        out.kind = DiffKind::Skip;
+        out.detail = std::string("front end rejected program: ") +
+                     e.what();
+        return out;
+    }
+    if (ref.outcome != oracle::Outcome::Exit) {
+        out.kind = DiffKind::Skip;
+        out.detail = ref.reason;
+        return out;
+    }
+
+    for (const Variant &v : variants()) {
+        for (int opt = 0; opt <= 2; ++opt) {
+            mc::CompileOptions opts = v.opts;
+            opts.optLevel = opt;
+            const std::string where =
+                std::string(v.name) + " -O" + std::to_string(opt);
+
+            core::RunMeasurement run;
+            try {
+                run = core::buildAndRun(source, opts);
+            } catch (const PanicError &e) {
+                out.kind = DiffKind::Divergence;
+                out.variant = v.name;
+                out.optLevel = opt;
+                out.detail = where + " hit an internal error: " +
+                             e.what();
+                return out;
+            } catch (const FatalError &e) {
+                if (isInstructionLimit(e.what())) {
+                    // The oracle's step budget and the simulator's
+                    // instruction budget are incomparable; give the
+                    // program the benefit of the doubt.
+                    out.kind = DiffKind::Skip;
+                    out.detail = where + ": " + e.what();
+                    return out;
+                }
+                out.kind = DiffKind::Divergence;
+                out.variant = v.name;
+                out.optLevel = opt;
+                out.detail = where + " failed: " + e.what();
+                return out;
+            }
+
+            if (run.output != ref.output ||
+                run.exitStatus != ref.exitStatus) {
+                out.kind = DiffKind::Divergence;
+                out.variant = v.name;
+                out.optLevel = opt;
+                out.detail =
+                    where + " diverged from the oracle\n  oracle: [" +
+                    excerpt(ref.output) + "] exit " +
+                    std::to_string(ref.exitStatus) + "\n  " + where +
+                    ": [" + excerpt(run.output) + "] exit " +
+                    std::to_string(run.exitStatus);
+                return out;
+            }
+        }
+    }
+
+    out.kind = DiffKind::Agree;
+    return out;
+}
+
+bool
+divergenceReproduces(const std::string &source)
+{
+    try {
+        return runDifferential(source).kind == DiffKind::Divergence;
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace d16sim::fuzz

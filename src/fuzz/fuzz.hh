@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Differential fuzzing harness: seeded MiniC program generation, the
+ * oracle-vs-toolchain differential driver, and a delta-debugging
+ * minimizer for divergent programs (DESIGN.md §10).
+ */
+
+#ifndef D16SIM_FUZZ_FUZZ_HH
+#define D16SIM_FUZZ_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace d16sim::fuzz
+{
+
+/**
+ * Generate one random MiniC program from a seed.  Deterministic: the
+ * same seed always yields the same source.  Programs exercise nested
+ * loops, short-circuit conditions, pointer/array aliasing (including
+ * multi-dimensional arrays and structs), multi-arg calls, recursion,
+ * globals, char narrowing, unsigned arithmetic, variable shift counts,
+ * and (for odd seeds) float/double arithmetic — every value read was
+ * previously written, so the oracle's pinned semantics fully define
+ * each program's behavior unless it trips a trap (e.g. divide by
+ * zero), in which case the driver discards it.
+ */
+std::string generateProgram(uint64_t seed);
+
+/** What one differential run concluded. */
+enum class DiffKind : uint8_t
+{
+    Agree,       //!< oracle and every variant/opt produced equal output
+    Skip,        //!< oracle trapped or a budget was hit: no verdict
+    Divergence,  //!< some variant/opt disagreed with the oracle
+};
+
+struct DiffOutcome
+{
+    DiffKind kind = DiffKind::Agree;
+    std::string detail;   //!< human-readable description
+    std::string variant;  //!< first divergent variant name
+    int optLevel = -1;    //!< first divergent opt level
+};
+
+/**
+ * Run `source` through the reference interpreter and through
+ * core::build + the simulator on all five machine variants at opt
+ * levels 0-2, comparing output and exit status exactly.
+ */
+DiffOutcome runDifferential(const std::string &source);
+
+/** Minimizer predicate: does this candidate still reproduce? */
+using Predicate = std::function<bool(const std::string &)>;
+
+/**
+ * Delta-debugging minimizer: repeatedly deletes line chunks (halving
+ * chunk sizes down to single lines) while `interesting` stays true.
+ * Deterministic for a deterministic predicate.
+ */
+std::string minimizeLines(const std::string &source,
+                          const Predicate &interesting);
+
+/** The real-divergence predicate for minimizeLines: true iff the
+ *  program compiles, the oracle exits cleanly, and at least one
+ *  variant/opt diverges. */
+bool divergenceReproduces(const std::string &source);
+
+} // namespace d16sim::fuzz
+
+#endif // D16SIM_FUZZ_FUZZ_HH

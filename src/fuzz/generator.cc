@@ -1,0 +1,403 @@
+#include "fuzz/fuzz.hh"
+
+#include <string>
+#include <vector>
+
+namespace d16sim::fuzz
+{
+
+namespace
+{
+
+/** splitmix64: cheap, well-distributed, and seed-0 safe. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [lo, hi] inclusive. */
+    int
+    range(int lo, int hi)
+    {
+        return lo + static_cast<int>(next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+    }
+
+    bool chance(int pct) { return range(1, 100) <= pct; }
+
+  private:
+    uint64_t state_;
+};
+
+class Generator
+{
+  public:
+    explicit Generator(uint64_t seed)
+        : rng_(seed ^ 0xd16d16d16ull), fp_(seed % 2 == 1)
+    {}
+
+    std::string
+    run()
+    {
+        emitGlobals();
+        emitHelpers();
+        emitMain();
+        return src_;
+    }
+
+  private:
+    Rng rng_;
+    bool fp_;           //!< odd seeds exercise float/double
+    std::string src_;
+    int loopDepth_ = 0;
+    int stmtDepth_ = 0;
+
+    void line(const std::string &s) { src_ += s; src_ += '\n'; }
+
+    // ----- expressions ----------------------------------------------------
+
+    /** A value-bearing int expression; depth caps recursion. */
+    std::string
+    intExpr(int depth)
+    {
+        if (depth <= 0)
+            return intLeaf();
+        switch (rng_.range(0, 9)) {
+          case 0: case 1:
+            return intLeaf();
+          case 2:
+            return "(" + intExpr(depth - 1) + " + " +
+                   intExpr(depth - 1) + ")";
+          case 3:
+            return "(" + intExpr(depth - 1) + " - " +
+                   intExpr(depth - 1) + ")";
+          case 4:
+            return "(" + intExpr(depth - 1) + " * " +
+                   intExpr(depth - 1) + ")";
+          case 5: {
+            const char *op = rng_.chance(50) ? " & " : " ^ ";
+            return "(" + intExpr(depth - 1) + op +
+                   intExpr(depth - 1) + ")";
+          }
+          case 6:
+            // Variable shift counts, sometimes beyond 31: both the
+            // oracle and the machines mask to the low 5 bits.
+            return "(" + intExpr(depth - 1) +
+                   (rng_.chance(50) ? " << " : " >> ") + "(" +
+                   intLeaf() + " & " +
+                   std::to_string(rng_.chance(30) ? 63 : 31) + "))";
+          case 7:
+            return "(" + condExpr(depth - 1) + " ? " +
+                   intExpr(depth - 1) + " : " + intExpr(depth - 1) +
+                   ")";
+          case 8:
+            return "((int)(char)" + intExpr(depth - 1) + ")";
+          case 9:
+            return "((int)((unsigned)" + intExpr(depth - 1) + " / (" +
+                   "(unsigned)(" + intExpr(depth - 1) + " & 7) + 2u)))";
+        }
+        return intLeaf();
+    }
+
+    std::string
+    intLeaf()
+    {
+        switch (rng_.range(0, 11)) {
+          case 0:
+            return std::to_string(rng_.range(-99, 99));
+          case 1:
+            // Large magnitudes probe wraparound, INT32_MIN edges, and
+            // constant folds of literals outside char range.
+            if (rng_.chance(50))
+                return std::to_string(rng_.range(-2000000, 2000000));
+            return "(" + std::to_string(rng_.range(-9, 9)) +
+                   " * 268435397)";
+          case 2: return "h";
+          case 3: return "s0";
+          case 4: return "s1";
+          case 5: return "(int)u";
+          case 6: return "(int)c";
+          case 7: return "gi0";
+          case 8: return "gi1";
+          case 9:
+            return "garr[" + idx16() + "]";
+          case 10:
+            return "a[" + idx16() + "]";
+          case 11:
+            return "g2[" + counterOr("3") + " & 3][" + counterOr("7") +
+                   " & 7]";
+        }
+        return "h";
+    }
+
+    /** An in-bounds index into a 16-element array. */
+    std::string
+    idx16()
+    {
+        if (rng_.chance(50))
+            return std::to_string(rng_.range(0, 15));
+        return "(" + counterOr("11") + " & 15)";
+    }
+
+    /** A live loop counter when inside a loop, else a constant. */
+    std::string
+    counterOr(const std::string &fallback)
+    {
+        if (loopDepth_ > 0 && rng_.chance(70))
+            return "w" + std::to_string(rng_.range(0, loopDepth_ - 1));
+        return rng_.chance(50) ? fallback : "s0";
+    }
+
+    std::string
+    condExpr(int depth)
+    {
+        if (depth <= 0 || rng_.chance(30)) {
+            const char *rel;
+            switch (rng_.range(0, 5)) {
+              case 0: rel = " < "; break;
+              case 1: rel = " > "; break;
+              case 2: rel = " <= "; break;
+              case 3: rel = " >= "; break;
+              case 4: rel = " == "; break;
+              default: rel = " != "; break;
+            }
+            return "(" + intExpr(depth) + rel + intExpr(depth) + ")";
+        }
+        switch (rng_.range(0, 3)) {
+          case 0:
+            return "(" + condExpr(depth - 1) + " && " +
+                   condExpr(depth - 1) + ")";
+          case 1:
+            return "(" + condExpr(depth - 1) + " || " +
+                   condExpr(depth - 1) + ")";
+          case 2:
+            return "(!" + condExpr(depth - 1) + ")";
+          default:
+            return "(" + intExpr(depth - 1) + ")";
+        }
+    }
+
+    // ----- program skeleton -----------------------------------------------
+
+    void
+    emitGlobals()
+    {
+        line("int gi0 = " + std::to_string(rng_.range(-1000, 1000)) +
+             ";");
+        line("int gi1 = " + std::to_string(rng_.range(-1000, 1000)) +
+             ";");
+        line("unsigned u;");
+        line("int garr[16] = {" + std::to_string(rng_.range(-50, 50)) +
+             ", " + std::to_string(rng_.range(-50, 50)) + ", " +
+             std::to_string(rng_.range(-50, 50)) + "};");
+        line("int g2[4][8];");
+        line("char gmsg[10] = \"fuzz\";");
+        line("struct Pair { int x; int y; };");
+        line("struct Pair gp;");
+        if (fp_) {
+            line("double gd = " +
+                 std::to_string(rng_.range(-20, 20)) + ".5;");
+        }
+        line("");
+    }
+
+    void
+    emitHelpers()
+    {
+        // A multi-arg leaf helper over params and globals.
+        line("int mix(int p0, int p1, int p2) {");
+        line("  int r;");
+        line("  r = (p0 * 31 + p1) ^ (p2 << (p0 & 7));");
+        line("  r = r + garr[p1 & 15] + gi0;");
+        if (rng_.chance(50))
+            line("  gi1 = gi1 + (r & 255);");
+        line("  return r;");
+        line("}");
+        line("");
+        // Bounded recursion.
+        line("int rec(int n, int acc) {");
+        line("  if (n <= 0) return acc;");
+        line("  return rec(n - 1, acc * 3 + mix(n, acc & 15, n + acc));");
+        line("}");
+        line("");
+        if (fp_) {
+            line("double fmix(double x, double y) {");
+            line("  double r;");
+            line("  r = x * 0.5 + y / 4.0;");
+            line("  if (r > 65536.0) r = r / 1024.0;");
+            line("  if (r < -65536.0) r = r / 1024.0 + 3.25;");
+            line("  return r;");
+            line("}");
+            line("");
+        }
+    }
+
+    void
+    emitMain()
+    {
+        line("int main() {");
+        line("  int h; h = " + std::to_string(rng_.range(1, 1 << 20)) +
+             ";");
+        line("  int s0; s0 = " + std::to_string(rng_.range(-64, 64)) +
+             ";");
+        line("  int s1; s1 = " + std::to_string(rng_.range(-64, 64)) +
+             ";");
+        line("  char c; c = (char)" +
+             std::to_string(rng_.range(-128, 127)) + ";");
+        line("  u = " + std::to_string(rng_.range(0, 1 << 30)) + "u;");
+        line("  int w0; int w1; int w2;");
+        line("  w0 = 0; w1 = 0; w2 = 0;");
+        line("  int a[16];");
+        line("  for (w0 = 0; w0 < 16; w0++) a[w0] = w0 * " +
+             std::to_string(rng_.range(1, 9)) + " - " +
+             std::to_string(rng_.range(0, 40)) + ";");
+        line("  int *p; p = &a[" + std::to_string(rng_.range(0, 7)) +
+             "];");
+        if (fp_) {
+            line("  double d; d = gd;");
+            line("  float f; f = " +
+                 std::to_string(rng_.range(-8, 8)) + ".25f;");
+        }
+        const int blocks = rng_.range(6, 14);
+        for (int i = 0; i < blocks; ++i)
+            emitStmt(1);
+        line("  print_int(h);");
+        line("  print_char((char)(97 + (h & 15)));");
+        line("  print_str(gmsg);");
+        line("  print_uint(u);");
+        if (fp_)
+            line("  print_f64(d); print_f64((double)f);");
+        line("  print_int(gi1 + gp.x + gp.y);");
+        line("  return h ^ s0;");
+        line("}");
+    }
+
+    /** One statement at the given indent level (bounded recursion via
+     *  loopDepth_/stmtDepth_). */
+    void
+    emitStmt(int indent)
+    {
+        const std::string in(static_cast<size_t>(indent) * 2, ' ');
+        ++stmtDepth_;
+        const bool nested = stmtDepth_ < 4 && loopDepth_ < 2;
+        switch (rng_.range(0, nested ? 13 : 9)) {
+          case 0:
+            line(in + "h = h * 31 + " + intExpr(2) + ";");
+            break;
+          case 1:
+            line(in + "s" + std::to_string(rng_.range(0, 1)) +
+                 (rng_.chance(50) ? " += " : " = ") + intExpr(2) + ";");
+            break;
+          case 2:
+            line(in + "a[" + idx16() + "] = " + intExpr(2) + ";");
+            break;
+          case 3:
+            line(in + "g2[" + counterOr("2") + " & 3][" +
+                 counterOr("5") + " & 7] += " + intExpr(1) + ";");
+            break;
+          case 4:
+            // Pointer re-aim + aliased write + read back.
+            line(in + "p = &a[" + idx16() + "];");
+            line(in + "*p = *p + " + intExpr(1) + ";");
+            line(in + "h += a[" + idx16() + "] + p[0];");
+            break;
+          case 5:
+            line(in + "c = (char)(" + intExpr(2) + ");");
+            line(in + "h += c;");
+            break;
+          case 6:
+            line(in + "u = u * 2654435761u + (unsigned)(" + intExpr(1) +
+                 ");");
+            line(in + "h ^= (int)(u >> " +
+                 std::to_string(rng_.range(1, 31)) + ");");
+            break;
+          case 7:
+            // Guarded division; denominators are never zero and the
+            // dividend avoids the INT32_MIN/-1 pair.
+            line(in + "h += (h & 65535) / ((" + intExpr(1) +
+                 " & 15) + 1);");
+            line(in + "h += s0 % ((" + intExpr(1) + " & 7) + 2);");
+            break;
+          case 8:
+            line(in + "h += mix(" + intExpr(1) + ", " + intExpr(1) +
+                 ", " + intExpr(1) + ");");
+            break;
+          case 9:
+            line(in + "gp.x = " + intExpr(1) + ";");
+            line(in + "gp.y = gp.y + gp.x;");
+            break;
+          case 10: {  // if/else
+            line(in + "if " + condExpr(2) + " {");
+            emitStmt(indent + 1);
+            if (rng_.chance(60)) {
+                line(in + "} else {");
+                emitStmt(indent + 1);
+            }
+            line(in + "}");
+            break;
+          }
+          case 11: {  // bounded for
+            const std::string w = "w" + std::to_string(loopDepth_);
+            line(in + "for (" + w + " = 0; " + w + " < " +
+                 std::to_string(rng_.range(2, 8)) + "; " + w + "++) {");
+            ++loopDepth_;
+            const int n = rng_.range(1, 3);
+            for (int i = 0; i < n; ++i)
+                emitStmt(indent + 1);
+            --loopDepth_;
+            line(in + "}");
+            break;
+          }
+          case 12: {  // bounded while
+            const std::string w = "w" + std::to_string(loopDepth_);
+            line(in + w + " = " + std::to_string(rng_.range(1, 6)) +
+                 ";");
+            line(in + "while (" + w + " > 0) {");
+            ++loopDepth_;
+            const int n = rng_.range(1, 2);
+            for (int i = 0; i < n; ++i)
+                emitStmt(indent + 1);
+            --loopDepth_;
+            line(in + "  " + w + " = " + w + " - 1;");
+            line(in + "}");
+            break;
+          }
+          case 13: {
+            if (fp_) {
+                line(in + "d = fmix(d, (double)(" + intExpr(1) +
+                     " & 1023));");
+                line(in + "f = f + 0.5f; f" +
+                     (rng_.chance(50) ? "++" : "--") + ";");
+                line(in + "if (f > 4096.0f) f = f - 4096.0f;");
+                line(in + "if (d) h += (int)(d * 0.125);");
+            } else {
+                line(in + "h += rec((" + intExpr(1) + " & 7) + 1, " +
+                     intExpr(1) + " & 255);");
+            }
+            break;
+          }
+        }
+        --stmtDepth_;
+    }
+};
+
+} // namespace
+
+std::string
+generateProgram(uint64_t seed)
+{
+    Generator gen(seed);
+    return gen.run();
+}
+
+} // namespace d16sim::fuzz

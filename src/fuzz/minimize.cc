@@ -1,0 +1,97 @@
+#include "fuzz/fuzz.hh"
+
+#include <vector>
+
+namespace d16sim::fuzz
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &s)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t nl = s.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < s.size())
+                lines.push_back(s.substr(start));
+            break;
+        }
+        lines.push_back(s.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinKept(const std::vector<std::string> &lines,
+         const std::vector<bool> &kept)
+{
+    std::string out;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (!kept[i])
+            continue;
+        out += lines[i];
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+minimizeLines(const std::string &source, const Predicate &interesting)
+{
+    const std::vector<std::string> lines = splitLines(source);
+    std::vector<bool> kept(lines.size(), true);
+    size_t alive = lines.size();
+
+    // ddmin over line chunks: try deleting runs of `chunk` consecutive
+    // kept lines, halving the chunk size whenever a full sweep at the
+    // current size removes nothing.  Deterministic scan order makes the
+    // result reproducible for a deterministic predicate.
+    size_t chunk = alive / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (true) {
+        bool removedAny = false;
+        size_t i = 0;
+        while (i < lines.size()) {
+            if (!kept[i]) {
+                ++i;
+                continue;
+            }
+            // Collect the next `chunk` kept lines starting at i.
+            std::vector<size_t> span;
+            for (size_t j = i; j < lines.size() && span.size() < chunk;
+                 ++j)
+                if (kept[j])
+                    span.push_back(j);
+            if (span.empty())
+                break;
+            for (const size_t j : span)
+                kept[j] = false;
+            if (interesting(joinKept(lines, kept))) {
+                removedAny = true;
+                alive -= span.size();
+            } else {
+                for (const size_t j : span)
+                    kept[j] = true;
+            }
+            i = span.back() + 1;
+        }
+        if (!removedAny) {
+            if (chunk == 1)
+                break;
+            chunk = chunk / 2;
+        } else if (chunk > alive && alive > 0) {
+            chunk = alive;
+        }
+    }
+    return joinKept(lines, kept);
+}
+
+} // namespace d16sim::fuzz

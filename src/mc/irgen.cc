@@ -156,8 +156,10 @@ struct IrGen
             return Address::reg(genExpr(*e.a));
           case ExprKind::Index: {
             const Address base = genAddrOfPointerValue(*e.a);
-            const int esz = e.type->isArray() ? e.type->pointee()->size()
-                                              : e.type->size();
+            // The stride is the size of the indexed element itself; for
+            // a multi-dimensional a[i][j] the element of a[i] is a whole
+            // row, not a row's element.
+            const int esz = e.type->size();
             // Constant index folds into the displacement.
             int64_t constIdx;
             if (isConstInt(*e.b, constIdx)) {
@@ -258,8 +260,16 @@ struct IrGen
             out_ = e.intValue;
             return true;
         }
-        if (e.kind == ExprKind::Cast && e.castType->isInteger())
-            return isConstInt(*e.a, out_);
+        if (e.kind == ExprKind::Cast && e.castType->isInteger()) {
+            if (!isConstInt(*e.a, out_))
+                return false;
+            // A constant that folds through a char cast must narrow
+            // like the runtime normalizeChar sequence would.
+            if (e.castType->kind() == TypeKind::Char)
+                out_ = static_cast<int8_t>(
+                    static_cast<uint64_t>(out_) & 0xff);
+            return true;
+        }
         return false;
     }
 
@@ -764,6 +774,8 @@ struct IrGen
     genIncDec(const Expr &e)
     {
         const Expr &lhs = *e.a;
+        if (lhs.type->isFp())
+            return genIncDecFp(e);
         int64_t delta = e.isIncrement ? 1 : -1;
         if (lhs.type->isPointer())
             delta *= lhs.type->pointee()->size();
@@ -790,6 +802,46 @@ struct IrGen
         VReg updated = emitBin(IrOp::Add, old, Operand::ofImm(delta));
         if (lhs.type->kind() == TypeKind::Char)
             updated = normalizeChar(updated);
+        emitStore(addr, lhs.type, updated);
+        return e.isPrefix ? updated : old;
+    }
+
+    /** ++/-- on float/double: an integer Add would read the FP vreg
+     *  through the integer register file, so step by an FP +/-1. */
+    VReg
+    genIncDecFp(const Expr &e)
+    {
+        const Expr &lhs = *e.a;
+        const bool single = lhs.type->kind() == TypeKind::Float;
+        const auto genOne = [&] {
+            IrInst i;
+            i.op = IrOp::FMovImm;
+            i.dst = newFp();
+            i.fimm = e.isIncrement ? 1.0 : -1.0;
+            i.isSingle = single;
+            const VReg dst = i.dst;
+            emit(std::move(i));
+            return dst;
+        };
+
+        if (lhs.kind == ExprKind::Ident &&
+            lhs.binding == Expr::Binding::Local &&
+            localReg[lhs.localId].valid()) {
+            const VReg target = localReg[lhs.localId];
+            VReg oldVal;
+            if (!e.isPrefix) {
+                oldVal = newFp();
+                moveInto(oldVal, target);
+            }
+            const VReg updated =
+                emitFpBin(IrOp::FAdd, target, genOne(), single);
+            moveInto(target, updated);
+            return e.isPrefix ? target : oldVal;
+        }
+
+        const Address addr = genAddr(lhs);
+        const VReg old = emitLoad(addr, lhs.type);
+        const VReg updated = emitFpBin(IrOp::FAdd, old, genOne(), single);
         emitStore(addr, lhs.type, updated);
         return e.isPrefix ? updated : old;
     }
@@ -825,7 +877,16 @@ struct IrGen
         }
         IrInst br;
         br.op = IrOp::Br;
-        br.a = genExpr(e);
+        if (e.type->isFp()) {
+            // FP truthiness: Br reads the integer register file, so
+            // branch on the integer result of (x != 0.0).
+            const VReg v = genExpr(e);
+            const VReg zero = genFpZero(e.type);
+            br.a = emitFpCmp(Cond::Ne, v, zero,
+                             e.type->kind() == TypeKind::Float);
+        } else {
+            br.a = genExpr(e);
+        }
         br.thenBB = thenB;
         br.elseBB = elseB;
         emit(std::move(br));

@@ -215,7 +215,9 @@ foldConstants(IrFunction &fn)
                 if (auto c = vals.constOf(inst.a)) {
                     const bool isNeg = inst.op == IrOp::Neg;
                     inst.op = IrOp::MovImm;
-                    inst.imm = isNeg ? -static_cast<int32_t>(*c)
+                    // Negate in unsigned arithmetic: -INT32_MIN would be
+                    // signed overflow on the host, the machine wraps.
+                    inst.imm = isNeg ? static_cast<int32_t>(0u - *c)
                                      : ~static_cast<int32_t>(*c);
                     inst.a = VReg{};
                 }

@@ -1,0 +1,1162 @@
+#include "oracle/interp.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "mc/parser.hh"
+#include "mc/sema.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace d16sim::oracle
+{
+
+using namespace d16sim::mc;
+
+namespace
+{
+
+// Signals that unwind the evaluator.  Traps and limits are part of the
+// result, not errors: the differential driver discards such programs.
+struct TrapSignal { std::string reason; };
+struct LimitSignal { std::string reason; };
+struct HaltSignal { int status; };
+
+/**
+ * One runtime value.  The active field is keyed off the static
+ * Expr::type at every use site — sema's explicit Cast nodes guarantee
+ * the evaluator never has to guess.  Integers, pointers, and char are
+ * in `i` (char sign-extended), float in `f`, double in `d`.
+ */
+struct Value
+{
+    uint32_t i = 0;
+    float f = 0.0f;
+    double d = 0.0;
+
+    static Value ofInt(uint32_t v) { Value r; r.i = v; return r; }
+    static Value ofFloat(float v) { Value r; r.f = v; return r; }
+    static Value ofDouble(double v) { Value r; r.d = v; return r; }
+};
+
+enum class Flow : uint8_t { Normal, Break, Continue, Return };
+
+/** An lvalue: either a memory address or a register-bound local. */
+struct Place
+{
+    bool inMemory = false;
+    uint32_t addr = 0;
+    int localId = -1;
+};
+
+/** Mirrors codegen's evalConstNum: global initializers fold in double
+ *  arithmetic and look through casts. */
+double
+constNum(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::SizeofType:
+        return static_cast<double>(e.intValue);
+      case ExprKind::FloatLit:
+        return e.floatValue;
+      case ExprKind::Unary:
+        if (e.unOp == UnOp::Neg)
+            return -constNum(*e.a);
+        if (e.unOp == UnOp::Plus)
+            return constNum(*e.a);
+        break;
+      case ExprKind::Binary: {
+        const double a = constNum(*e.a);
+        const double b = constNum(*e.b);
+        switch (e.binOp) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div: return a / b;
+          default: break;
+        }
+        break;
+      }
+      case ExprKind::Cast:
+        return constNum(*e.a);
+      default:
+        break;
+    }
+    fatal("minic line ", e.line, ": global initializer is not constant");
+}
+
+class Interp
+{
+  public:
+    Interp(const Program &prog, const Limits &lim)
+        : prog_(prog), lim_(lim), mem_(lim.memBytes, 0)
+    {
+        for (const FuncDecl &f : prog_.functions)
+            if (f.body)
+                funcs_[f.name] = &f;
+        layoutAndInitGlobals();
+    }
+
+    RunResult
+    run()
+    {
+        RunResult res;
+        try {
+            const FuncDecl *main = findFunc("main");
+            if (!main)
+                throw TrapSignal{"no main function"};
+            std::vector<Value> args(main->params.size());
+            const Value ret = call(*main, std::move(args));
+            res.outcome = Outcome::Exit;
+            res.exitStatus = static_cast<int>(ret.i);
+        } catch (const HaltSignal &h) {
+            res.outcome = Outcome::Exit;
+            res.exitStatus = h.status;
+        } catch (const TrapSignal &t) {
+            res.outcome = Outcome::Trap;
+            res.reason = t.reason;
+        } catch (const LimitSignal &l) {
+            res.outcome = Outcome::Limit;
+            res.reason = l.reason;
+        }
+        res.output = std::move(output_);
+        res.steps = steps_;
+        return res;
+    }
+
+  private:
+    // Globals start past a small unmapped guard region so that null
+    // (and near-null) dereferences trap instead of aliasing data.
+    static constexpr uint32_t kGuardBytes = 64;
+
+    const Program &prog_;
+    Limits lim_;
+    std::vector<uint8_t> mem_;
+    std::map<std::string, uint32_t> globalAddr_;
+    std::vector<uint32_t> stringAddr_;
+    std::map<std::string, const FuncDecl *> funcs_;
+    uint32_t heapPtr_ = 0;
+    uint32_t stackPtr_ = 0;
+    uint64_t steps_ = 0;
+    int depth_ = 0;
+    std::string output_;
+
+    struct Frame
+    {
+        const FuncDecl *fn = nullptr;
+        std::vector<Value> regs;      //!< register-bound locals
+        std::vector<uint32_t> addrs;  //!< frame addresses (inMemory)
+        std::vector<uint8_t> inMem;
+    };
+    Frame *frame_ = nullptr;
+
+    const FuncDecl *
+    findFunc(const std::string &name) const
+    {
+        auto it = funcs_.find(name);
+        return it == funcs_.end() ? nullptr : it->second;
+    }
+
+    void
+    tick()
+    {
+        if (++steps_ > lim_.maxSteps)
+            throw LimitSignal{"step limit exceeded"};
+    }
+
+    // ----- memory ---------------------------------------------------------
+
+    uint8_t *
+    checked(uint32_t addr, uint32_t size)
+    {
+        if (addr < kGuardBytes || addr > mem_.size() ||
+            mem_.size() - addr < size)
+            throw TrapSignal{"out-of-bounds access at address " +
+                             std::to_string(addr)};
+        if (size > 1 && addr % size != 0)
+            throw TrapSignal{"misaligned access at address " +
+                             std::to_string(addr)};
+        return mem_.data() + addr;
+    }
+
+    uint32_t
+    loadWord(uint32_t addr)
+    {
+        uint32_t v;
+        std::memcpy(&v, checked(addr, 4), 4);
+        return v;
+    }
+
+    void
+    storeWord(uint32_t addr, uint32_t v)
+    {
+        std::memcpy(checked(addr, 4), &v, 4);
+    }
+
+    Value
+    loadValue(uint32_t addr, const Type *t)
+    {
+        switch (t->kind()) {
+          case TypeKind::Char:
+            return Value::ofInt(static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int8_t>(
+                    *checked(addr, 1)))));
+          case TypeKind::Float:
+            return Value::ofFloat(std::bit_cast<float>(loadWord(addr)));
+          case TypeKind::Double: {
+            uint64_t bits;
+            std::memcpy(&bits, checked(addr, 8), 8);
+            return Value::ofDouble(std::bit_cast<double>(bits));
+          }
+          default:
+            return Value::ofInt(loadWord(addr));
+        }
+    }
+
+    void
+    storeValue(uint32_t addr, const Type *t, const Value &v)
+    {
+        switch (t->kind()) {
+          case TypeKind::Char:
+            *checked(addr, 1) = static_cast<uint8_t>(v.i & 0xff);
+            break;
+          case TypeKind::Float:
+            storeWord(addr, std::bit_cast<uint32_t>(v.f));
+            break;
+          case TypeKind::Double: {
+            const uint64_t bits = std::bit_cast<uint64_t>(v.d);
+            std::memcpy(checked(addr, 8), &bits, 8);
+            break;
+          }
+          default:
+            storeWord(addr, v.i);
+            break;
+        }
+    }
+
+    // ----- global layout (mirrors CodeGen::layoutGlobals/emitData) --------
+
+    void
+    layoutAndInitGlobals()
+    {
+        uint32_t cursor = kGuardBytes;
+        auto place = [&](const std::string &name, int size, int align) {
+            cursor = static_cast<uint32_t>(roundUp(cursor, align));
+            globalAddr_[name] = cursor;
+            cursor += static_cast<uint32_t>(size);
+        };
+        for (const GlobalDecl &g : prog_.globals)
+            if (!g.type->isArray() && !g.type->isStruct())
+                place(g.name, g.type->size(), g.type->align());
+        for (const GlobalDecl &g : prog_.globals)
+            if (g.type->isArray() || g.type->isStruct())
+                place(g.name, g.type->size(),
+                      std::max(g.type->align(), 4));
+        stringAddr_.resize(prog_.strings.size());
+        for (size_t i = 0; i < prog_.strings.size(); ++i) {
+            stringAddr_[i] = cursor;
+            cursor += static_cast<uint32_t>(prog_.strings[i].size()) + 1;
+        }
+        heapPtr_ = static_cast<uint32_t>(roundUp(cursor, 8));
+        if (heapPtr_ >= lim_.memBytes)
+            fatal("oracle memory too small for globals");
+        stackPtr_ = lim_.memBytes & ~7u;
+
+        for (size_t i = 0; i < prog_.strings.size(); ++i) {
+            const std::string &s = prog_.strings[i];
+            std::memcpy(mem_.data() + stringAddr_[i], s.data(),
+                        s.size());
+        }
+        for (const GlobalDecl &g : prog_.globals)
+            initGlobal(g);
+    }
+
+    uint32_t
+    scalarInitBits(const Type *t, const Expr *init)
+    {
+        // Pointer globals may be initialized from a string literal or
+        // another global's address; everything else folds numerically.
+        if (t->kind() == TypeKind::Pointer && init) {
+            if (init->kind == ExprKind::StringLit)
+                return stringAddr_.at(
+                    static_cast<size_t>(init->intValue));
+            if (init->kind == ExprKind::Ident)
+                return globalAddr_.at(init->strValue);
+        }
+        const double v = init ? constNum(*init) : 0.0;
+        switch (t->kind()) {
+          case TypeKind::Float:
+            return std::bit_cast<uint32_t>(static_cast<float>(v));
+          case TypeKind::Char:
+            return static_cast<uint32_t>(static_cast<int64_t>(v)) &
+                   0xff;
+          default:
+            return static_cast<uint32_t>(static_cast<int64_t>(v));
+        }
+    }
+
+    void
+    initScalarAt(uint32_t addr, const Type *t, const Expr *init)
+    {
+        switch (t->kind()) {
+          case TypeKind::Char:
+            *checked(addr, 1) =
+                static_cast<uint8_t>(scalarInitBits(t, init));
+            break;
+          case TypeKind::Double: {
+            const double v = init ? constNum(*init) : 0.0;
+            const uint64_t bits = std::bit_cast<uint64_t>(v);
+            std::memcpy(checked(addr, 8), &bits, 8);
+            break;
+          }
+          default:
+            storeWord(addr, scalarInitBits(t, init));
+            break;
+        }
+    }
+
+    void
+    initGlobal(const GlobalDecl &g)
+    {
+        const uint32_t base = globalAddr_.at(g.name);
+        if (g.hasStringInit) {
+            std::memcpy(mem_.data() + base, g.stringInit.data(),
+                        g.stringInit.size());
+            return;
+        }
+        if (!g.initList.empty()) {
+            if (g.type->isStruct()) {
+                const StructInfo *rec = g.type->record();
+                for (size_t i = 0; i < rec->fields.size(); ++i) {
+                    const StructField &f = rec->fields[i];
+                    const Expr *init = i < g.initList.size()
+                                           ? g.initList[i].get()
+                                           : nullptr;
+                    initScalarAt(base + static_cast<uint32_t>(f.offset),
+                                 f.type, init);
+                }
+                return;
+            }
+            const Type *elem =
+                g.type->isArray() ? g.type->pointee() : g.type;
+            uint32_t off = 0;
+            for (const ExprPtr &init : g.initList) {
+                initScalarAt(base + off, elem, init.get());
+                off += static_cast<uint32_t>(elem->size());
+            }
+            return;
+        }
+        if (g.init && g.type->isScalar())
+            initScalarAt(base, g.type, g.init.get());
+    }
+
+    // ----- pinned arithmetic ----------------------------------------------
+
+    static int32_t s32(uint32_t v) { return static_cast<int32_t>(v); }
+    static uint32_t u32(int32_t v) { return static_cast<uint32_t>(v); }
+
+    static uint32_t
+    normalizeChar(uint32_t v)
+    {
+        return static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(v & 0xff)));
+    }
+
+    uint32_t
+    intBinary(BinOp op, bool isUnsigned, uint32_t a, uint32_t b)
+    {
+        switch (op) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div:
+            if (b == 0)
+                throw TrapSignal{"division by zero"};
+            if (isUnsigned)
+                return a / b;
+            if (a == 0x80000000u && b == 0xffffffffu)
+                throw TrapSignal{"INT32_MIN / -1 overflow"};
+            return u32(s32(a) / s32(b));
+          case BinOp::Rem:
+            if (b == 0)
+                throw TrapSignal{"remainder by zero"};
+            if (isUnsigned)
+                return a % b;
+            if (a == 0x80000000u && b == 0xffffffffu)
+                throw TrapSignal{"INT32_MIN % -1 overflow"};
+            return u32(s32(a) % s32(b));
+          case BinOp::And: return a & b;
+          case BinOp::Or: return a | b;
+          case BinOp::Xor: return a ^ b;
+          case BinOp::Shl: return a << (b & 31);
+          case BinOp::Shr:
+            return isUnsigned ? a >> (b & 31)
+                              : u32(s32(a) >> (b & 31));
+          default:
+            break;
+        }
+        panic("oracle: unexpected integer binop");
+    }
+
+    static bool
+    compareInt(BinOp op, bool isUnsigned, uint32_t a, uint32_t b)
+    {
+        switch (op) {
+          case BinOp::Eq: return a == b;
+          case BinOp::Ne: return a != b;
+          case BinOp::Lt:
+            return isUnsigned ? a < b : s32(a) < s32(b);
+          case BinOp::Le:
+            return isUnsigned ? a <= b : s32(a) <= s32(b);
+          case BinOp::Gt:
+            return isUnsigned ? a > b : s32(a) > s32(b);
+          case BinOp::Ge:
+            return isUnsigned ? a >= b : s32(a) >= s32(b);
+          default:
+            break;
+        }
+        panic("oracle: unexpected comparison");
+    }
+
+    template <typename T>
+    static bool
+    compareFp(BinOp op, T a, T b)
+    {
+        switch (op) {
+          case BinOp::Eq: return a == b;
+          case BinOp::Ne: return a != b;
+          case BinOp::Lt: return a < b;
+          case BinOp::Le: return a <= b;
+          case BinOp::Gt: return a > b;
+          case BinOp::Ge: return a >= b;
+          default:
+            break;
+        }
+        panic("oracle: unexpected fp comparison");
+    }
+
+    template <typename T>
+    static T
+    fpBinary(BinOp op, T a, T b)
+    {
+        switch (op) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div: return a / b;  // IEEE: x/0 is inf/nan
+          default:
+            break;
+        }
+        panic("oracle: unexpected fp binop");
+    }
+
+    uint32_t
+    fpToInt(double v)
+    {
+        // The machines use a plain truncating convert; values whose
+        // truncation does not fit int32 are host UB there, so they are
+        // a trap here and such programs are discarded.
+        if (std::isnan(v) || !(v > -2147483649.0 && v < 2147483648.0))
+            throw TrapSignal{"FP to integer conversion out of range"};
+        return u32(static_cast<int32_t>(v));
+    }
+
+    Value
+    castValue(const Type *to, const Type *from, Value v)
+    {
+        if (to == from)
+            return v;
+        const bool fromFp = from->isFp();
+        const bool toFp = to->isFp();
+        if (fromFp && toFp) {
+            if (to->kind() == TypeKind::Float)
+                return Value::ofFloat(
+                    from->kind() == TypeKind::Float
+                        ? v.f
+                        : static_cast<float>(v.d));
+            return Value::ofDouble(from->kind() == TypeKind::Float
+                                       ? static_cast<double>(v.f)
+                                       : v.d);
+        }
+        if (!fromFp && toFp) {
+            // Pinned: the machines only have signed int->FP converts.
+            if (to->kind() == TypeKind::Float)
+                return Value::ofFloat(static_cast<float>(s32(v.i)));
+            return Value::ofDouble(static_cast<double>(s32(v.i)));
+        }
+        if (fromFp && !toFp) {
+            uint32_t r = fpToInt(from->kind() == TypeKind::Float
+                                     ? static_cast<double>(v.f)
+                                     : v.d);
+            if (to->kind() == TypeKind::Char)
+                r = normalizeChar(r);
+            return Value::ofInt(r);
+        }
+        if (to->kind() == TypeKind::Char &&
+            from->kind() != TypeKind::Char)
+            return Value::ofInt(normalizeChar(v.i));
+        return v;
+    }
+
+    bool
+    truthy(const Value &v, const Type *t)
+    {
+        if (t->kind() == TypeKind::Float)
+            return v.f != 0.0f;
+        if (t->kind() == TypeKind::Double)
+            return v.d != 0.0;
+        return v.i != 0;
+    }
+
+    // ----- lvalues --------------------------------------------------------
+
+    bool
+    localInMemory(int localId) const
+    {
+        return frame_->inMem[static_cast<size_t>(localId)] != 0;
+    }
+
+    Place
+    place(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::Ident: {
+            if (e.binding == Expr::Binding::Local) {
+                Place p;
+                p.inMemory = localInMemory(e.localId);
+                if (p.inMemory)
+                    p.addr = frame_->addrs[
+                        static_cast<size_t>(e.localId)];
+                else
+                    p.localId = e.localId;
+                return p;
+            }
+            Place p;
+            p.inMemory = true;
+            p.addr = globalAddr_.at(e.strValue);
+            return p;
+          }
+          case ExprKind::StringLit: {
+            Place p;
+            p.inMemory = true;
+            p.addr = stringAddr_.at(static_cast<size_t>(e.intValue));
+            return p;
+          }
+          case ExprKind::Unary: {
+            panicIf(e.unOp != UnOp::Deref,
+                    "oracle: place of non-lvalue unary");
+            Place p;
+            p.inMemory = true;
+            p.addr = eval(*e.a).i;
+            return p;
+          }
+          case ExprKind::Index: {
+            // Same evaluation order as irgen: base, then index; the
+            // stride is the size of the indexed element itself.
+            const uint32_t base = eval(*e.a).i;
+            const uint32_t idx = eval(*e.b).i;
+            const uint32_t esz =
+                static_cast<uint32_t>(e.type->size());
+            Place p;
+            p.inMemory = true;
+            p.addr = base + idx * esz;
+            return p;
+          }
+          case ExprKind::Member: {
+            const StructField *f = nullptr;
+            uint32_t base;
+            if (e.arrow) {
+                f = e.a->type->pointee()->record()->findField(
+                    e.strValue);
+                base = eval(*e.a).i;
+            } else {
+                f = e.a->type->record()->findField(e.strValue);
+                base = addressOf(*e.a);
+            }
+            panicIf(!f, "oracle: field vanished after sema");
+            Place p;
+            p.inMemory = true;
+            p.addr = base + static_cast<uint32_t>(f->offset);
+            return p;
+          }
+          default:
+            panic("oracle: place of non-lvalue expression");
+        }
+    }
+
+    uint32_t
+    addressOf(const Expr &e)
+    {
+        const Place p = place(e);
+        panicIf(!p.inMemory, "oracle: address of register-bound local");
+        return p.addr;
+    }
+
+    Value
+    readPlace(const Place &p, const Type *t)
+    {
+        if (!p.inMemory)
+            return frame_->regs[static_cast<size_t>(p.localId)];
+        return loadValue(p.addr, t);
+    }
+
+    void
+    writePlace(const Place &p, const Type *t, const Value &v)
+    {
+        if (!p.inMemory)
+            frame_->regs[static_cast<size_t>(p.localId)] = v;
+        else
+            storeValue(p.addr, t, v);
+    }
+
+    // ----- expression evaluation ------------------------------------------
+
+    Value
+    eval(const Expr &e)
+    {
+        tick();
+        switch (e.kind) {
+          case ExprKind::IntLit:
+          case ExprKind::SizeofType:
+            if (e.type && e.type->kind() == TypeKind::Float)
+                return Value::ofFloat(
+                    static_cast<float>(e.intValue));
+            if (e.type && e.type->kind() == TypeKind::Double)
+                return Value::ofDouble(
+                    static_cast<double>(e.intValue));
+            return Value::ofInt(static_cast<uint32_t>(e.intValue));
+
+          case ExprKind::FloatLit:
+            if (e.type->kind() == TypeKind::Float)
+                return Value::ofFloat(
+                    static_cast<float>(e.floatValue));
+            return Value::ofDouble(e.floatValue);
+
+          case ExprKind::StringLit:
+            return Value::ofInt(
+                stringAddr_.at(static_cast<size_t>(e.intValue)));
+
+          case ExprKind::Ident: {
+            if (e.type->isArray() || e.type->isStruct())
+                return Value::ofInt(addressOf(e));
+            const Place p = place(e);
+            return readPlace(p, e.type);
+          }
+
+          case ExprKind::Unary:
+            return evalUnary(e);
+          case ExprKind::Binary:
+            return evalBinary(e);
+          case ExprKind::Assign:
+            return evalAssign(e);
+
+          case ExprKind::Cond:
+            return truthy(eval(*e.a), e.a->type) ? eval(*e.b)
+                                                 : eval(*e.c);
+
+          case ExprKind::Call:
+            return evalCall(e);
+
+          case ExprKind::Index:
+          case ExprKind::Member: {
+            if (e.type->isArray() || e.type->isStruct())
+                return Value::ofInt(addressOf(e));
+            const Place p = place(e);
+            return readPlace(p, e.type);
+          }
+
+          case ExprKind::Cast: {
+            if (e.castType->isVoid()) {
+                eval(*e.a);
+                return Value{};
+            }
+            return castValue(e.castType, e.a->type, eval(*e.a));
+          }
+
+          case ExprKind::IncDec:
+            return evalIncDec(e);
+        }
+        panic("oracle: unhandled expr kind");
+    }
+
+    Value
+    evalUnary(const Expr &e)
+    {
+        switch (e.unOp) {
+          case UnOp::AddrOf:
+            return Value::ofInt(addressOf(*e.a));
+          case UnOp::Deref: {
+            if (e.type->isArray() || e.type->isStruct())
+                return Value::ofInt(eval(*e.a).i);
+            const uint32_t addr = eval(*e.a).i;
+            return loadValue(addr, e.type);
+          }
+          case UnOp::Neg: {
+            const Value v = eval(*e.a);
+            if (e.type->kind() == TypeKind::Float)
+                return Value::ofFloat(-v.f);
+            if (e.type->kind() == TypeKind::Double)
+                return Value::ofDouble(-v.d);
+            return Value::ofInt(0u - v.i);
+          }
+          case UnOp::BitNot:
+            return Value::ofInt(~eval(*e.a).i);
+          case UnOp::LogNot: {
+            const Value v = eval(*e.a);
+            return Value::ofInt(truthy(v, e.a->type) ? 0 : 1);
+          }
+          case UnOp::Plus:
+            return eval(*e.a);
+        }
+        panic("oracle: bad unop");
+    }
+
+    Value
+    evalBinary(const Expr &e)
+    {
+        const BinOp op = e.binOp;
+        if (op == BinOp::LogAnd) {
+            if (!truthy(eval(*e.a), e.a->type))
+                return Value::ofInt(0);
+            return Value::ofInt(
+                truthy(eval(*e.b), e.b->type) ? 1 : 0);
+        }
+        if (op == BinOp::LogOr) {
+            if (truthy(eval(*e.a), e.a->type))
+                return Value::ofInt(1);
+            return Value::ofInt(
+                truthy(eval(*e.b), e.b->type) ? 1 : 0);
+        }
+
+        const Type *ta = e.a->type;
+
+        if (op == BinOp::Lt || op == BinOp::Gt || op == BinOp::Le ||
+            op == BinOp::Ge || op == BinOp::Eq || op == BinOp::Ne) {
+            const Value a = eval(*e.a);
+            const Value b = eval(*e.b);
+            bool r;
+            if (ta->kind() == TypeKind::Float)
+                r = compareFp(op, a.f, b.f);
+            else if (ta->kind() == TypeKind::Double)
+                r = compareFp(op, a.d, b.d);
+            else
+                r = compareInt(op, ta->isUnsigned() || ta->isPointer(),
+                               a.i, b.i);
+            return Value::ofInt(r ? 1 : 0);
+        }
+
+        if (ta->isFp()) {
+            const Value a = eval(*e.a);
+            const Value b = eval(*e.b);
+            if (ta->kind() == TypeKind::Float)
+                return Value::ofFloat(fpBinary(op, a.f, b.f));
+            return Value::ofDouble(fpBinary(op, a.d, b.d));
+        }
+
+        if (ta->isPointer() && (op == BinOp::Add || op == BinOp::Sub)) {
+            const uint32_t esz =
+                static_cast<uint32_t>(ta->pointee()->size());
+            const uint32_t base = eval(*e.a).i;
+            if (e.b->type->isPointer()) {
+                const uint32_t diff = base - eval(*e.b).i;
+                if (esz == 1)
+                    return Value::ofInt(diff);
+                return Value::ofInt(u32(s32(diff) /
+                                        s32(esz)));
+            }
+            const uint32_t idx = eval(*e.b).i;
+            const uint32_t delta = idx * esz;
+            return Value::ofInt(op == BinOp::Sub ? base - delta
+                                                 : base + delta);
+        }
+
+        const Value a = eval(*e.a);
+        const Value b = eval(*e.b);
+        return Value::ofInt(intBinary(op, ta->isUnsigned(), a.i, b.i));
+    }
+
+    Value
+    applyCompound(const Expr &e, Value oldVal)
+    {
+        const Type *lt = e.a->type;
+        if (lt->isFp()) {
+            const Value rhs = eval(*e.b);
+            if (lt->kind() == TypeKind::Float)
+                return Value::ofFloat(
+                    fpBinary(e.binOp, oldVal.f, rhs.f));
+            return Value::ofDouble(fpBinary(e.binOp, oldVal.d, rhs.d));
+        }
+        if (lt->isPointer()) {
+            const uint32_t esz =
+                static_cast<uint32_t>(lt->pointee()->size());
+            const uint32_t delta = eval(*e.b).i * esz;
+            return Value::ofInt(e.binOp == BinOp::Sub
+                                    ? oldVal.i - delta
+                                    : oldVal.i + delta);
+        }
+        uint32_t r = intBinary(e.binOp, lt->isUnsigned(), oldVal.i,
+                               eval(*e.b).i);
+        if (lt->kind() == TypeKind::Char)
+            r = normalizeChar(r);
+        return Value::ofInt(r);
+    }
+
+    Value
+    evalAssign(const Expr &e)
+    {
+        const Expr &lhs = *e.a;
+
+        if (lhs.type->isStruct()) {
+            // Memberwise copy; same order as irgen (dst address, then
+            // src address).
+            const uint32_t dst = addressOf(lhs);
+            const uint32_t src = addressOf(*e.b);
+            const uint32_t n =
+                static_cast<uint32_t>(lhs.type->size());
+            checked(dst, 1);
+            checked(dst + n - 1, 1);
+            checked(src, 1);
+            checked(src + n - 1, 1);
+            std::memmove(mem_.data() + dst, mem_.data() + src, n);
+            return Value{};
+        }
+
+        // Evaluation order mirrors irgen: the lvalue's address first,
+        // then (for compound) the old value, then the right-hand side.
+        const Place p = place(lhs);
+        Value value;
+        if (e.compound)
+            value = applyCompound(e, readPlace(p, lhs.type));
+        else
+            value = eval(*e.b);
+        writePlace(p, lhs.type, value);
+        return value;
+    }
+
+    Value
+    evalIncDec(const Expr &e)
+    {
+        const Expr &lhs = *e.a;
+        const Place p = place(lhs);
+        const Value old = readPlace(p, lhs.type);
+        Value updated;
+        if (lhs.type->kind() == TypeKind::Float)
+            updated =
+                Value::ofFloat(old.f + (e.isIncrement ? 1.0f : -1.0f));
+        else if (lhs.type->kind() == TypeKind::Double)
+            updated =
+                Value::ofDouble(old.d + (e.isIncrement ? 1.0 : -1.0));
+        else {
+            uint32_t delta = 1;
+            if (lhs.type->isPointer())
+                delta = static_cast<uint32_t>(
+                    lhs.type->pointee()->size());
+            updated = Value::ofInt(e.isIncrement ? old.i + delta
+                                                 : old.i - delta);
+            if (lhs.type->kind() == TypeKind::Char)
+                updated.i = normalizeChar(updated.i);
+        }
+        writePlace(p, lhs.type, updated);
+        return e.isPrefix ? updated : old;
+    }
+
+    // ----- calls and builtins ---------------------------------------------
+
+    std::string
+    readGuestString(uint32_t addr)
+    {
+        std::string s;
+        for (uint32_t a = addr;; ++a) {
+            const char c = static_cast<char>(*checked(a, 1));
+            if (c == '\0')
+                break;
+            s.push_back(c);
+        }
+        return s;
+    }
+
+    Value
+    doBuiltin(int trapCode, const std::vector<Value> &args)
+    {
+        char buf[64];
+        switch (trapCode) {
+          case 1:  // print_int
+            std::snprintf(buf, sizeof(buf), "%d", s32(args.at(0).i));
+            output_ += buf;
+            return Value{};
+          case 2:  // print_char
+            output_.push_back(static_cast<char>(args.at(0).i));
+            return Value{};
+          case 3:  // print_str
+            output_ += readGuestString(args.at(0).i);
+            return Value{};
+          case 4:  // print_f64
+            std::snprintf(buf, sizeof(buf), "%.4f", args.at(0).d);
+            output_ += buf;
+            return Value{};
+          case 5:  // halt
+            throw HaltSignal{s32(args.at(0).i)};
+          case 6: {  // alloc: bump allocator, mirrors Machine::doTrap
+            const uint32_t bytes = args.at(0).i;
+            const uint32_t base = heapPtr_;
+            const uint64_t next = roundUp(
+                static_cast<uint64_t>(heapPtr_) + bytes, 8);
+            if (bytes > lim_.memBytes || next > stackPtr_)
+                throw TrapSignal{"heap/stack collision"};
+            heapPtr_ = static_cast<uint32_t>(next);
+            return Value::ofInt(base);
+          }
+          case 7:  // print_uint
+            std::snprintf(buf, sizeof(buf), "%u", args.at(0).i);
+            output_ += buf;
+            return Value{};
+          default:
+            throw TrapSignal{"unknown builtin trap code " +
+                             std::to_string(trapCode)};
+        }
+    }
+
+    Value
+    evalCall(const Expr &e)
+    {
+        const FuncSig &sig = prog_.signatures.at(e.strValue);
+        std::vector<Value> args;
+        args.reserve(e.args.size());
+        for (const ExprPtr &arg : e.args)
+            args.push_back(eval(*arg));
+        if (sig.isBuiltin)
+            return doBuiltin(sig.trapCode, args);
+        const FuncDecl *fn = findFunc(e.strValue);
+        if (!fn)
+            throw TrapSignal{"call to undefined function " +
+                             e.strValue};
+        return call(*fn, std::move(args));
+    }
+
+    Value
+    call(const FuncDecl &fn, std::vector<Value> args)
+    {
+        if (++depth_ > lim_.maxCallDepth) {
+            --depth_;
+            throw LimitSignal{"call depth limit exceeded"};
+        }
+        const uint32_t savedSp = stackPtr_;
+        Frame frame;
+        frame.fn = &fn;
+        frame.regs.resize(fn.locals.size());
+        frame.addrs.resize(fn.locals.size(), 0);
+        frame.inMem.resize(fn.locals.size(), 0);
+        for (size_t i = 0; i < fn.locals.size(); ++i) {
+            const FuncDecl::LocalVar &var = fn.locals[i];
+            const bool inMemory = var.addressTaken ||
+                                  var.type->isArray() ||
+                                  var.type->isStruct();
+            if (!inMemory)
+                continue;
+            frame.inMem[i] = 1;
+            const uint32_t size =
+                static_cast<uint32_t>(var.type->size());
+            const uint32_t align = static_cast<uint32_t>(
+                std::max(var.type->align(), 4));
+            uint32_t sp = stackPtr_;
+            if (sp < size + align || sp - size < heapPtr_ + 4096) {
+                stackPtr_ = savedSp;
+                --depth_;
+                throw LimitSignal{"stack exhausted"};
+            }
+            sp -= size;
+            sp &= ~(align - 1);
+            stackPtr_ = sp;
+            frame.addrs[i] = sp;
+            // Fresh stack memory reads as zero on the machines too
+            // (reads of stale recycled frames are unspecified either
+            // way; the generator never produces them).
+            std::memset(mem_.data() + sp, 0, size);
+        }
+        for (size_t i = 0; i < args.size() && i < fn.locals.size();
+             ++i) {
+            if (frame.inMem[i])
+                storeValue(frame.addrs[i], fn.locals[i].type, args[i]);
+            else
+                frame.regs[i] = args[i];
+        }
+
+        Frame *savedFrame = frame_;
+        frame_ = &frame;
+        Value ret;  // fall-off-the-end returns zero, like irgen
+        try {
+            const Flow flow = exec(*fn.body, &ret);
+            panicIf(flow == Flow::Break || flow == Flow::Continue,
+                    "oracle: break/continue escaped a function");
+        } catch (...) {
+            frame_ = savedFrame;
+            stackPtr_ = savedSp;
+            --depth_;
+            throw;
+        }
+        frame_ = savedFrame;
+        stackPtr_ = savedSp;
+        --depth_;
+        return ret;
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    Flow
+    exec(const Stmt &s, Value *ret)
+    {
+        tick();
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const StmtPtr &sub : s.body) {
+                const Flow f = exec(*sub, ret);
+                if (f != Flow::Normal)
+                    return f;
+            }
+            return Flow::Normal;
+
+          case StmtKind::If:
+            if (truthy(eval(*s.cond), s.cond->type))
+                return exec(*s.thenStmt, ret);
+            if (s.elseStmt)
+                return exec(*s.elseStmt, ret);
+            return Flow::Normal;
+
+          case StmtKind::While:
+            while (truthy(eval(*s.cond), s.cond->type)) {
+                const Flow f = exec(*s.loopBody, ret);
+                if (f == Flow::Break)
+                    break;
+                if (f == Flow::Return)
+                    return f;
+                tick();
+            }
+            return Flow::Normal;
+
+          case StmtKind::DoWhile:
+            do {
+                const Flow f = exec(*s.loopBody, ret);
+                if (f == Flow::Break)
+                    break;
+                if (f == Flow::Return)
+                    return f;
+                tick();
+            } while (truthy(eval(*s.cond), s.cond->type));
+            return Flow::Normal;
+
+          case StmtKind::For: {
+            if (s.forInit) {
+                const Flow f = exec(*s.forInit, ret);
+                if (f != Flow::Normal)
+                    return f;
+            }
+            while (!s.cond ||
+                   truthy(eval(*s.cond), s.cond->type)) {
+                const Flow f = exec(*s.loopBody, ret);
+                if (f == Flow::Return)
+                    return f;
+                if (f == Flow::Break)
+                    break;
+                if (s.forStep)
+                    eval(*s.forStep);
+                tick();
+            }
+            return Flow::Normal;
+          }
+
+          case StmtKind::Return:
+            if (s.expr)
+                *ret = eval(*s.expr);
+            return Flow::Return;
+
+          case StmtKind::Break:
+            return Flow::Break;
+          case StmtKind::Continue:
+            return Flow::Continue;
+
+          case StmtKind::ExprStmt:
+            eval(*s.expr);
+            return Flow::Normal;
+
+          case StmtKind::Decl:
+            for (const LocalDecl &d : s.decls)
+                execDecl(d);
+            return Flow::Normal;
+
+          case StmtKind::Empty:
+            return Flow::Normal;
+        }
+        panic("oracle: unhandled stmt kind");
+    }
+
+    void
+    execDecl(const LocalDecl &d)
+    {
+        const size_t id = static_cast<size_t>(d.localId);
+        if (d.init) {
+            const Value v = eval(*d.init);
+            if (d.type->isStruct()) {
+                // The initializer is a struct rvalue (an address).
+                const uint32_t n =
+                    static_cast<uint32_t>(d.type->size());
+                checked(v.i, 1);
+                checked(v.i + n - 1, 1);
+                std::memmove(mem_.data() + frame_->addrs[id],
+                             mem_.data() + v.i, n);
+            } else if (frame_->inMem[id]) {
+                storeValue(frame_->addrs[id], d.type, v);
+            } else {
+                frame_->regs[id] = v;
+            }
+        }
+        if (!d.initList.empty()) {
+            const Type *elem =
+                d.type->isArray() ? d.type->pointee() : d.type;
+            uint32_t off = 0;
+            for (const ExprPtr &init : d.initList) {
+                const Value v = eval(*init);
+                storeValue(frame_->addrs[id] + off, elem, v);
+                off += static_cast<uint32_t>(elem->size());
+            }
+        }
+    }
+};
+
+} // namespace
+
+RunResult
+interpret(const Program &prog, const Limits &limits)
+{
+    Interp interp(prog, limits);
+    return interp.run();
+}
+
+RunResult
+interpretSource(std::string_view source, const Limits &limits)
+{
+    Program prog = parseProgram(source);
+    // Mirror mc::compile: global-initializer strings are pooled before
+    // sema so .Lstr indexes line up with the compiled image.
+    for (GlobalDecl &g : prog.globals) {
+        auto pool = [&](Expr &e) {
+            if (e.kind == ExprKind::StringLit) {
+                prog.strings.push_back(e.strValue);
+                e.intValue =
+                    static_cast<int64_t>(prog.strings.size()) - 1;
+            }
+        };
+        if (g.init)
+            pool(*g.init);
+        for (ExprPtr &e : g.initList)
+            pool(*e);
+    }
+    analyze(prog);
+    return interpret(prog, limits);
+}
+
+} // namespace d16sim::oracle

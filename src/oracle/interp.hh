@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MiniC reference interpreter: an independent executable definition of
+ * MiniC semantics for differential testing.
+ *
+ * The interpreter evaluates the type-checked AST directly (reusing the
+ * src/mc lexer, parser, and sema — and nothing after them), so it
+ * shares no code with the IR generator, optimizer, legalizer, register
+ * allocator, code generator, assembler, or simulator whose composition
+ * it is the oracle for.  Its semantics are pinned (DESIGN.md §10):
+ *
+ *   - all integer arithmetic wraps modulo 2^32
+ *   - shift counts are masked to the low 5 bits
+ *   - x/0, x%0, INT32_MIN/-1 and INT32_MIN%-1 trap
+ *   - signed division rounds toward zero; rem takes the dividend's sign
+ *   - char is a signed 8-bit type held sign-extended in 32 bits
+ *   - integer -> FP conversion treats the source as signed int32
+ *     (the machines only have signed converts)
+ *   - FP -> integer conversion truncates toward zero and traps when
+ *     the truncated value does not fit in int32 (or the input is NaN)
+ *   - FP arithmetic is host IEEE-754 (float ops in float precision)
+ *   - any out-of-bounds, misaligned, or null memory access traps
+ *
+ * A program whose oracle run traps is discarded by the differential
+ * driver (CSmith-style): its behavior is outside the pinned semantics
+ * and the machines are free to do anything, so only cleanly exiting
+ * programs are compared.
+ */
+
+#ifndef D16SIM_ORACLE_INTERP_HH
+#define D16SIM_ORACLE_INTERP_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mc/ast.hh"
+
+namespace d16sim::oracle
+{
+
+/** Why an interpretation finished. */
+enum class Outcome : uint8_t
+{
+    Exit,   //!< main returned; output and exitStatus are meaningful
+    Trap,   //!< pinned-semantics violation (divide by zero, OOB, ...)
+    Limit,  //!< step or call-depth budget exhausted
+};
+
+struct RunResult
+{
+    Outcome outcome = Outcome::Exit;
+    std::string output;    //!< everything the print_* builtins emitted
+    int exitStatus = 0;    //!< main's return value
+    std::string reason;    //!< Trap/Limit: what happened
+    uint64_t steps = 0;    //!< expression evaluations performed
+};
+
+struct Limits
+{
+    uint64_t maxSteps = 200'000'000;
+    int maxCallDepth = 1500;
+    uint32_t memBytes = 4u << 20;
+};
+
+/** Interpret an analyzed program (sema must already have run). */
+RunResult interpret(const mc::Program &prog, const Limits &limits = {});
+
+/**
+ * Front half of the compiler (parse + string pooling + sema), then
+ * interpret.  Throws support::FatalError on malformed source with the
+ * same diagnostics mc::compile would produce.
+ */
+RunResult interpretSource(std::string_view source,
+                          const Limits &limits = {});
+
+} // namespace d16sim::oracle
+
+#endif // D16SIM_ORACLE_INTERP_HH

@@ -599,8 +599,13 @@ Machine::execute(const DecodedInst &inst)
     // Delay-slot sequencing: a taken transfer takes effect after the
     // next sequential instruction executes.
     if (inDelaySlot_) {
-        panicIf(taken, "control transfer in a delay slot at pc ",
-                hexString(pc));
+        // The assembler never schedules a transfer into a delay slot,
+        // but a program that jumps into pool data (or clobbers its
+        // return address) can execute one anyway; that is the
+        // program's fault, not an internal invariant.
+        if (taken)
+            fatal("control transfer in a delay slot at pc ",
+                  hexString(pc));
         pc_ = delayedTarget_;
         inDelaySlot_ = false;
     } else if (taken) {

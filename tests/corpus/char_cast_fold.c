@@ -1,0 +1,16 @@
+// Regression: the front end's constant folder looked through integer
+// casts without narrowing, so (char)200 folded to 200 instead of -56
+// and (char)256 was a truthy condition.  Found by d16fuzz; fixed in
+// src/mc/irgen.cc (isConstInt).
+int main() {
+  int x; x = 100;
+  print_int(x + (char)200);
+  print_char('\n');
+  if ((char)256) print_int(1); else print_int(0);
+  print_char('\n');
+  print_int((char)384);
+  print_char('\n');
+  print_int((int)(char)(-6 * 268435397));
+  print_char('\n');
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Regression: a bare floating-point expression used as a condition
+// (if/while/ternary truthiness) was branched on through the integer
+// register file instead of being compared against FP zero.  Fixed in
+// src/mc/irgen.cc (genCond).
+int main() {
+  double d; d = 0.5;
+  float f; f = 0.0f;
+  if (d) print_int(1); else print_int(0);
+  print_char('\n');
+  if (f) print_int(1); else print_int(0);
+  print_char('\n');
+  int n; n = 0;
+  while (d) {
+    n = n + 1;
+    d = d - 0.125;
+  }
+  print_int(n);
+  print_char('\n');
+  print_int(f ? 7 : 3);
+  print_char('\n');
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regression: ++ and -- on a float or double operand emitted an
+// integer Add on the floating-point vreg, corrupting the value (and
+// the IR).  Fixed in src/mc/irgen.cc (genIncDec / genIncDecFp).
+int main() {
+  double d; d = 1.5;
+  float f; f = 0.25;
+  d++;
+  f++;
+  f--;
+  d--;
+  d++;
+  print_f64(d);
+  print_char('\n');
+  print_f64((double)f);
+  print_char('\n');
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regression: folding unary minus of a known constant negated with
+// signed host arithmetic, which is undefined behaviour when the
+// constant is INT32_MIN (caught under UBSan).  Fixed in src/mc/opt.cc
+// to negate in unsigned arithmetic.
+int main() {
+  int x; x = -2147483647 - 1;
+  int y; y = -x;
+  print_int(y);
+  print_char('\n');
+  print_int(-(-2147483647 - 1));
+  print_char('\n');
+  return 0;
+}

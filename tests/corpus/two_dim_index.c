@@ -1,0 +1,19 @@
+// Regression: indexing a row of a 2-D array used the stride of the
+// row's *element* instead of the whole row, so g[i][j] collapsed every
+// row onto row 0.  Fixed in src/mc/irgen.cc (genAddr, ExprKind::Index).
+int g[4][8];
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 8; j++)
+      g[i][j] = i * 8 + j;
+  int h; h = 0;
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 8; j++)
+      h = h * 31 + g[i][j];
+  print_int(h);
+  print_char('\n');
+  return 0;
+}

@@ -542,4 +542,126 @@ int main() {
     EXPECT_GE(slim.pathLength, wide.pathLength);
 }
 
+/** Run on every variant at every opt level and require one output. */
+void
+runEveryConfig(std::string_view src, const std::string &expected)
+{
+    for (const CompileOptions &base : kVariants) {
+        for (int level = 0; level <= 2; ++level) {
+            CompileOptions opts = base;
+            opts.optLevel = level;
+            const auto r = compileAndRun(src, opts);
+            EXPECT_EQ(r.output, expected)
+                << base.name() << " O" << level;
+        }
+    }
+}
+
+TEST(Compile, DivRemEdgeCases)
+{
+    // Round-toward-zero division and its remainder at the signed
+    // extremes.  INT32_MIN is spelled as an expression because the
+    // literal 2147483648 does not fit in int.  INT32_MIN / -1 is a
+    // trap on every variant and is exercised separately below.
+    runEveryConfig(R"(
+int id(int x) { return x; }
+int main() {
+    int m = -2147483647 - 1;
+    print_int(m / 3); print_char(' ');
+    print_int(m % 3); print_char(' ');
+    print_int(m / -3); print_char(' ');
+    print_int(m % -3); print_char('\n');
+    print_int(-7 / 2); print_char(' ');
+    print_int(-7 % 2); print_char(' ');
+    print_int(7 / -2); print_char(' ');
+    print_int(7 % -2); print_char(' ');
+    print_int(-7 / -2); print_char(' ');
+    print_int(-7 % -2); print_char('\n');
+    print_int(5 % -1); print_char(' ');
+    print_int(-5 % -1); print_char(' ');
+    print_int((m + 1) % -1); print_char('\n');
+    /* Folded and runtime divisions must agree. */
+    int d = id(3);
+    print_int(m / 3 == m / d); print_char(' ');
+    print_int(m % -3 == m % -d); print_char(' ');
+    print_int(-7 / 2 == -7 / id(2)); print_char('\n');
+    return 0;
+}
+)",
+                   "-715827882 -2 715827882 -2\n"
+                   "-3 -1 -3 1 3 -1\n"
+                   "0 0 0\n"
+                   "1 1 1\n");
+}
+
+TEST(Compile, DivRemOverflowAndZeroAgreeAcrossVariants)
+{
+    // INT32_MIN / -1 and division by zero are outside the oracle's
+    // pinned semantics (it discards such programs), but the runtime
+    // library still defines them: zero divisors yield quotient 0 and
+    // remainder = dividend, and the restoring divider wraps on
+    // overflow.  All fifteen build configurations must agree with
+    // each other bit-for-bit.  The constant folder must never fold
+    // these cases (it would have to invent a value).
+    const char *src = R"(
+int id(int x) { return x; }
+int main() {
+    int m = -2147483647 - 1;
+    print_int(m / id(-1)); print_char(' ');
+    print_int(m % id(-1)); print_char(' ');
+    print_int(id(5) / id(0)); print_char(' ');
+    print_int(id(5) % id(0)); print_char(' ');
+    print_int(id(-5) / id(0)); print_char(' ');
+    print_int(id(-5) % id(0)); print_char('\n');
+    return 0;
+}
+)";
+    std::string first;
+    for (const CompileOptions &base : kVariants) {
+        for (int level = 0; level <= 2; ++level) {
+            CompileOptions opts = base;
+            opts.optLevel = level;
+            const auto r = compileAndRun(src, opts);
+            if (first.empty())
+                first = r.output;
+            EXPECT_EQ(r.output, first)
+                << base.name() << " O" << level;
+        }
+    }
+    // The defined-by-the-library zero-divisor results.
+    EXPECT_NE(first.find("0 5 0 -5"), std::string::npos) << first;
+}
+
+TEST(Compile, ShiftCountSemantics)
+{
+    // Shift counts are masked to the low five bits on every variant,
+    // for literal counts (folded by the front end) and for runtime
+    // counts alike.  The program compares the folded form against the
+    // same shift through an opaque count, so any fold/runtime skew
+    // shows up as a 0.
+    runEveryConfig(R"(
+int id(int x) { return x; }
+int main() {
+    print_int(1 << 32); print_char(' ');
+    print_int(1 << 33); print_char(' ');
+    print_int(-8 >> 33); print_char(' ');
+    print_int(1 << -1); print_char(' ');
+    print_int(-2147483647 - 1 >> 31); print_char('\n');
+    unsigned u = 2147483648u;
+    print_uint(u >> 32); print_char(' ');
+    print_uint(u >> 63); print_char(' ');
+    print_uint(u >> -1); print_char('\n');
+    print_int((5 << 33) == (5 << id(33))); print_char(' ');
+    print_int((-96 >> 34) == (-96 >> id(34))); print_char(' ');
+    print_int((7 << -3) == (7 << id(-3))); print_char(' ');
+    print_int((int)(u >> 63) == (int)(u >> id(63)));
+    print_char('\n');
+    return 0;
+}
+)",
+                   "1 2 -4 -2147483648 -1\n"
+                   "2147483648 1 1\n"
+                   "1 1 1 1\n");
+}
+
 } // namespace

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the MiniC reference interpreter (the oracle), the
+ * differential driver, and the delta-debugging minimizer.
+ *
+ * The oracle is the independent ground truth the fuzzer compares the
+ * whole toolchain against, so its pinned semantics are unit-tested
+ * directly, and then the oracle itself is cross-checked against the
+ * simulator over the full paper workload suite: two implementations
+ * that share nothing below the type-checked AST must agree exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+#include "fuzz/fuzz.hh"
+#include "oracle/interp.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using oracle::Outcome;
+
+oracle::RunResult
+run(const std::string &src)
+{
+    return oracle::interpretSource(src);
+}
+
+std::string
+wrapMain(const std::string &body)
+{
+    return "int main() {\n" + body + "\n  return 0;\n}\n";
+}
+
+// ---------------------------------------------------------------------
+// Pinned semantics
+// ---------------------------------------------------------------------
+
+TEST(Oracle, WraparoundArithmetic)
+{
+    const auto r = run(wrapMain(R"(
+  int m = -2147483647 - 1;
+  print_int(m - 1); print_char(' ');
+  print_int(2147483647 + 1); print_char(' ');
+  print_int(65537 * 65537); print_char(' ');
+  print_int(-m);
+)"));
+    ASSERT_EQ(r.outcome, Outcome::Exit);
+    EXPECT_EQ(r.output, "2147483647 -2147483648 131073 -2147483648");
+}
+
+TEST(Oracle, ShiftCountsMaskToFiveBits)
+{
+    const auto r = run(wrapMain(R"(
+  int k = 33;
+  print_int(1 << k); print_char(' ');
+  print_int(1 << 32); print_char(' ');
+  print_int(-8 >> 33); print_char(' ');
+  unsigned u = 2147483648u;
+  print_uint(u >> -1);
+)"));
+    ASSERT_EQ(r.outcome, Outcome::Exit);
+    EXPECT_EQ(r.output, "2 1 -4 1");
+}
+
+TEST(Oracle, TruncatingDivision)
+{
+    const auto r = run(wrapMain(R"(
+  print_int(-7 / 2); print_char(' ');
+  print_int(-7 % 2); print_char(' ');
+  print_int(7 / -2); print_char(' ');
+  print_int(7 % -2);
+)"));
+    ASSERT_EQ(r.outcome, Outcome::Exit);
+    EXPECT_EQ(r.output, "-3 -1 -3 1");
+}
+
+TEST(Oracle, DivisionTrapsArePinned)
+{
+    const auto zero = run(wrapMain("  int z = 0;\n  print_int(5 / z);"));
+    EXPECT_EQ(zero.outcome, Outcome::Trap) << zero.output;
+
+    const auto remZero = run(wrapMain("  int z = 0;\n  print_int(5 % z);"));
+    EXPECT_EQ(remZero.outcome, Outcome::Trap);
+
+    const auto ovf = run(wrapMain(
+        "  int m = -2147483647 - 1;\n  int n = -1;\n  print_int(m / n);"));
+    EXPECT_EQ(ovf.outcome, Outcome::Trap);
+
+    const auto remOvf = run(wrapMain(
+        "  int m = -2147483647 - 1;\n  int n = -1;\n  print_int(m % n);"));
+    EXPECT_EQ(remOvf.outcome, Outcome::Trap);
+}
+
+TEST(Oracle, CharIsSignedAndNarrowing)
+{
+    const auto r = run(wrapMain(R"(
+  char c = (char)200;
+  print_int(c); print_char(' ');
+  print_int((char)256); print_char(' ');
+  print_int((char)384); print_char(' ');
+  c = (char)127; c++;
+  print_int(c);
+)"));
+    ASSERT_EQ(r.outcome, Outcome::Exit);
+    EXPECT_EQ(r.output, "-56 0 -128 -128");
+}
+
+TEST(Oracle, FloatToIntTruncatesOrTraps)
+{
+    const auto ok = run(wrapMain(R"(
+  double d = 3.9;
+  print_int((int)d); print_char(' ');
+  print_int((int)-3.9); print_char(' ');
+  print_int((int)2147483600.0);
+)"));
+    ASSERT_EQ(ok.outcome, Outcome::Exit);
+    EXPECT_EQ(ok.output, "3 -3 2147483600");
+
+    const auto nan = run(wrapMain(
+        "  double z = 0.0;\n  double n = z / z;\n  print_int((int)n);"));
+    EXPECT_EQ(nan.outcome, Outcome::Trap);
+
+    const auto big = run(wrapMain(
+        "  double d = 4000000000.0;\n  print_int((int)d);"));
+    EXPECT_EQ(big.outcome, Outcome::Trap);
+}
+
+TEST(Oracle, MemorySafetyTraps)
+{
+    const auto oob = run(wrapMain(
+        "  int a[4];\n  int i = 9;\n  a[i] = 1;\n  print_int(a[0]);"));
+    EXPECT_EQ(oob.outcome, Outcome::Trap);
+
+    const auto nullDeref = run(wrapMain(
+        "  int *p = (int *)0;\n  print_int(*p);"));
+    EXPECT_EQ(nullDeref.outcome, Outcome::Trap);
+}
+
+TEST(Oracle, StepLimitIsALimitNotATrap)
+{
+    oracle::Limits lim;
+    lim.maxSteps = 1000;
+    const auto r = oracle::interpretSource(
+        wrapMain("  int i;\n  for (i = 0; i >= 0; i++) ;"), lim);
+    EXPECT_EQ(r.outcome, Outcome::Limit);
+}
+
+// ---------------------------------------------------------------------
+// Oracle vs simulator over the whole paper suite
+// ---------------------------------------------------------------------
+
+TEST(Oracle, MatchesSimulatorOnEveryWorkload)
+{
+    for (const core::Workload &w : core::workloadSuite()) {
+        SCOPED_TRACE(w.name);
+        const auto ref = oracle::interpretSource(w.source);
+        ASSERT_EQ(ref.outcome, Outcome::Exit) << w.name << ": "
+                                              << ref.reason;
+        const auto m =
+            core::buildAndRun(w.source, mc::CompileOptions::d16());
+        EXPECT_EQ(ref.output, m.output) << w.name;
+        EXPECT_EQ(ref.exitStatus, m.exitStatus) << w.name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generator, differential driver, and minimizer
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, GeneratorIsDeterministic)
+{
+    EXPECT_EQ(fuzz::generateProgram(7), fuzz::generateProgram(7));
+    EXPECT_NE(fuzz::generateProgram(7), fuzz::generateProgram(8));
+}
+
+TEST(Fuzz, SmokeSeedsAllAgree)
+{
+    int agree = 0;
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        const auto out =
+            fuzz::runDifferential(fuzz::generateProgram(seed));
+        EXPECT_NE(out.kind, fuzz::DiffKind::Divergence)
+            << "seed " << seed << ": " << out.detail;
+        if (out.kind == fuzz::DiffKind::Agree)
+            ++agree;
+    }
+    // The generator is built to emit fully-defined programs; a high
+    // skip rate would silently gut the fuzzer's coverage.
+    EXPECT_GE(agree, 20);
+}
+
+TEST(Fuzz, MinimizerShrinksDeterministically)
+{
+    // The predicate keys on the oracle's result, standing in for a
+    // real divergence: "still prints -56" plays the role of "still
+    // miscompiles".  The fat program pads the essential two lines
+    // with removable noise.
+    std::string fat;
+    fat += "int unused_global = 5;\n";
+    fat += "int helper(int x) { return x * 3; }\n";
+    fat += "int main() {\n";
+    for (int i = 0; i < 20; ++i)
+        fat += "  int pad" + std::to_string(i) + " = " +
+               std::to_string(i) + ";\n";
+    fat += "  print_int((char)200);\n";
+    fat += "  return 0;\n";
+    fat += "}\n";
+
+    const auto interesting = [](const std::string &src) {
+        try {
+            const auto r = oracle::interpretSource(src);
+            return r.outcome == Outcome::Exit &&
+                   r.output.find("-56") != std::string::npos;
+        } catch (const FatalError &) {
+            return false;  // no longer parses: not interesting
+        }
+    };
+
+    ASSERT_TRUE(interesting(fat));
+    const std::string small1 = fuzz::minimizeLines(fat, interesting);
+    const std::string small2 = fuzz::minimizeLines(fat, interesting);
+    EXPECT_EQ(small1, small2);
+    EXPECT_TRUE(interesting(small1));
+    const auto lines =
+        static_cast<int>(std::count(small1.begin(), small1.end(), '\n'));
+    EXPECT_LE(lines, 4) << small1;
+}
+
+// ---------------------------------------------------------------------
+// Checked-in corpus
+// ---------------------------------------------------------------------
+
+TEST(Corpus, EveryReproducerReplaysClean)
+{
+    namespace fs = std::filesystem;
+    int replayed = 0;
+    for (const auto &entry : fs::directory_iterator(D16SIM_CORPUS_DIR)) {
+        if (entry.path().extension() != ".c")
+            continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        std::ifstream in(entry.path());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const auto out = fuzz::runDifferential(ss.str());
+        EXPECT_EQ(out.kind, fuzz::DiffKind::Agree) << out.detail;
+        ++replayed;
+    }
+    // The corpus holds one reproducer per miscompile this layer has
+    // caught; an empty directory means the gate is vacuous.
+    EXPECT_GE(replayed, 5);
+}
+
+} // namespace

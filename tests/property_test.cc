@@ -146,6 +146,49 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedPrograms,
                          ::testing::Range(1u, 25u));
 
 // ---------------------------------------------------------------------
+// Shift-count semantics
+// ---------------------------------------------------------------------
+
+TEST(ShiftProperty, FoldedMatchesRuntime)
+{
+    // Shift counts are masked to five bits.  A literal count is
+    // folded by the front end and optimizer; the same count routed
+    // through an opaque call reaches the machine's shifter.  Both
+    // paths must agree for every count, including counts >= 32 and
+    // negative counts.  The generated program prints one '1' per
+    // agreeing triple (shl, sar, unsigned shr).
+    Gen g(0x5eed5u);
+    std::ostringstream os;
+    os << "int id(int x) { return x; }\n";
+    os << "int main() {\n";
+    std::string expected;
+    const int counts[] = {0, 1, 5, 31, 32, 33, 63, 64, 100, -1, -31,
+                          -32, -100};
+    for (const int k : counts) {
+        const int v = g.range(-5000, 5000) * 131071;
+        os << "  print_int((" << v << " << " << k << ") == (" << v
+           << " << id(" << k << ")));\n";
+        os << "  print_int((" << v << " >> " << k << ") == (" << v
+           << " >> id(" << k << ")));\n";
+        os << "  print_int(((unsigned)" << v << " >> " << k
+           << ") == ((unsigned)" << v << " >> id(" << k << ")));\n";
+        expected += "111";
+    }
+    os << "  return 0;\n}\n";
+
+    for (const auto &opts :
+         {CompileOptions::d16(), CompileOptions::dlxe(32, true)}) {
+        for (int level = 0; level <= 2; ++level) {
+            CompileOptions o = opts;
+            o.optLevel = level;
+            const auto m = buildAndRun(os.str(), o);
+            EXPECT_EQ(m.output, expected)
+                << opts.name() << " O" << level;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Cache model invariants
 // ---------------------------------------------------------------------
 
