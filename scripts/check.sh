@@ -3,7 +3,8 @@
 # toolchain verification layer over every workload on both targets.
 #
 #   scripts/check.sh            run everything
-#   SKIP_SANITIZE=1 ...         skip the ASan/UBSan build (fast local run)
+#   SKIP_SANITIZE=1 ...         skip the ASan/UBSan and TSan builds
+#                               (fast local run)
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -eu
@@ -33,6 +34,9 @@ done
 echo "== d16cfa: static/dynamic cross-validation (smoke matrix) =="
 ./build/tools/d16cfa --smoke --cross-validate --jobs "$JOBS" > /dev/null
 
+echo "== d16timing: static timing vs simulator (smoke matrix) =="
+./build/tools/d16timing --smoke --cross-validate --jobs "$JOBS" > /dev/null
+
 echo "== d16sweep: smoke matrix vs golden (trace replay on) =="
 ./build/tools/d16sweep --smoke --jobs "$JOBS" \
     --json build/sweep.json --golden tests/golden/sweep_golden.json
@@ -56,6 +60,22 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     echo "== sanitizers: d16fuzz corpus replay + 50-seed fuzz =="
     ./build-asan/tools/d16fuzz --corpus tests/corpus --seeds 50 \
         --jobs "$JOBS"
+
+    # The threaded paths (sweep/timing/fuzz worker pools, trace
+    # replay) get a dedicated TSan build: ASan and TSan can't share a
+    # binary, and the single-threaded tier-1 tests would not exercise
+    # the races TSan exists to catch.
+    echo "== sanitizers: TSan build =="
+    cmake -B build-tsan -S . -DD16SIM_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$JOBS"
+
+    echo "== sanitizers: TSan d16sweep smoke, 8 workers =="
+    ./build-tsan/tools/d16sweep --smoke --jobs 8 \
+        --json build-tsan/sweep.json \
+        --golden tests/golden/sweep_golden.json
+
+    echo "== sanitizers: TSan d16fuzz 24-seed burst =="
+    ./build-tsan/tools/d16fuzz --seeds 24 --jobs 8
 fi
 
 echo "check.sh: all gates passed"

@@ -31,18 +31,6 @@ wordAt(const Image &img, uint32_t addr, int bytes)
     return w;
 }
 
-bool
-isNopEncoding(const TargetInfo &t, const DecodedInst &d)
-{
-    // D16 nop assembles to `mv r0, r0`, DLXe's to `add r0, r0, r0`;
-    // neither touches architectural state, so they must not count as
-    // reads (a decoded D16 nop would otherwise "read" the at register
-    // the last call clobbered).
-    if (t.kind() == isa::IsaKind::D16)
-        return d.op == Op::Mv && d.rd == 0 && d.rs1 == 0;
-    return d.op == Op::Add && d.rd == 0 && d.rs1 == 0 && d.rs2 == 0;
-}
-
 } // namespace
 
 RegEffects
@@ -54,7 +42,10 @@ regEffects(const TargetInfo &t, const DecodedInst &d)
     auto fr = [&](int r) { e.fprRead |= uint64_t{1} << r; };
     auto fw = [&](int r) { e.fprWrite |= uint64_t{1} << r; };
 
-    if (isNopEncoding(t, d))
+    // The canonical nop encodings touch no architectural state, so they
+    // must not count as reads (a decoded D16 nop would otherwise "read"
+    // the at register the last call clobbered).
+    if (isa::isCanonicalNop(t, d))
         return e;
 
     switch (opClass(d.op)) {

@@ -1,5 +1,6 @@
 #include "analysis/xvalidate.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/strings.hh"
@@ -78,6 +79,62 @@ crossValidate(const ImageCfg &cfg, const ExecProbe &probe,
             "branch/jump-site counts sum to " + std::to_string(cfTotal) +
                 " but the machine counted " +
                 std::to_string(stats.branches) + " branches");
+    }
+
+    // The dynamically taken edges must be a subset of the static
+    // graph: each observed transfer leaves from the end of its block
+    // and lands exactly where the CFG says control can go.
+    if (probe.recordsEdges()) {
+        // Valid return points per function: the fall-through heads of
+        // every resolved call site of that function.
+        std::vector<std::vector<uint32_t>> returnPoints(cfg.funcs.size());
+        for (const Block &b : cfg.blocks)
+            if (b.func >= 0 && b.isCall && b.callee >= 0)
+                for (int s : b.succs)
+                    returnPoints[b.callee].push_back(
+                        cfg.insns[cfg.blocks[s].first].addr);
+
+        for (const auto &[edge, count] : probe.edges()) {
+            const auto [from, to] = edge;
+            const int fi = cfg.insnAt(from);
+            const int ti = cfg.insnAt(to);
+            if (fi < 0 || ti < 0)
+                continue;  // already reported as cfa-xval-unknown-pc
+            const Block &b = cfg.blocks[cfg.blockOf(fi)];
+            if (b.func < 0)
+                continue;  // already cfa-xval-unreachable-executed
+            if (b.hasIndirect)
+                continue;  // statically unresolved: anything goes
+            std::string reason;
+            if (fi != b.last) {
+                reason = "control left mid-block";
+            } else if (b.isCall && b.callee >= 0) {
+                if (to != cfg.funcs[b.callee].entryAddr)
+                    reason = "call did not enter the resolved callee " +
+                             cfg.funcs[b.callee].name;
+            } else if (b.isCall) {
+                // Unresolved callee: no static claim to check.
+            } else if (b.isReturn) {
+                const auto &rps = returnPoints[b.func];
+                if (std::find(rps.begin(), rps.end(), to) == rps.end())
+                    reason = "return landed on a PC that is not a "
+                             "return point of " + cfg.funcs[b.func].name;
+            } else {
+                bool found = false;
+                for (int s : b.succs)
+                    found |= to == cfg.insns[cfg.blocks[s].first].addr;
+                if (!found)
+                    reason = "transfer target is not a static "
+                             "successor head";
+            }
+            if (!reason.empty()) {
+                findings += emit(
+                    diags, cfg, "cfa-xval-edge", from, true,
+                    "observed edge to " + hexString(to) + " (taken " +
+                        std::to_string(count) + " time(s)) is not in "
+                        "the static CFG: " + reason);
+            }
+        }
     }
 
     // Prefix-shaped execution within each block.

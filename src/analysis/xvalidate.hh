@@ -13,7 +13,14 @@
  *  - the counts at branch/jump sites sum to SimStats::branches;
  *  - within each block, execution is prefix-shaped: counts are
  *    non-increasing from the block head (a block can only be entered
- *    at its head; only a halting trap may exit it early).
+ *    at its head; only a halting trap may exit it early);
+ *  - when the probe records edges (construct it with the target's
+ *    instruction width), every observed non-sequential transfer is an
+ *    edge the static CFG predicts: it leaves from the last site of
+ *    its block and lands on a successor head, the resolved callee's
+ *    entry, or a valid return point of the returning function —
+ *    i.e. the dynamically observed block graph is a subset of the
+ *    static one.
  *
  * Violations are Error-severity `cfa-xval-*` diagnostics.
  */
@@ -32,21 +39,48 @@
 namespace d16sim::analysis
 {
 
-/** Per-PC execution counter (ordered so validation is deterministic). */
+/** Per-PC execution counter (ordered so validation is deterministic).
+ *  Constructed with the target's instruction width it also records
+ *  every non-sequential PC transition — the dynamically taken CFG
+ *  edges (branch/jump/call/return transfers, delay slot to target). */
 class ExecProbe : public sim::Probe
 {
   public:
+    ExecProbe() = default;
+    explicit ExecProbe(int insnBytes)
+        : insnBytes_(static_cast<uint32_t>(insnBytes))
+    {}
+
     void
     onExec(const isa::DecodedInst &inst, uint32_t pc) override
     {
         (void)inst;
         ++counts_[pc];
+        if (insnBytes_ != 0) {
+            if (havePrev_ && pc != prevPc_ + insnBytes_)
+                ++edges_[{prevPc_, pc}];
+            havePrev_ = true;
+            prevPc_ = pc;
+        }
     }
 
     const std::map<uint32_t, uint64_t> &counts() const { return counts_; }
 
+    bool recordsEdges() const { return insnBytes_ != 0; }
+
+    /** Observed non-sequential transfers (from, to) -> count. */
+    const std::map<std::pair<uint32_t, uint32_t>, uint64_t> &
+    edges() const
+    {
+        return edges_;
+    }
+
   private:
     std::map<uint32_t, uint64_t> counts_;
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> edges_;
+    uint32_t insnBytes_ = 0;
+    uint32_t prevPc_ = 0;
+    bool havePrev_ = false;
 };
 
 /** Validate a recorded run against the static CFG. Returns the number

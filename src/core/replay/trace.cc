@@ -12,7 +12,7 @@ namespace
 
 constexpr uint32_t HeaderMagic = 0x54363144;  // "D16T" little-endian
 constexpr uint32_t TrailerMagic = 0x44363154; // "T16D" little-endian
-constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t FormatVersion = 2;  // v2 added branchBubbles
 
 void
 put32(std::vector<uint8_t> &out, uint32_t v)
@@ -123,6 +123,7 @@ Trace::serialize() const
     put64(out, base.stats.takenBranches);
     put64(out, base.stats.fpOps);
     put64(out, base.stats.traps);
+    put64(out, base.stats.branchBubbles);
     put64(out, base.output.size());
     out.insert(out.end(), base.output.begin(), base.output.end());
 
@@ -173,6 +174,7 @@ Trace::deserialize(const std::vector<uint8_t> &bytes)
     t.base.stats.takenBranches = in.u64();
     t.base.stats.fpOps = in.u64();
     t.base.stats.traps = in.u64();
+    t.base.stats.branchBubbles = in.u64();
     t.base.output = in.str(in.u64());
 
     const uint64_t runCount = in.u64();

@@ -220,6 +220,7 @@ JobResult::json() const
     r["takenBranches"] = Json(run.stats.takenBranches);
     r["fpOps"] = Json(run.stats.fpOps);
     r["traps"] = Json(run.stats.traps);
+    r["branchBubbles"] = Json(run.stats.branchBubbles);
     j["run"] = std::move(r);
 
     Json d = Json::object();

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "isa/decoded.hh"
 #include "support/bits.hh"
 #include "support/error.hh"
 
@@ -53,6 +54,14 @@ const TargetInfo &
 TargetInfo::get(IsaKind kind)
 {
     return kind == IsaKind::D16 ? d16() : dlxe();
+}
+
+bool
+isCanonicalNop(const TargetInfo &t, const DecodedInst &d)
+{
+    if (t.kind() == IsaKind::D16)
+        return d.op == Op::Mv && d.rd == 0 && d.rs1 == 0;
+    return d.op == Op::Add && d.rd == 0 && d.rs1 == 0 && d.rs2 == 0;
 }
 
 bool

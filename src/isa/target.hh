@@ -35,6 +35,8 @@
 namespace d16sim::isa
 {
 
+struct DecodedInst;
+
 enum class IsaKind : uint8_t
 {
     D16,
@@ -113,6 +115,16 @@ class TargetInfo
     bool r0IsZero_;
     int branchRangeBytes_;
 };
+
+/**
+ * Is `d` the target's canonical nop encoding? `Op::Nop` never appears
+ * in a decoded stream: the D16 nop assembles to `mv r0, r0` and the
+ * DLXe nop to `add r0, r0, r0`. Note that on D16 the encoding still
+ * *executes* as a real move of the at register (r0 is an ordinary
+ * register there), so this predicate identifies wasted issue slots, not
+ * timing-neutral instructions.
+ */
+bool isCanonicalNop(const TargetInfo &t, const DecodedInst &d);
 
 } // namespace d16sim::isa
 

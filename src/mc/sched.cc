@@ -278,4 +278,11 @@ schedule(std::vector<assem::AsmItem> &items, const isa::TargetInfo &target)
     return stats;
 }
 
+void
+applyFeedback(SchedStats &stats, const SchedFeedback &fb)
+{
+    stats.residualLoadUse += fb.loadUseSites;
+    stats.avoidableLoadUse += fb.avoidableSites;
+}
+
 } // namespace d16sim::mc

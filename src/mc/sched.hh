@@ -27,11 +27,33 @@ struct SchedStats
     int slotsFilled = 0;
     int slotsLeftNop = 0;
     int loadsSeparated = 0;
+
+    // Filled by applyFeedback() from the binary-level timing analyzer
+    // (analysis::analyzeTiming), which sees the *linked* image the
+    // scheduler produced: interlocks it left behind, and how many of
+    // those an in-block move could still have hidden.
+    int residualLoadUse = 0;   //!< guaranteed load-use interlock sites
+    int avoidableLoadUse = 0;  //!< ... provably schedulable away
+};
+
+/**
+ * Post-link hazard annotations fed back to the scheduler's report.
+ * Produced by analysis::schedFeedback from the static timing pass;
+ * the addresses identify the stalling consumers in the final image.
+ */
+struct SchedFeedback
+{
+    int loadUseSites = 0;    //!< guaranteed load-use interlock sites
+    int avoidableSites = 0;  //!< ... an independent move could fill
+    std::vector<uint32_t> avoidableAddrs;
 };
 
 /** Schedule a whole module in place. */
 SchedStats schedule(std::vector<assem::AsmItem> &items,
                     const isa::TargetInfo &target);
+
+/** Fold analyzer feedback into a module's scheduling stats. */
+void applyFeedback(SchedStats &stats, const SchedFeedback &fb);
 
 } // namespace d16sim::mc
 

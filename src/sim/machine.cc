@@ -185,6 +185,7 @@ Machine::step()
     }
 
     const DecodedInst &inst = decoded(pc_);
+    const uint32_t pc = pc_;
     if (!probes_.empty()) {
         for (Probe *p : probes_)
             p->onIFetch(pc_);
@@ -193,8 +194,15 @@ Machine::step()
     }
 
     stats_.instructions += 1;
+    const bool shadow = inCfShadow_;
+    inCfShadow_ = false;  // re-armed by execute() for branches/jumps
     stallThisInsn_ = 0;
     execute(inst);
+    if (shadow && isa::isCanonicalNop(*target_, inst))
+        stats_.branchBubbles += 1;
+    if (stallThisInsn_ != 0 && !probes_.empty())
+        for (Probe *p : probes_)
+            p->onStall(pc, stallThisInsn_, stallIsFp_);
 
     return !halted_;
 }
@@ -384,6 +392,7 @@ Machine::execute(const DecodedInst &inst)
 
       case Op::Br: case Op::Bz: case Op::Bnz: {
         stats_.branches += 1;
+        inCfShadow_ = true;
         if (op != Op::Br)
             useGpr(inst.rs1);
         finishIssue();
@@ -400,6 +409,7 @@ Machine::execute(const DecodedInst &inst)
 
       case Op::J: case Op::Jl: {
         stats_.branches += 1;
+        inCfShadow_ = true;
         const uint64_t t = finishIssue();
         taken = true;
         target = pc + static_cast<uint32_t>(inst.imm);
@@ -412,6 +422,7 @@ Machine::execute(const DecodedInst &inst)
 
       case Op::Jr: case Op::Jlr: {
         stats_.branches += 1;
+        inCfShadow_ = true;
         useGpr(inst.rs1);
         const uint64_t t = finishIssue();
         taken = true;
@@ -425,6 +436,7 @@ Machine::execute(const DecodedInst &inst)
 
       case Op::Jrz: case Op::Jrnz: {
         stats_.branches += 1;
+        inCfShadow_ = true;
         useGpr(inst.rs1);
         useGpr(inst.rs2);
         finishIssue();

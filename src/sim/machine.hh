@@ -125,6 +125,10 @@ class Machine
     bool inDelaySlot_ = false;
     uint32_t delayedTarget_ = 0;
 
+    // True while the next instruction sits in a branch/jump shadow
+    // (taken or not) — a canonical nop there is a branch bubble.
+    bool inCfShadow_ = false;
+
     // Scoreboard: absolute cycle each register becomes available.
     uint64_t cycle_ = 0;
     uint64_t stallThisInsn_ = 0;

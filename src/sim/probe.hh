@@ -49,6 +49,18 @@ class Probe
         (void)addr;
         (void)size;
     }
+
+    /** The instruction at `pc` stalled `cycles` cycles before issuing;
+     *  `fp` mirrors the machine's interlock attribution (true = math
+     *  unit busy, false = delayed load). Only called when cycles > 0,
+     *  after the instruction executed. */
+    virtual void
+    onStall(uint32_t pc, uint64_t cycles, bool fp)
+    {
+        (void)pc;
+        (void)cycles;
+        (void)fp;
+    }
 };
 
 } // namespace d16sim::sim

@@ -29,6 +29,12 @@ struct SimStats
     uint64_t fpOps = 0;
     uint64_t traps = 0;
 
+    /** Canonical nops executed in a branch/jump shadow (unfilled delay
+     *  slots). Already included in `instructions`: a bubble is a wasted
+     *  issue slot, not an extra stall — counted separately so static
+     *  and dynamic cycle accounting share one taxonomy. */
+    uint64_t branchBubbles = 0;
+
     uint64_t interlocks() const { return loadInterlocks + fpInterlocks; }
 
     /** Cycles assuming a perfect memory system (no wait states). */

@@ -95,7 +95,9 @@ analyzeUnit(Unit &u, const Args &args)
         u.result = analysis::analyzeImage(*u.image, u.diags,
                                           analysis::Abi::from(opts));
         if (args.crossValidate) {
-            analysis::ExecProbe probe;
+            // The instruction width arms dynamic-edge recording: the
+            // observed block graph must be a subset of the static CFG.
+            analysis::ExecProbe probe(opts.target().insnBytes());
             const core::RunMeasurement m = core::run(*u.image, {&probe});
             u.result.findings += analysis::crossValidate(
                 u.result.cfg, probe, m.stats, u.diags);

@@ -9,9 +9,14 @@
  *   d16fuzz --seed-base B            first seed (default 1)
  *   d16fuzz --jobs N                 worker threads
  *   d16fuzz --corpus DIR             first replay every *.c in DIR as a
- *                                    regression gate, then fuzz; with
- *                                    --minimize, newly found divergent
- *                                    programs are written there
+ *                                    regression gate — each program must
+ *                                    agree across the oracle and all
+ *                                    variants AND its dynamically
+ *                                    observed block graph must be a
+ *                                    subset of the statically recovered
+ *                                    CFG — then fuzz; with --minimize,
+ *                                    newly found divergent programs are
+ *                                    written there
  *   d16fuzz --minimize               shrink each divergence before
  *                                    reporting it
  *   d16fuzz --dump SEED              print the program for one seed
@@ -31,7 +36,10 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/xvalidate.hh"
+#include "core/toolchain.hh"
 #include "fuzz/fuzz.hh"
+#include "mc/compiler.hh"
 #include "support/cli.hh"
 
 namespace
@@ -57,6 +65,39 @@ struct Finding
     fuzz::DiffOutcome outcome;
 };
 
+/** Static-CFG gate for one corpus program: on both base targets, the
+ *  dynamically observed basic blocks and transfers must be a subset
+ *  of the statically recovered CFG (exact cross-validation). Build or
+ *  run limits are the differential harness's concern, not this
+ *  gate's, so they are skipped silently here. */
+int
+cfgGate(const std::string &source, const std::string &name)
+{
+    int failures = 0;
+    for (const auto &opts :
+         {mc::CompileOptions::d16(), mc::CompileOptions::dlxe()}) {
+        try {
+            const assem::Image img = core::build(source, opts);
+            const analysis::ImageCfg cfg = analysis::buildCfg(img);
+            analysis::ExecProbe probe(opts.target().insnBytes());
+            const core::RunMeasurement m = core::run(img, {&probe});
+            verify::DiagEngine diags;
+            diags.setUnit(name + "/" + opts.name());
+            if (analysis::crossValidate(cfg, probe, m.stats, diags)) {
+                ++failures;
+                std::ostringstream os;
+                diags.renderText(os);
+                std::printf("corpus %-32s CFG GATE FAILED (%s)\n%s",
+                            name.c_str(), opts.name().c_str(),
+                            os.str().c_str());
+            }
+        } catch (const Error &) {
+            // Didn't build or hit a run limit under these options.
+        }
+    }
+    return failures;
+}
+
 /** Replay every checked-in reproducer; each must agree now. */
 int
 replayCorpus(const std::string &dir)
@@ -80,8 +121,12 @@ replayCorpus(const std::string &dir)
         ss << in.rdbuf();
         const fuzz::DiffOutcome out = fuzz::runDifferential(ss.str());
         if (out.kind == fuzz::DiffKind::Agree) {
-            std::printf("corpus %-32s ok\n",
-                        path.filename().c_str());
+            const int cfgBad =
+                cfgGate(ss.str(), path.filename().string());
+            failures += cfgBad;
+            if (!cfgBad)
+                std::printf("corpus %-32s ok\n",
+                            path.filename().c_str());
         } else {
             ++failures;
             std::printf("corpus %-32s FAILED\n  %s\n",
