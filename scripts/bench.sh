@@ -14,7 +14,10 @@
 # (wall clock split into build / simulate / replay, instructions
 # simulated, sim MIPS); "sweepNoReplay" is the same matrix with every
 # job re-simulated, so their wall-clock ratio is the measured replay
-# speedup. Entries in this format are appended to the committed
+# speedup; "sweepNoBlocks" is the same matrix (replay on) with
+# --no-block-engine, so sweep.simMips / sweepNoBlocks.simMips is the
+# measured block-engine speedup over per-instruction step dispatch.
+# Entries in this format are appended to the committed
 # BENCH_sweep.json history. Requires jq.
 #
 # Run from the repository root. Exits non-zero on the first failure.
@@ -54,6 +57,14 @@ echo "== d16sweep: $MATRIX matrix, replay off (A/B baseline) =="
 ./build/tools/d16sweep $SMOKE_FLAG --jobs "$JOBS" --no-replay \
     --json build/bench_noreplay.json
 
+# Replay stays on so this leg simulates the same job set as "sweep"
+# (base runs + trace captures): the simMips ratio isolates the block
+# engine instead of being diluted by probe-attached step jobs.
+echo "== d16sweep: $MATRIX matrix, block engine off (A/B baseline) =="
+# shellcheck disable=SC2086
+./build/tools/d16sweep $SMOKE_FLAG --jobs "$JOBS" \
+    --no-block-engine --json build/bench_noblocks.json
+
 echo "== bench_micro =="
 ./build/bench/bench_micro --benchmark_format=console \
     --benchmark_out_format=json --benchmark_out=build/bench_micro.json
@@ -64,6 +75,7 @@ jq -n \
     --argjson jobs "$JOBS" \
     --slurpfile replay build/bench_replay.json \
     --slurpfile noreplay build/bench_noreplay.json \
+    --slurpfile noblocks build/bench_noblocks.json \
     --slurpfile micro build/bench_micro.json \
     '{
         "label": $lbl,
@@ -71,10 +83,15 @@ jq -n \
         "jobs": $jobs,
         "sweep": $replay[0].timing,
         "sweepNoReplay": $noreplay[0].timing,
+        "sweepNoBlocks": $noblocks[0].timing,
         "replaySpeedup": (if $replay[0].timing.wallSeconds > 0
                           then ($noreplay[0].timing.wallSeconds /
                                 $replay[0].timing.wallSeconds)
                           else 0 end),
+        "blockSpeedup": (if $noblocks[0].timing.simMips > 0
+                         then ($replay[0].timing.simMips /
+                               $noblocks[0].timing.simMips)
+                         else 0 end),
         "micro": ($micro[0].benchmarks
                   | map({"key": .name,
                          "value": {"realTime": .real_time,
@@ -83,4 +100,4 @@ jq -n \
      }' > "$OUT"
 
 echo "bench.sh: wrote $OUT"
-jq -r '"bench.sh: \(.label): wall \(.sweep.wallSeconds | . * 100 | round / 100)s with replay (build \(.sweep.buildSeconds | . * 100 | round / 100)s + simulate \(.sweep.simulateSeconds | . * 100 | round / 100)s + replay \(.sweep.replaySeconds | . * 100 | round / 100)s), \(.sweepNoReplay.wallSeconds | . * 100 | round / 100)s without, speedup \(.replaySpeedup * 100 | round / 100)x, \(.sweep.simMips | . * 10 | round / 10) sim MIPS"' "$OUT"
+jq -r '"bench.sh: \(.label): wall \(.sweep.wallSeconds | . * 100 | round / 100)s with replay (build \(.sweep.buildSeconds | . * 100 | round / 100)s + simulate \(.sweep.simulateSeconds | . * 100 | round / 100)s + replay \(.sweep.replaySeconds | . * 100 | round / 100)s), \(.sweepNoReplay.wallSeconds | . * 100 | round / 100)s without, speedup \(.replaySpeedup * 100 | round / 100)x, \(.sweep.simMips | . * 10 | round / 10) sim MIPS (block engine \(.blockSpeedup * 100 | round / 100)x over step)"' "$OUT"

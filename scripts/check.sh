@@ -46,7 +46,15 @@ echo "== d16sweep: smoke matrix vs golden, --no-replay (A/B) =="
     --json build/sweep_noreplay.json \
     --golden tests/golden/sweep_golden.json
 
+echo "== d16sweep: smoke matrix vs golden, --no-block-engine (A/B) =="
+./build/tools/d16sweep --smoke --jobs "$JOBS" --no-block-engine \
+    --json build/sweep_noblocks.json \
+    --golden tests/golden/sweep_golden.json
+
 echo "== d16fuzz: corpus replay + 200-seed differential fuzz =="
+# Each seed is a three-way differential: oracle vs step dispatch vs
+# the block-compiled threaded-code engine (output, exit status, and
+# every SimStats counter).
 ./build/tools/d16fuzz --corpus tests/corpus --seeds 200 --jobs "$JOBS"
 
 if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
@@ -69,6 +77,8 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     cmake -B build-tsan -S . -DD16SIM_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
 
+    # Block-compiled dispatch is on by default, so this also races the
+    # shared BlockProgram across 8 workers under TSan.
     echo "== sanitizers: TSan d16sweep smoke, 8 workers =="
     ./build-tsan/tools/d16sweep --smoke --jobs 8 \
         --json build-tsan/sweep.json \

@@ -1,0 +1,20 @@
+#include "analysis/block_export.hh"
+
+namespace d16sim::analysis
+{
+
+sim::BlockTable
+exportBlockTable(const ImageCfg &cfg)
+{
+    sim::BlockTable table;
+    table.spans.reserve(cfg.blocks.size());
+    for (const Block &b : cfg.blocks) {
+        sim::BlockSpan span;
+        span.startPc = cfg.insns[b.first].addr;
+        span.count = static_cast<uint32_t>(b.size());
+        table.spans.push_back(span);
+    }
+    return table;
+}
+
+} // namespace d16sim::analysis

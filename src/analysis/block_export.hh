@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Bridge from CFG recovery to the sim block engine.
+ *
+ * The analyzer proves where every basic block starts and that each
+ * block owns its terminator's delay slot; the block engine only needs
+ * those spans (sim cannot depend on analysis, so the sim::BlockTable
+ * struct is the narrow waist between the two layers).
+ */
+
+#ifndef D16SIM_ANALYSIS_BLOCK_EXPORT_HH
+#define D16SIM_ANALYSIS_BLOCK_EXPORT_HH
+
+#include "analysis/cfg.hh"
+#include "sim/block_engine.hh"
+
+namespace d16sim::analysis
+{
+
+/** Project the CFG's blocks onto (startPc, count) spans for
+ *  sim::BlockProgram translation. Spans come out disjoint and
+ *  ascending because cfg.blocks is. */
+sim::BlockTable exportBlockTable(const ImageCfg &cfg);
+
+} // namespace d16sim::analysis
+
+#endif // D16SIM_ANALYSIS_BLOCK_EXPORT_HH

@@ -249,12 +249,13 @@ Trace::readFile(const std::string &path)
 Trace
 capture(const assem::Image &image,
         std::shared_ptr<const sim::DecodedText> predecoded,
-        sim::MachineConfig config)
+        sim::MachineConfig config,
+        std::shared_ptr<const sim::BlockProgram> blocks)
 {
     panicIf(!image.target, "image has no target");
     TraceProbe probe(static_cast<uint32_t>(image.target->insnBytes()));
-    RunMeasurement m =
-        core::run(image, {&probe}, config, std::move(predecoded));
+    RunMeasurement m = core::run(image, {&probe}, config,
+                                 std::move(predecoded), std::move(blocks));
     return probe.take(std::move(m));
 }
 

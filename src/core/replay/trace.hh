@@ -82,8 +82,16 @@ struct Trace
  * the open run with one compare; data callbacks append fixed-size
  * records. Attach to one Machine, run to completion, then take() the
  * trace (with the run's measurement).
+ *
+ * Also a sim::TraceSink, so a machine with a block program keeps
+ * block dispatch during capture: the engine hands over whole-block
+ * fetch chunks (onFetchChunk) which merge into the same run-length
+ * encoding the per-instruction path produces — all fetches inside a
+ * block are sequential, so `count` fetches from `startPc` is exactly
+ * `count` onIFetch calls. Step-fallback stretches keep using the
+ * per-instruction callbacks on the same state, byte-identically.
  */
-class TraceProbe : public sim::Probe
+class TraceProbe : public sim::Probe, public sim::TraceSink
 {
   public:
     explicit TraceProbe(uint32_t insnBytes) : insnBytes_(insnBytes)
@@ -102,6 +110,16 @@ class TraceProbe : public sim::Probe
             trace_.runs.push_back({pc, 1});
         }
         nextPc_ = pc + insnBytes_;
+    }
+
+    void
+    onFetchChunk(uint32_t startPc, uint32_t count) override
+    {
+        if (startPc == nextPc_ && !trace_.runs.empty())
+            trace_.runs.back().count += count;
+        else
+            trace_.runs.push_back({startPc, count});
+        nextPc_ = startPc + count * insnBytes_;
     }
 
     void
@@ -134,10 +152,12 @@ class TraceProbe : public sim::Probe
 };
 
 /** Simulate `image` once with a TraceProbe attached and return the
- *  recorded trace. `predecoded` is forwarded to the machine. */
+ *  recorded trace. `predecoded` and `blocks` are forwarded to the
+ *  machine (block-compiled capture records identical traces). */
 Trace capture(const assem::Image &image,
               std::shared_ptr<const sim::DecodedText> predecoded = nullptr,
-              sim::MachineConfig config = {});
+              sim::MachineConfig config = {},
+              std::shared_ptr<const sim::BlockProgram> blocks = nullptr);
 
 } // namespace d16sim::core::replay
 

@@ -101,13 +101,15 @@ executeJob(const JobSpec &spec)
 
 JobResult
 executeJob(const JobSpec &spec, const assem::Image &image,
-           std::shared_ptr<const sim::DecodedText> predecoded)
+           std::shared_ptr<const sim::DecodedText> predecoded,
+           std::shared_ptr<const sim::BlockProgram> blocks)
 {
     JobResult r;
     r.probe = spec.probe;
     switch (spec.probe) {
       case ProbeKind::None:
-        r.run = core::run(image, {}, {}, std::move(predecoded));
+        r.run = core::run(image, {}, {}, std::move(predecoded),
+                          std::move(blocks));
         break;
       case ProbeKind::FetchBuffer: {
         FetchBufferProbe fb(spec.busBytes);

@@ -104,9 +104,13 @@ struct JobResult
 JobResult executeJob(const JobSpec &spec);
 
 /** Execute one job against an already-built image; `predecoded`
- *  optionally shares one decode table across the image's runs. */
+ *  optionally shares one decode table across the image's runs and
+ *  `blocks` a compiled block program (base runs then use the sim
+ *  threaded-code engine; probe runs ignore it). */
 JobResult executeJob(const JobSpec &spec, const assem::Image &image,
                      std::shared_ptr<const sim::DecodedText> predecoded =
+                         nullptr,
+                     std::shared_ptr<const sim::BlockProgram> blocks =
                          nullptr);
 
 /** True when the job's measurement is fully determined by a recorded

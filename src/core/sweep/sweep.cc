@@ -249,6 +249,11 @@ SweepEngine::run()
                           n->runs.front().opts));
                 auto predecoded =
                     std::make_shared<const sim::DecodedText>(*image);
+                // Block translation amortizes like predecoding: once
+                // per image, shared by every dependent run.
+                std::shared_ptr<const sim::BlockProgram> blocks;
+                if (blockEngine_)
+                    blocks = buildBlockProgram(*image, predecoded);
                 const double bt = secondsSince(buildStart);
                 {
                     std::lock_guard<std::mutex> lock(timingMutex);
@@ -256,12 +261,14 @@ SweepEngine::run()
                     timing_.buildSeconds += bt;
                 }
 
-                auto submitDirect = [this, image, predecoded, &pool,
+                auto submitDirect = [this, image, predecoded, blocks,
+                                     &pool,
                                      &timingMutex](const JobSpec *s) {
-                    pool.submit([this, s, image, predecoded,
+                    pool.submit([this, s, image, predecoded, blocks,
                                  &timingMutex] {
                         const auto simStart = Clock::now();
-                        JobResult r = executeJob(*s, *image, predecoded);
+                        JobResult r =
+                            executeJob(*s, *image, predecoded, blocks);
                         const double st = secondsSince(simStart);
                         const uint64_t insns = r.run.stats.instructions;
                         store_.put(jobKey(*s), std::move(r));
@@ -298,11 +305,12 @@ SweepEngine::run()
                 // cache/fetch-buffer key; non-replayable jobs (imm
                 // classification) still simulate against the shared
                 // image.
-                pool.submit([this, n, image, predecoded, baseSpec,
-                             submitDirect, &pool, &timingMutex] {
+                pool.submit([this, n, image, predecoded, blocks,
+                             baseSpec, submitDirect, &pool,
+                             &timingMutex] {
                     const auto simStart = Clock::now();
                     auto trace = std::make_shared<const replay::Trace>(
-                        replay::capture(*image, predecoded));
+                        replay::capture(*image, predecoded, {}, blocks));
                     const double st = secondsSince(simStart);
                     if (baseSpec)
                         store_.put(jobKey(*baseSpec),

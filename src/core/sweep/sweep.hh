@@ -109,6 +109,18 @@ class SweepEngine
     void setReplay(bool enabled) { replay_ = enabled; }
     bool replayEnabled() const { return replay_; }
 
+    /**
+     * Block-engine mode (default on): every build node compiles its
+     * image's recovered CFG into a sim::BlockProgram (once, shared),
+     * and base runs + trace captures dispatch block-compiled threaded
+     * code instead of per-instruction step(). Results are
+     * bit-identical either way (the differential gate runs both); off
+     * re-simulates through step() for A/B timing and as a correctness
+     * cross-check (tools expose this as --no-block-engine).
+     */
+    void setBlockEngine(bool enabled) { blockEngine_ = enabled; }
+    bool blockEngineEnabled() const { return blockEngine_; }
+
     /** Execute everything added since the last run(); blocks. */
     void run();
 
@@ -118,6 +130,7 @@ class SweepEngine
     ResultStore &store_;
     int threads_;
     bool replay_ = true;
+    bool blockEngine_ = true;
     std::vector<JobSpec> pending_;
     SweepTiming timing_;
 };

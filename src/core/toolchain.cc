@@ -1,6 +1,7 @@
 #include "core/toolchain.hh"
 
 #include "analysis/analysis.hh"
+#include "analysis/block_export.hh"
 #include "verify/verify.hh"
 
 namespace d16sim::core
@@ -31,16 +32,37 @@ build(std::string_view source, const mc::CompileOptions &opts)
     return img;
 }
 
+std::shared_ptr<const sim::BlockProgram>
+buildBlockProgram(const assem::Image &image,
+                  std::shared_ptr<const sim::DecodedText> predecoded)
+{
+    if (!predecoded)
+        predecoded = std::make_shared<const sim::DecodedText>(image);
+    const analysis::ImageCfg cfg = analysis::buildCfg(image);
+    return std::make_shared<const sim::BlockProgram>(
+        image, *predecoded, analysis::exportBlockTable(cfg));
+}
+
 RunMeasurement
 run(const assem::Image &image, std::vector<sim::Probe *> probes,
     sim::MachineConfig config,
-    std::shared_ptr<const sim::DecodedText> predecoded)
+    std::shared_ptr<const sim::DecodedText> predecoded,
+    std::shared_ptr<const sim::BlockProgram> blocks)
 {
     sim::Machine machine(image, config, std::move(predecoded));
     for (sim::Probe *p : probes) {
         if (auto *cp = dynamic_cast<CacheProbe *>(p))
             cp->setInsnBytes(image.target->insnBytes());
         machine.addProbe(p);
+    }
+    if (blocks) {
+        machine.setBlockProgram(std::move(blocks));
+        // A lone block-capable probe (the trace capturer) keeps block
+        // dispatch eligible; anything else makes the machine fall
+        // back to pure step dispatch on its own.
+        if (probes.size() == 1)
+            if (auto *sink = dynamic_cast<sim::TraceSink *>(probes[0]))
+                machine.setTraceSink(sink);
     }
     RunMeasurement m;
     m.exitStatus = machine.run();

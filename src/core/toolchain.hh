@@ -164,13 +164,26 @@ struct RunMeasurement
     uint32_t textInsns = 0;   //!< static instruction count
 };
 
+/** Compile the image's recovered CFG into a shared block program for
+ *  the sim threaded-code engine (see sim::BlockProgram). Built once
+ *  per image and shared read-only by every machine that runs it;
+ *  `predecoded` reuses an existing decode table when available. */
+std::shared_ptr<const sim::BlockProgram>
+buildBlockProgram(const assem::Image &image,
+                  std::shared_ptr<const sim::DecodedText> predecoded =
+                      nullptr);
+
 /** Run to completion with optional probes (not owned). `predecoded`
  *  optionally shares one decode table across runs of the same image
- *  (see sim::DecodedText). */
+ *  (see sim::DecodedText); `blocks` optionally enables block-compiled
+ *  dispatch (ignored by probe-attached runs except trace capture —
+ *  results are bit-identical either way). */
 RunMeasurement run(const assem::Image &image,
                    std::vector<sim::Probe *> probes = {},
                    sim::MachineConfig config = {},
                    std::shared_ptr<const sim::DecodedText> predecoded =
+                       nullptr,
+                   std::shared_ptr<const sim::BlockProgram> blocks =
                        nullptr);
 
 /** Convenience: build + run. */

@@ -82,9 +82,20 @@ runDifferential(const std::string &source)
             const std::string where =
                 std::string(v.name) + " -O" + std::to_string(opt);
 
+            // Three-way differential per variant: the reference
+            // interpreter, step dispatch, and the block-compiled
+            // threaded-code engine must all agree; step vs block
+            // additionally compares every SimStats counter.
             core::RunMeasurement run;
+            core::RunMeasurement blockRun;
             try {
-                run = core::buildAndRun(source, opts);
+                const assem::Image image = core::build(source, opts);
+                const auto predecoded =
+                    std::make_shared<const sim::DecodedText>(image);
+                run = core::run(image, {}, {}, predecoded);
+                blockRun = core::run(
+                    image, {}, {}, predecoded,
+                    core::buildBlockProgram(image, predecoded));
             } catch (const PanicError &e) {
                 out.kind = DiffKind::Divergence;
                 out.variant = v.name;
@@ -119,6 +130,25 @@ runDifferential(const std::string &source)
                     std::to_string(ref.exitStatus) + "\n  " + where +
                     ": [" + excerpt(run.output) + "] exit " +
                     std::to_string(run.exitStatus);
+                return out;
+            }
+
+            if (blockRun.output != run.output ||
+                blockRun.exitStatus != run.exitStatus ||
+                !(blockRun.stats == run.stats)) {
+                out.kind = DiffKind::Divergence;
+                out.variant = v.name;
+                out.optLevel = opt;
+                out.detail =
+                    where + ": block engine diverged from step "
+                    "dispatch\n  step:  [" + excerpt(run.output) +
+                    "] exit " + std::to_string(run.exitStatus) +
+                    ", " + std::to_string(run.stats.instructions) +
+                    " insns\n  block: [" + excerpt(blockRun.output) +
+                    "] exit " + std::to_string(blockRun.exitStatus) +
+                    ", " +
+                    std::to_string(blockRun.stats.instructions) +
+                    " insns";
                 return out;
             }
         }

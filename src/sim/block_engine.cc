@@ -1,0 +1,769 @@
+#include "sim/block_engine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "isa/codec.hh"
+#include "isa/operation.hh"
+#include "isa/target.hh"
+#include "sim/machine.hh"
+#include "support/error.hh"
+
+namespace d16sim::sim
+{
+
+using isa::DecodedInst;
+using isa::Op;
+
+namespace
+{
+
+float
+asFloat(uint64_t raw)
+{
+    return std::bit_cast<float>(static_cast<uint32_t>(raw));
+}
+
+uint64_t
+fromFloat(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+double
+asDouble(uint64_t raw)
+{
+    return std::bit_cast<double>(raw);
+}
+
+uint64_t
+fromDouble(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+/** Which register-file reads does `op` issue through the GPR
+ *  scoreboard (Machine::execute's useGpr calls)? Reported as "reads
+ *  the rs1/rs2 field"; Trap's fixed read of r2 is normalized onto rs1
+ *  by makeUop. FPR/status reads are not listed: those latencies span
+ *  blocks and always take the full scoreboard path. */
+void
+gprReads(Op op, bool &rs1, bool &rs2)
+{
+    rs1 = false;
+    rs2 = false;
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra:
+      case Op::Cmp:
+      case Op::St: case Op::Sth: case Op::Stb:
+      case Op::Jrz: case Op::Jrnz:
+        rs1 = true;
+        rs2 = true;
+        break;
+      case Op::Neg: case Op::Inv: case Op::Mv:
+      case Op::AddI: case Op::SubI: case Op::AndI: case Op::OrI:
+      case Op::XorI: case Op::ShlI: case Op::ShrI: case Op::ShraI:
+      case Op::CmpI:
+      case Op::Ld: case Op::Ldh: case Op::Ldhu:
+      case Op::Ldb: case Op::Ldbu:
+      case Op::Bz: case Op::Bnz:
+      case Op::Jr: case Op::Jlr:
+      case Op::MifL: case Op::MifH:
+      case Op::Trap:
+        rs1 = true;
+        break;
+      default:
+        break;
+    }
+}
+
+/** Does the *previous* instruction leave `r` pending in the load
+ *  delay slot? Only loads set a ready time that can still stall the
+ *  next issue (t+2); every other producer's t+1 is already met. */
+bool
+loadWrites(const isa::TargetInfo &t, const DecodedInst &prev, int r)
+{
+    if (isa::isPlainLoad(prev.op))
+        return prev.rd == r && !(r == 0 && t.r0IsZero());
+    if (prev.op == Op::Ldc)
+        return r == 0;  // D16-only; r0 is a real register there
+    return false;
+}
+
+/** Pre-bind one instruction. `prev` is the static predecessor in
+ *  issue order (null when unknown, i.e. at a block entry: then every
+ *  GPR read keeps its hazard check). */
+Uop
+makeUop(const isa::TargetInfo &t, const DecodedInst &d, uint32_t pc,
+        const DecodedInst *prev)
+{
+    const uint32_t ib = static_cast<uint32_t>(t.insnBytes());
+    Uop u;
+    u.op = d.op;
+    u.cond = d.cond;
+    u.rd = static_cast<uint8_t>(d.rd);
+    u.rs1 = static_cast<uint8_t>(d.rs1);
+    u.rs2 = static_cast<uint8_t>(d.rs2);
+    u.imm = d.imm;
+
+    switch (d.op) {
+      case Op::MvHI:
+        // Fold the shift: MvI and MvHI collapse to one load-immediate.
+        u.op = Op::MvI;
+        u.imm = static_cast<int32_t>(static_cast<uint32_t>(d.imm) << 16);
+        break;
+      case Op::Ldc:
+        u.imm = static_cast<int32_t>((pc & ~3u) +
+                                     static_cast<uint32_t>(d.imm));
+        u.aux = 4;
+        break;
+      case Op::Ld: case Op::Ldh: case Op::Ldhu:
+      case Op::Ldb: case Op::Ldbu:
+      case Op::St: case Op::Sth: case Op::Stb:
+        u.aux = static_cast<uint32_t>(isa::memAccessSize(d.op));
+        break;
+      case Op::Br: case Op::Bz: case Op::Bnz:
+      case Op::J: case Op::Jl:
+        u.imm = static_cast<int32_t>(pc + static_cast<uint32_t>(d.imm));
+        if (d.op == Op::Jl)
+            u.aux = pc + 2 * ib;
+        break;
+      case Op::Jlr:
+        u.aux = pc + 2 * ib;
+        break;
+      case Op::Trap:
+        u.rs1 = 2;  // the service argument register
+        break;
+      default:
+        break;
+    }
+
+    bool r1 = false, r2 = false;
+    gprReads(d.op, r1, r2);
+    if (r1 && (!prev || loadWrites(t, *prev, u.rs1)))
+        u.flags |= Uop::ChkRs1;
+    if (r2 && (!prev || loadWrites(t, *prev, u.rs2)))
+        u.flags |= Uop::ChkRs2;
+    return u;
+}
+
+} // namespace
+
+BlockProgram::BlockProgram(const assem::Image &image,
+                           const DecodedText &text,
+                           const BlockTable &table)
+{
+    panicIf(!image.target, "image has no target");
+    panicIf(text.base() != image.textBase,
+            "predecoded table does not match image");
+    textBase_ = image.textBase;
+    textSize_ = image.textSize;
+    shift_ = text.insnShift();
+    mask_ = (1u << shift_) - 1;
+    index_.assign(text.size(), -1);
+    blocks_.reserve(table.spans.size());
+    for (const BlockSpan &span : table.spans)
+        translate(*image.target, text, span);
+}
+
+void
+BlockProgram::translate(const isa::TargetInfo &t, const DecodedText &text,
+                        const BlockSpan &span)
+{
+    const uint32_t ib = 1u << shift_;
+    const uint32_t idx0 = (span.startPc - textBase_) >> shift_;
+    panicIf(span.count == 0 || (span.startPc - textBase_) > textSize_ ||
+                ((span.startPc - textBase_) & mask_) != 0 ||
+                idx0 + span.count > text.size(),
+            "block span outside the text section");
+
+    Block b;
+    b.startPc = span.startPc;
+    b.count = span.count;
+    b.fallThroughPc = span.startPc + span.count * ib;
+
+    const auto finish = [&](bool needsStep) {
+        b.needsStep = needsStep;
+        if (needsStep)
+            ++needsStep_;
+        index_[idx0] = static_cast<int32_t>(blocks_.size());
+        blocks_.push_back(b);
+    };
+
+    // Every site must hold a decoded instruction; a span that touches
+    // an invalid slot (pool data mis-claimed as code) is stepped.
+    for (uint32_t i = 0; i < span.count; ++i)
+        if (!text.valid(idx0 + i))
+            return finish(true);
+
+    int cf = -1;
+    for (uint32_t i = 0; i < span.count; ++i) {
+        if (isa::isControlFlow(text.at(idx0 + i).op)) {
+            cf = static_cast<int>(i);
+            break;
+        }
+    }
+
+    // Compiled blocks carry their terminator at count-2 with a
+    // non-control-flow delay slot. Anything else — a transfer as the
+    // last text instruction (no slot to fold), or a transfer sitting
+    // in the slot itself — keeps step()'s exact edge-case handling.
+    if (cf >= 0 && (cf != static_cast<int>(span.count) - 2 ||
+                    isa::isControlFlow(text.at(idx0 + cf + 1).op)))
+        return finish(true);
+
+    b.uopBegin = static_cast<uint32_t>(uops_.size());
+    const uint32_t body = cf >= 0 ? span.count - 2 : span.count;
+    const DecodedInst *prev = nullptr;  // block entry: predecessor unknown
+    for (uint32_t i = 0; i < body; ++i) {
+        const DecodedInst &d = text.at(idx0 + i);
+        uops_.push_back(makeUop(t, d, span.startPc + i * ib, prev));
+        prev = &d;
+    }
+    b.uopCount = body;
+
+    if (cf >= 0) {
+        const DecodedInst &cfd = text.at(idx0 + cf);
+        const DecodedInst &slotd = text.at(idx0 + cf + 1);
+        b.hasTerm = true;
+        b.term = makeUop(t, cfd, span.startPc + cf * ib, prev);
+        // The slot's dynamic predecessor is always the terminator,
+        // which is never a load: no GPR hazard check can fire.
+        b.slot = makeUop(t, slotd, span.startPc + (cf + 1) * ib, &cfd);
+        b.slotBubble = isa::isCanonicalNop(t, slotd);
+    }
+    finish(false);
+}
+
+// ----- Machine dispatch ------------------------------------------------
+
+/** GPR hazard check for the flagged sources of `u`. Mirrors
+ *  useGpr+finishIssue's stall arithmetic for the loadInterlocks case
+ *  (ties and maxima resolve identically: both sources attribute to the
+ *  load interlock counter). The caller adds the base issue cycle. */
+void
+Machine::uopGprStall(const Uop &u)
+{
+    const uint64_t issue = cycle_ + 1;
+    uint64_t stall = 0;
+    if (u.flags & Uop::ChkRs1) {
+        const uint64_t ready = gprReady_[u.rs1];
+        if (ready > issue)
+            stall = ready - issue;
+    }
+    if (u.flags & Uop::ChkRs2) {
+        const uint64_t ready = gprReady_[u.rs2];
+        if (ready > issue && ready - issue > stall)
+            stall = ready - issue;
+    }
+    if (stall) {
+        stats_.loadInterlocks += stall;
+        cycle_ += stall;
+    }
+}
+
+/** finishIssue() for the slow (scoreboarded) uop cases; requires
+ *  stallThisInsn_ reset by the caller before its useX() calls. */
+uint64_t
+Machine::uopFinishIssue()
+{
+    if (stallThisInsn_) {
+        if (stallIsFp_)
+            stats_.fpInterlocks += stallThisInsn_;
+        else
+            stats_.loadInterlocks += stallThisInsn_;
+    }
+    cycle_ += 1 + stallThisInsn_;
+    return cycle_;
+}
+
+/**
+ * Execute one pre-bound body/slot uop (never a terminator). Identical
+ * architectural and timing semantics to Machine::execute, minus the
+ * work the translator already did: operand binding, hazard-check
+ * narrowing (the ChkRs flags), and the t+1 ready-time writes of
+ * single-cycle producers, which can never stall a later issue and are
+ * elided. Returns true iff the uop halted the machine (Trap halt).
+ */
+bool
+Machine::execUop(const Uop &u)
+{
+    const FpLatencies &fpu = config_.fpu;
+
+    switch (u.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Shl: case Op::Shr: case Op::Shra: {
+        if (u.flags)
+            uopGprStall(u);
+        ++cycle_;
+        const uint32_t a = gpr_[u.rs1];
+        const uint32_t b = gpr_[u.rs2];
+        uint32_t r = 0;
+        switch (u.op) {
+          case Op::Add: r = a + b; break;
+          case Op::Sub: r = a - b; break;
+          case Op::And: r = a & b; break;
+          case Op::Or: r = a | b; break;
+          case Op::Xor: r = a ^ b; break;
+          case Op::Shl: r = a << (b & 31); break;
+          case Op::Shr: r = a >> (b & 31); break;
+          default:
+            r = static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31));
+            break;
+        }
+        writeGpr(u.rd, r);
+        break;
+      }
+
+      case Op::Neg: case Op::Inv: case Op::Mv: {
+        if (u.flags)
+            uopGprStall(u);
+        ++cycle_;
+        const uint32_t a = gpr_[u.rs1];
+        writeGpr(u.rd, u.op == Op::Neg ? 0u - a :
+                       u.op == Op::Inv ? ~a : a);
+        break;
+      }
+
+      case Op::AddI: case Op::SubI: case Op::AndI: case Op::OrI:
+      case Op::XorI: case Op::ShlI: case Op::ShrI: case Op::ShraI: {
+        if (u.flags)
+            uopGprStall(u);
+        ++cycle_;
+        const uint32_t a = gpr_[u.rs1];
+        const uint32_t imm = static_cast<uint32_t>(u.imm);
+        uint32_t r = 0;
+        switch (u.op) {
+          case Op::AddI: r = a + imm; break;
+          case Op::SubI: r = a - imm; break;
+          case Op::AndI: r = a & imm; break;
+          case Op::OrI: r = a | imm; break;
+          case Op::XorI: r = a ^ imm; break;
+          case Op::ShlI: r = a << (imm & 31); break;
+          case Op::ShrI: r = a >> (imm & 31); break;
+          default:
+            r = static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                      (imm & 31));
+            break;
+        }
+        writeGpr(u.rd, r);
+        break;
+      }
+
+      case Op::MvI:  // MvHI folded in at translation
+        ++cycle_;
+        writeGpr(u.rd, static_cast<uint32_t>(u.imm));
+        break;
+
+      case Op::Cmp:
+        if (u.flags)
+            uopGprStall(u);
+        ++cycle_;
+        writeGpr(u.rd,
+                 isa::evalCond(u.cond, gpr_[u.rs1], gpr_[u.rs2]) ? 1 : 0);
+        break;
+
+      case Op::CmpI:
+        if (u.flags)
+            uopGprStall(u);
+        ++cycle_;
+        writeGpr(u.rd,
+                 isa::evalCond(u.cond, gpr_[u.rs1],
+                               static_cast<uint32_t>(u.imm)) ? 1 : 0);
+        break;
+
+      case Op::Ld: case Op::Ldh: case Op::Ldhu:
+      case Op::Ldb: case Op::Ldbu: {
+        if (u.flags)
+            uopGprStall(u);
+        const uint64_t t = ++cycle_;
+        const uint32_t ea = gpr_[u.rs1] + static_cast<uint32_t>(u.imm);
+        uint32_t v = 0;
+        switch (u.op) {
+          case Op::Ld: v = memory_.read32(ea); break;
+          case Op::Ldh:
+            v = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int16_t>(
+                    memory_.read16(ea))));
+            break;
+          case Op::Ldhu: v = memory_.read16(ea); break;
+          case Op::Ldb:
+            v = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int8_t>(
+                    memory_.read8(ea))));
+            break;
+          default: v = memory_.read8(ea); break;
+        }
+        stats_.loads += 1;
+        if (traceSink_)
+            traceSink_->onDataRead(ea, static_cast<int>(u.aux));
+        writeGpr(u.rd, v);
+        setGprReady(u.rd, t + 2);  // one load delay slot
+        break;
+      }
+
+      case Op::St: case Op::Sth: case Op::Stb: {
+        if (u.flags)
+            uopGprStall(u);
+        ++cycle_;
+        const uint32_t ea = gpr_[u.rs1] + static_cast<uint32_t>(u.imm);
+        const uint32_t v = gpr_[u.rs2];
+        switch (u.op) {
+          case Op::St: memory_.write32(ea, v); break;
+          case Op::Sth:
+            memory_.write16(ea, static_cast<uint16_t>(v));
+            break;
+          default: memory_.write8(ea, static_cast<uint8_t>(v)); break;
+        }
+        stats_.stores += 1;
+        if (traceSink_)
+            traceSink_->onDataWrite(ea, static_cast<int>(u.aux));
+        break;
+      }
+
+      case Op::Ldc: {
+        const uint64_t t = ++cycle_;
+        const uint32_t ea = static_cast<uint32_t>(u.imm);  // pre-bound
+        const uint32_t v = memory_.read32(ea);
+        stats_.loads += 1;
+        if (traceSink_)
+            traceSink_->onDataRead(ea, 4);
+        writeGpr(0, v);
+        setGprReady(0, t + 2);
+        break;
+      }
+
+      case Op::FAddS: case Op::FSubS: case Op::FMulS: case Op::FDivS: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        useFpr(u.rs1);
+        useFpr(u.rs2);
+        const uint64_t t = uopFinishIssue();
+        const float a = asFloat(fpr_[u.rs1]);
+        const float b = asFloat(fpr_[u.rs2]);
+        float r = 0;
+        int lat = fpu.addSub;
+        switch (u.op) {
+          case Op::FAddS: r = a + b; break;
+          case Op::FSubS: r = a - b; break;
+          case Op::FMulS: r = a * b; lat = fpu.mul; break;
+          default: r = a / b; lat = fpu.divS; break;
+        }
+        fpr_[u.rd] = fromFloat(r);
+        setFprReady(u.rd, t + lat);
+        break;
+      }
+
+      case Op::FAddD: case Op::FSubD: case Op::FMulD: case Op::FDivD: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        useFpr(u.rs1);
+        useFpr(u.rs2);
+        const uint64_t t = uopFinishIssue();
+        const double a = asDouble(fpr_[u.rs1]);
+        const double b = asDouble(fpr_[u.rs2]);
+        double r = 0;
+        int lat = fpu.addSub;
+        switch (u.op) {
+          case Op::FAddD: r = a + b; break;
+          case Op::FSubD: r = a - b; break;
+          case Op::FMulD: r = a * b; lat = fpu.mul; break;
+          default: r = a / b; lat = fpu.divD; break;
+        }
+        fpr_[u.rd] = fromDouble(r);
+        setFprReady(u.rd, t + lat);
+        break;
+      }
+
+      case Op::FNegS: case Op::FNegD: case Op::FMv: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        useFpr(u.rs1);
+        const uint64_t t = uopFinishIssue();
+        if (u.op == Op::FNegS)
+            fpr_[u.rd] = fromFloat(-asFloat(fpr_[u.rs1]));
+        else if (u.op == Op::FNegD)
+            fpr_[u.rd] = fromDouble(-asDouble(fpr_[u.rs1]));
+        else
+            fpr_[u.rd] = fpr_[u.rs1];
+        setFprReady(u.rd, t + (u.op == Op::FMv ? fpu.move : fpu.addSub));
+        break;
+      }
+
+      case Op::FCmpS: case Op::FCmpD: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        useFpr(u.rs1);
+        useFpr(u.rs2);
+        const uint64_t t = uopFinishIssue();
+        const bool r =
+            u.op == Op::FCmpS
+                ? isa::evalCondFp(u.cond, asFloat(fpr_[u.rs1]),
+                                  asFloat(fpr_[u.rs2]))
+                : isa::evalCondFp(u.cond, asDouble(fpr_[u.rs1]),
+                                  asDouble(fpr_[u.rs2]));
+        fpStatus_ = r ? 1 : 0;
+        statusReady_ = t + fpu.compare;
+        break;
+      }
+
+      case Op::CvtSiSf: case Op::CvtSiDf: case Op::CvtSfDf:
+      case Op::CvtDfSf: case Op::CvtSfSi: case Op::CvtDfSi: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        useFpr(u.rs1);
+        const uint64_t t = uopFinishIssue();
+        const uint64_t src = fpr_[u.rs1];
+        uint64_t r = 0;
+        switch (u.op) {
+          case Op::CvtSiSf:
+            r = fromFloat(static_cast<float>(
+                static_cast<int32_t>(static_cast<uint32_t>(src))));
+            break;
+          case Op::CvtSiDf:
+            r = fromDouble(static_cast<double>(
+                static_cast<int32_t>(static_cast<uint32_t>(src))));
+            break;
+          case Op::CvtSfDf:
+            r = fromDouble(static_cast<double>(asFloat(src)));
+            break;
+          case Op::CvtDfSf:
+            r = fromFloat(static_cast<float>(asDouble(src)));
+            break;
+          case Op::CvtSfSi:
+            r = static_cast<uint32_t>(
+                static_cast<int32_t>(asFloat(src)));
+            break;
+          default:
+            r = static_cast<uint32_t>(
+                static_cast<int32_t>(asDouble(src)));
+            break;
+        }
+        fpr_[u.rd] = r;
+        setFprReady(u.rd, t + fpu.convert);
+        break;
+      }
+
+      case Op::MifL: case Op::MifH: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        if (u.flags & Uop::ChkRs1)
+            useGpr(u.rs1);
+        useFpr(u.rd);  // partial update reads the other half
+        const uint64_t t = uopFinishIssue();
+        const uint64_t g = gpr_[u.rs1];
+        if (u.op == Op::MifL)
+            fpr_[u.rd] = (fpr_[u.rd] & 0xffffffff00000000ull) | g;
+        else
+            fpr_[u.rd] = (fpr_[u.rd] & 0xffffffffull) | (g << 32);
+        setFprReady(u.rd, t + fpu.move);
+        break;
+      }
+
+      case Op::MfiL: case Op::MfiH: {
+        stats_.fpOps += 1;
+        stallThisInsn_ = 0;
+        useFpr(u.rs1);
+        uopFinishIssue();
+        const uint64_t f = fpr_[u.rs1];
+        writeGpr(u.rd, u.op == Op::MfiL
+                           ? static_cast<uint32_t>(f)
+                           : static_cast<uint32_t>(f >> 32));
+        break;
+      }
+
+      case Op::Trap:
+        stats_.traps += 1;
+        if (u.flags)
+            uopGprStall(u);  // rs1 normalized to r2 at translation
+        ++cycle_;
+        doTrap(u.imm);
+        return halted_;
+
+      case Op::Rdsr:
+        stallThisInsn_ = 0;
+        useStatus();
+        uopFinishIssue();
+        writeGpr(u.rd, fpStatus_);
+        break;
+
+      case Op::Nop:
+        ++cycle_;
+        break;
+
+      default:
+        panic("block engine: unexpected op in a compiled block");
+    }
+    return false;
+}
+
+/**
+ * Dispatch compiled blocks from pc_ until the machine halts (true) or
+ * the current pc needs step() — unclaimed/misaligned pc, a NeedsStep
+ * block, or an instruction-limit crossing (false). Entered only with
+ * no delay slot or shadow pending; leaves none pending (every
+ * compiled block either ends before its terminator or consumes the
+ * shadow with its own slot).
+ */
+bool
+Machine::runBlocks()
+{
+    const BlockProgram &bp = *blocks_;
+    TraceSink *const sink = traceSink_;
+
+    while (true) {
+        if (pc_ == 0) {
+            // Halt sentinel: the startup return address.
+            halted_ = true;
+            exitStatus_ = static_cast<int>(gpr_[2]);
+            return true;
+        }
+        const int32_t id = bp.blockAt(pc_);
+        if (id < 0)
+            return false;
+        const BlockProgram::Block &b = bp.block(id);
+        if (b.needsStep)
+            return false;
+
+        const uint64_t n = b.count;
+        if (stats_.instructions + n > limitCheckAt_) {
+            // Crossing maxInstructions inside a block: hand the block
+            // to step() so the limit fires at the precise instruction.
+            if (stats_.instructions + n > config_.maxInstructions)
+                return false;
+            limitCheckAt_ = std::min(config_.maxInstructions,
+                                     stats_.instructions +
+                                         LimitCheckInterval);
+        }
+        stats_.instructions += n;
+        blockInstructions_ += n;
+
+        // Tracks how many of the block's n instructions have retired
+        // (counting the one in flight), so both a mid-block halt trap
+        // and a faulting uop (memory error -> FatalError) can back out
+        // the unexecuted tail — step() counts the faulting instruction
+        // and the block path must report identical stats.
+        uint64_t executed = 0;
+        try {
+
+        const Uop *const body = bp.uops(b);
+        const Uop *const end = body + b.uopCount;
+        for (const Uop *u = body; u != end; ++u) {
+            executed = static_cast<uint64_t>(u - body) + 1;
+            if (execUop(*u)) {
+                // Halt trap mid-block: back out the unexecuted tail.
+                stats_.instructions -= n - executed;
+                blockInstructions_ -= n - executed;
+                // step() leaves pc_ just past a halting instruction.
+                pc_ = b.startPc +
+                      static_cast<uint32_t>(executed) *
+                          static_cast<uint32_t>(target_->insnBytes());
+                if (sink)
+                    sink->onFetchChunk(b.startPc,
+                                       static_cast<uint32_t>(executed));
+                return true;
+            }
+        }
+
+        if (!b.hasTerm) {
+            // Straight-line block: fall through to the next address
+            // (which may be pool data — then the next iteration's
+            // lookup fails and step() takes over, as in step mode).
+            pc_ = b.fallThroughPc;
+            if (sink)
+                sink->onFetchChunk(b.startPc, b.count);
+            continue;
+        }
+
+        // Terminator: compute taken/target, then the folded delay
+        // slot. takenBranches increments before the slot executes,
+        // matching step()'s ordering.
+        const Uop &cf = b.term;
+        executed = b.uopCount + 1;
+        stats_.branches += 1;
+        bool taken = false;
+        uint32_t target = 0;
+        switch (cf.op) {
+          case Op::Br:
+            ++cycle_;
+            taken = true;
+            target = static_cast<uint32_t>(cf.imm);
+            break;
+          case Op::Bz: case Op::Bnz: {
+            if (cf.flags)
+                uopGprStall(cf);
+            ++cycle_;
+            const bool z = gpr_[cf.rs1] == 0;
+            if (cf.op == Op::Bz ? z : !z) {
+                taken = true;
+                target = static_cast<uint32_t>(cf.imm);
+            }
+            break;
+          }
+          case Op::J:
+            ++cycle_;
+            taken = true;
+            target = static_cast<uint32_t>(cf.imm);
+            break;
+          case Op::Jl:
+            ++cycle_;
+            taken = true;
+            target = static_cast<uint32_t>(cf.imm);
+            writeGpr(1, cf.aux);  // pre-bound link value
+            break;
+          case Op::Jr: case Op::Jlr:
+            if (cf.flags)
+                uopGprStall(cf);
+            ++cycle_;
+            taken = true;
+            target = gpr_[cf.rs1];
+            if (cf.op == Op::Jlr)
+                writeGpr(1, cf.aux);
+            break;
+          case Op::Jrz: case Op::Jrnz: {
+            if (cf.flags)
+                uopGprStall(cf);
+            ++cycle_;
+            const bool z = gpr_[cf.rs2] == 0;
+            if (cf.op == Op::Jrz ? z : !z) {
+                taken = true;
+                target = gpr_[cf.rs1];
+            }
+            break;
+          }
+          default:
+            panic("block engine: bad terminator op");
+        }
+        if (taken)
+            stats_.takenBranches += 1;
+
+        executed = n;
+        const bool slotHalted = execUop(b.slot);
+        if (b.slotBubble)
+            stats_.branchBubbles += 1;
+        if (sink)
+            sink->onFetchChunk(b.startPc, b.count);
+        // On a delay-slot halt trap this matches step(), which applies
+        // the pending redirect in its epilogue before noticing halted_.
+        pc_ = taken ? target : b.fallThroughPc;
+        if (slotHalted)
+            return true;
+
+        } catch (...) {
+            // A faulting uop (memory error): restore the exact stats
+            // and pc step() would report for the same fault — execute()
+            // only advances pc_ in its epilogue, so step() faults with
+            // pc_ still at the offending instruction.
+            stats_.instructions -= n - executed;
+            blockInstructions_ -= n - executed;
+            if (executed)
+                pc_ = b.startPc +
+                      static_cast<uint32_t>(executed - 1) *
+                          static_cast<uint32_t>(target_->insnBytes());
+            throw;
+        }
+    }
+}
+
+} // namespace d16sim::sim

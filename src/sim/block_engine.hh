@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Block-compiled threaded-code execution engine.
+ *
+ * Machine::step pays a full dispatch (halt check, limit check, probe
+ * fan-out, shadow bookkeeping, operand scoreboard) per instruction.
+ * Most dynamic instructions, however, sit inside statically recovered
+ * basic blocks whose shape never changes: the CFG analyzer proves
+ * where every block starts, which instruction terminates it, and that
+ * the delay slot belongs to its branch. A BlockProgram translates each
+ * such block ONCE into a contiguous run of pre-bound uops — operands
+ * resolved, branch targets and Ldc pool addresses turned into absolute
+ * values, link values precomputed, load-use hazard checks narrowed to
+ * the only instructions that can actually stall — and the machine then
+ * dispatches block-to-block through a pc -> block map.
+ *
+ * Exactness contract (the golden sweeps, trace replay and the static
+ * timing analyzer all cross-validate against Machine::step):
+ *
+ *  - Architectural state, program output and every SimStats field are
+ *    bit-identical to stepping. Interlock accounting keeps the issue
+ *    scoreboard's semantics: a GPR stall can only be caused by the
+ *    *immediately preceding* dynamic instruction being a load, so a
+ *    uop carries a hazard-check flag per source iff its static
+ *    predecessor is a load writing that source (or the uop opens the
+ *    block, where the predecessor is unknown). FP/status latencies
+ *    span blocks and keep the full scoreboard.
+ *  - `instructions` is batched per block with an exact fixup when a
+ *    halt trap exits mid-block; `takenBranches` increments before the
+ *    delay slot executes, as in step order; `branchBubbles` is static
+ *    per block (shadow nop-ness is a decode-time property).
+ *  - The engine punts to step() for anything outside the static
+ *    picture: unclaimed pcs (jumps into pool data or mid-block),
+ *    misaligned pcs, blocks the translator marked NeedsStep (no delay
+ *    slot, control flow in a slot, undecodable sites), and instruction
+ *    -limit crossings (so the limit fires at the precise instruction).
+ *    Probe-attached runs never enter the engine at all — except a
+ *    lone TraceSink, which receives whole-block fetch chunks that
+ *    reproduce the per-instruction stream exactly.
+ *
+ * Layering: this lives in src/sim (the machine executes uops), but the
+ * block *discovery* comes from src/analysis, which depends on sim.
+ * The BlockTable struct is the narrow waist: analysis exports spans,
+ * sim translates them (analysis::exportBlockTable, then
+ * core::buildBlockProgram glues the two).
+ */
+
+#ifndef D16SIM_SIM_BLOCK_ENGINE_HH
+#define D16SIM_SIM_BLOCK_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asm/image.hh"
+#include "isa/decoded.hh"
+#include "sim/predecode.hh"
+
+namespace d16sim::sim
+{
+
+/** One analyzer-recovered basic block: `count` contiguous instruction
+ *  sites starting at `startPc` (delay slot included, per the CFG's
+ *  block ownership rule). */
+struct BlockSpan
+{
+    uint32_t startPc = 0;
+    uint32_t count = 0;
+};
+
+/** The narrow waist between analysis (which proves block boundaries)
+ *  and sim (which compiles them). Spans must be disjoint, ascending,
+ *  and cover only valid instruction sites. */
+struct BlockTable
+{
+    std::vector<BlockSpan> spans;
+};
+
+/**
+ * Block-granularity trace consumer. The engine cannot afford a
+ * per-instruction virtual call, but trace capture only needs the
+ * run-length-encoded fetch stream — which a block IS: `count`
+ * sequential fetches from `startPc`. A probe that also implements
+ * this interface (TraceProbe) keeps block dispatch eligible; data
+ * accesses reuse the Probe callback names so one override serves both.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** `count` sequential ifetches starting at `startPc`. Equivalent
+     *  to `count` onIFetch calls at insnBytes stride. */
+    virtual void onFetchChunk(uint32_t startPc, uint32_t count) = 0;
+
+    virtual void onDataRead(uint32_t addr, int size) = 0;
+    virtual void onDataWrite(uint32_t addr, int size) = 0;
+};
+
+/** One pre-bound micro-operation. Immediates are resolved at
+ *  translation: branch/jump targets and Ldc pool addresses become
+ *  absolute, MvHI's shift is folded, link values are precomputed. */
+struct Uop
+{
+    /** Hazard-check flags: test the GPR scoreboard for this source.
+     *  Clear means the translator proved the static predecessor is not
+     *  a load writing it, so no stall is possible. */
+    static constexpr uint8_t ChkRs1 = 1;
+    static constexpr uint8_t ChkRs2 = 2;
+
+    isa::Op op{};
+    isa::Cond cond{};
+    uint8_t flags = 0;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;   //!< immediate / absolute target / absolute ea
+    uint32_t aux = 0;  //!< link value (Jl/Jlr) or access size (ld/st)
+};
+
+/**
+ * An image's text section compiled to threaded code. Immutable after
+ * construction and shareable read-only across threads, exactly like
+ * the DecodedText it was built from; the sweep engine builds one per
+ * build node.
+ */
+class BlockProgram
+{
+  public:
+    struct Block
+    {
+        uint32_t startPc = 0;
+        uint32_t count = 0;          //!< instructions incl. term + slot
+        uint32_t fallThroughPc = 0;  //!< next *address* (may be pool)
+        uint32_t uopBegin = 0;       //!< body run in the uop pool
+        uint32_t uopCount = 0;       //!< body size (count - 2 if term)
+        Uop term;                    //!< terminator, valid iff hasTerm
+        Uop slot;                    //!< delay slot, valid iff hasTerm
+        bool hasTerm = false;
+        bool slotBubble = false;     //!< slot is the canonical nop
+        bool needsStep = false;      //!< dispatch must punt to step()
+    };
+
+    /** Translate every span. `text` must be the predecode table of
+     *  `image`; spans outside it or holding invalid slots are marked
+     *  needsStep rather than rejected. */
+    BlockProgram(const assem::Image &image, const DecodedText &text,
+                 const BlockTable &table);
+
+    /** Block starting exactly at `pc`, or -1 (unclaimed / misaligned /
+     *  outside text). */
+    int32_t
+    blockAt(uint32_t pc) const
+    {
+        const uint32_t off = pc - textBase_;
+        if (off >= textSize_ || (off & mask_) != 0)
+            return -1;
+        return index_[off >> shift_];
+    }
+
+    const Block &block(int32_t id) const { return blocks_[id]; }
+    const Uop *uops(const Block &b) const { return uops_.data() + b.uopBegin; }
+
+    size_t blockCount() const { return blocks_.size(); }
+    size_t needsStepCount() const { return needsStep_; }
+    size_t uopCount() const { return uops_.size(); }
+
+  private:
+    void translate(const isa::TargetInfo &t, const DecodedText &text,
+                   const BlockSpan &span);
+
+    uint32_t textBase_ = 0;
+    uint32_t textSize_ = 0;
+    unsigned shift_ = 2;
+    uint32_t mask_ = 3;
+    size_t needsStep_ = 0;
+    std::vector<Block> blocks_;
+    std::vector<Uop> uops_;
+    std::vector<int32_t> index_;  //!< per text slot: block id or -1
+};
+
+} // namespace d16sim::sim
+
+#endif // D16SIM_SIM_BLOCK_ENGINE_HH

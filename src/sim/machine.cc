@@ -161,6 +161,21 @@ Machine::setFprReady(int r, uint64_t when)
 int
 Machine::run()
 {
+    // Block dispatch is eligible only when no probe needs the
+    // per-instruction callbacks: either no probes at all, or exactly
+    // one that declared itself a block-capable TraceSink. The guard
+    // on the delay-slot/shadow flags keeps a pending transfer (from a
+    // step()-executed branch) in step()'s hands until it resolves.
+    if (blocks_ && (probes_.empty() ||
+                    (probes_.size() == 1 && traceSink_ != nullptr))) {
+        while (!halted_) {
+            if (!inDelaySlot_ && !inCfShadow_ && runBlocks())
+                break;
+            if (!step())
+                break;
+        }
+        return exitStatus_;
+    }
     while (step()) {
     }
     return exitStatus_;

@@ -37,6 +37,7 @@
 #include "isa/decoded.hh"
 #include "isa/target.hh"
 #include "mem/memory.hh"
+#include "sim/block_engine.hh"
 #include "sim/predecode.hh"
 #include "sim/probe.hh"
 #include "sim/stats.hh"
@@ -77,6 +78,28 @@ class Machine
     /** Attach an observation probe (not owned). */
     void addProbe(Probe *p) { probes_.push_back(p); }
 
+    /** Attach a compiled block program for the image (shared,
+     *  immutable; see BlockProgram). run() then dispatches whole
+     *  blocks wherever the static picture holds and falls back to
+     *  step() everywhere else. Probe-attached runs ignore it — except
+     *  a lone TraceSink (setTraceSink), which keeps block dispatch
+     *  eligible. Results are bit-identical either way. */
+    void
+    setBlockProgram(std::shared_ptr<const BlockProgram> blocks)
+    {
+        blocks_ = std::move(blocks);
+    }
+
+    /** Declare the single attached probe as block-capable: it receives
+     *  block-granularity fetch chunks and direct data callbacks from
+     *  the engine (and normal per-instruction probe callbacks from any
+     *  step() fallback). `sink` must also be registered via addProbe. */
+    void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
+
+    /** Instructions retired through block dispatch (diagnostic; the
+     *  remainder of stats().instructions went through step()). */
+    uint64_t blockInstructions() const { return blockInstructions_; }
+
     /** Run until halt; returns the exit status (r2 at halt). */
     int run();
 
@@ -102,6 +125,12 @@ class Machine
     void execute(const isa::DecodedInst &inst);
     void writeGpr(int r, uint32_t v);
     void doTrap(int code);
+
+    /** Block-engine dispatch (defined in block_engine.cc). */
+    bool runBlocks();
+    bool execUop(const Uop &u);
+    void uopGprStall(const Uop &u);
+    uint64_t uopFinishIssue();
 
     /** Issue-time scoreboard helpers. */
     void useGpr(int r);
@@ -155,6 +184,11 @@ class Machine
     SimStats stats_;
     std::string output_;
     std::vector<Probe *> probes_;
+
+    // Threaded-code engine (optional; null = pure step dispatch).
+    std::shared_ptr<const BlockProgram> blocks_;
+    TraceSink *traceSink_ = nullptr;
+    uint64_t blockInstructions_ = 0;
 };
 
 } // namespace d16sim::sim

@@ -35,6 +35,9 @@ struct SimStats
      *  and dynamic cycle accounting share one taxonomy. */
     uint64_t branchBubbles = 0;
 
+    /** Field-by-field equality (the block-engine differential gate). */
+    bool operator==(const SimStats &) const = default;
+
     uint64_t interlocks() const { return loadInterlocks + fpInterlocks; }
 
     /** Cycles assuming a perfect memory system (no wait states). */

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Differential gate for the block-compiled threaded-code engine.
+ *
+ * The engine's contract is bit-exactness against Machine::step: same
+ * architectural results, same SimStats field by field, same recorded
+ * D16T traces, same canonical sweep JSON — the only observable
+ * difference allowed is speed. These tests run both dispatchers over
+ * the whole workload suite and over seeded fallback scenarios (jumps
+ * into pool data, mid-block entry, probe-attached runs, instruction
+ * limits) and require equality everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "asm/parser.hh"
+#include "core/replay/trace.hh"
+#include "core/sweep/sweep.hh"
+#include "core/toolchain.hh"
+#include "core/workloads.hh"
+#include "sim/block_engine.hh"
+#include "sim/machine.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace d16sim;
+using d16sim::core::sweep::SweepEngine;
+
+/** Every SimStats field, attributed individually on mismatch. */
+void
+expectStatsEqual(const sim::SimStats &a, const sim::SimStats &b,
+                 const std::string &where)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << where;
+    EXPECT_EQ(a.loads, b.loads) << where;
+    EXPECT_EQ(a.stores, b.stores) << where;
+    EXPECT_EQ(a.loadInterlocks, b.loadInterlocks) << where;
+    EXPECT_EQ(a.fpInterlocks, b.fpInterlocks) << where;
+    EXPECT_EQ(a.branches, b.branches) << where;
+    EXPECT_EQ(a.takenBranches, b.takenBranches) << where;
+    EXPECT_EQ(a.fpOps, b.fpOps) << where;
+    EXPECT_EQ(a.traps, b.traps) << where;
+    EXPECT_EQ(a.branchBubbles, b.branchBubbles) << where;
+    EXPECT_TRUE(a == b) << where;  // defaulted operator== agrees
+}
+
+assem::Image
+buildAsm(const isa::TargetInfo &t, std::string_view src)
+{
+    assem::Assembler as(t);
+    as.add(assem::parseAsm(t, src));
+    return as.link();
+}
+
+/** Little-endian instruction word read straight from the image. */
+uint32_t
+imageWord(const assem::Image &img, uint32_t addr, int bytes)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<uint32_t>(img.bytes[addr - img.textBase + i])
+             << (8 * i);
+    return v;
+}
+
+/** Run one image through step dispatch and block dispatch and require
+ *  identical measurements; returns the block machine for inspection. */
+std::unique_ptr<sim::Machine>
+runBothAndCompare(const assem::Image &img, const std::string &where,
+                  sim::MachineConfig config = {})
+{
+    sim::Machine stepM(img, config);
+    stepM.run();
+
+    auto blockM = std::make_unique<sim::Machine>(img, config);
+    blockM->setBlockProgram(core::buildBlockProgram(img));
+    blockM->run();
+
+    EXPECT_EQ(stepM.halted(), blockM->halted()) << where;
+    EXPECT_EQ(stepM.output(), blockM->output()) << where;
+    EXPECT_EQ(stepM.pc(), blockM->pc()) << where;
+    for (int r = 0; r < 16; ++r)
+        EXPECT_EQ(stepM.reg(r), blockM->reg(r)) << where << " r" << r;
+    expectStatsEqual(stepM.stats(), blockM->stats(), where);
+    return blockM;
+}
+
+/** Minimal per-instruction probe: any non-TraceSink probe must force
+ *  the machine back to pure step dispatch. */
+class CountingProbe : public sim::Probe
+{
+  public:
+    void onIFetch(uint32_t) override { ++fetches_; }
+    uint64_t fetches() const { return fetches_; }
+
+  private:
+    uint64_t fetches_ = 0;
+};
+
+// ----- whole-suite differential ---------------------------------------
+
+TEST(BlockEngine, SmokeMatrixByteIdenticalJson)
+{
+    core::sweep::ResultStore onStore, offStore;
+
+    SweepEngine on(onStore, 4);
+    on.setBlockEngine(true);
+    on.add(core::sweep::smokeMatrix());
+    on.run();
+
+    SweepEngine off(offStore, 4);
+    off.setBlockEngine(false);
+    off.add(core::sweep::smokeMatrix());
+    off.run();
+
+    const std::string onJson =
+        core::sweep::sweepJson(onStore, nullptr).dump(2);
+    const std::string offJson =
+        core::sweep::sweepJson(offStore, nullptr).dump(2);
+    EXPECT_EQ(onJson, offJson);
+}
+
+TEST(BlockEngine, WorkloadStatsAndTracesIdentical)
+{
+    const std::vector<mc::CompileOptions> variants = {
+        mc::CompileOptions::d16(),
+        mc::CompileOptions::dlxe(32, true),
+    };
+    for (const core::Workload &w : core::workloadSuite()) {
+        for (const mc::CompileOptions &opts : variants) {
+            const std::string where =
+                w.name + " " + std::string(opts.name());
+            const assem::Image img = core::build(w.source, opts);
+            auto predecoded =
+                std::make_shared<const sim::DecodedText>(img);
+            auto blocks = core::buildBlockProgram(img, predecoded);
+
+            // Step vs block, probe-less.
+            const core::RunMeasurement stepRun =
+                core::run(img, {}, {}, predecoded);
+            const core::RunMeasurement blockRun =
+                core::run(img, {}, {}, predecoded, blocks);
+            EXPECT_EQ(stepRun.output, blockRun.output) << where;
+            EXPECT_EQ(stepRun.exitStatus, blockRun.exitStatus) << where;
+            expectStatsEqual(stepRun.stats, blockRun.stats, where);
+
+            // Step vs block trace capture: byte-identical D16T files.
+            const core::replay::Trace stepTrace =
+                core::replay::capture(img, predecoded);
+            const core::replay::Trace blockTrace =
+                core::replay::capture(img, predecoded, {}, blocks);
+            EXPECT_EQ(stepTrace.serialize(), blockTrace.serialize())
+                << where;
+        }
+    }
+}
+
+TEST(BlockEngine, EngineActuallyDispatchesBlocks)
+{
+    const core::Workload &w = core::workload("queens");
+    const assem::Image img =
+        core::build(w.source, mc::CompileOptions::d16());
+    sim::Machine m(img);
+    m.setBlockProgram(core::buildBlockProgram(img));
+    m.run();
+    ASSERT_TRUE(m.halted());
+    // Nearly everything should retire through compiled blocks; the
+    // remainder is delay-slot/pool stepping around indirect calls.
+    EXPECT_GT(m.blockInstructions(),
+              m.stats().instructions * 9 / 10);
+}
+
+TEST(BlockEngine, TranslationCoversCfg)
+{
+    const core::Workload &w = core::workload("towers");
+    for (const auto &opts : {mc::CompileOptions::d16(),
+                             mc::CompileOptions::dlxe(16, false)}) {
+        const assem::Image img = core::build(w.source, opts);
+        auto blocks = core::buildBlockProgram(img);
+        EXPECT_GT(blocks->blockCount(), 0u) << opts.name();
+        EXPECT_GT(blocks->uopCount(), 0u) << opts.name();
+        // NeedsStep blocks are the rare edges (terminator without a
+        // slot before a pool, transfers inside slots), never the bulk.
+        EXPECT_LT(blocks->needsStepCount(), blocks->blockCount() / 2)
+            << opts.name();
+    }
+}
+
+// ----- seeded fallback scenarios --------------------------------------
+
+TEST(BlockEngine, FallbackJumpIntoPoolDataDLXe)
+{
+    const isa::TargetInfo &t = isa::TargetInfo::dlxe();
+    // Steal real encodings (jr ra; nop) to plant as in-text "data".
+    const assem::Image donor = buildAsm(t, "main:\n    ret\n    nop\n");
+    const uint32_t retWord = imageWord(donor, donor.entry, 4);
+    const uint32_t nopWord = imageWord(donor, donor.entry + 4, 4);
+
+    // The straight-line block falls off its end into .word data the
+    // CFG never claimed; both dispatchers must execute it raw.
+    const std::string src =
+        "main:\n"
+        "    mvi r2, 7\n"
+        "    mvi r3, 1\n"
+        "data:\n"
+        "    .word " + std::to_string(retWord) + "\n"
+        "    .word " + std::to_string(nopWord) + "\n";
+    const assem::Image img = buildAsm(t, src);
+    auto m = runBothAndCompare(img, "fall into pool data");
+    EXPECT_EQ(m->reg(2), 7u);
+    EXPECT_EQ(m->stats().instructions, 4u);
+    // The opening block ran compiled; the pool words were stepped.
+    EXPECT_EQ(m->blockInstructions(), 2u);
+}
+
+TEST(BlockEngine, FallbackJumpIntoPoolDataD16)
+{
+    const isa::TargetInfo &t = isa::TargetInfo::d16();
+    const assem::Image donor = buildAsm(t, "main:\n    ret\n    nop\n");
+    const uint32_t retHalf = imageWord(donor, donor.entry, 2);
+    const uint32_t nopHalf = imageWord(donor, donor.entry + 2, 2);
+
+    // An indirect jump INTO a constant pool: the target pc is not an
+    // instruction site, so no block claims it and step() decodes the
+    // raw halfwords, exactly as without the engine.
+    const std::string src =
+        "    .align 4\n"
+        "paddr:\n"
+        "    .word pool\n"
+        "main:\n"
+        "    mvi r2, 9\n"
+        "    ldc paddr\n"
+        "    jr at\n"
+        "    nop\n"
+        "pool:\n"
+        "    .half " + std::to_string(retHalf) + "\n"
+        "    .half " + std::to_string(nopHalf) + "\n";
+    const assem::Image img = buildAsm(t, src);
+    auto m = runBothAndCompare(img, "jump into pool data");
+    EXPECT_EQ(m->reg(2), 9u);
+    EXPECT_TRUE(m->halted());
+}
+
+TEST(BlockEngine, FallbackUnclaimedMidBlockPc)
+{
+    const isa::TargetInfo &t = isa::TargetInfo::dlxe();
+    // f returns past the return-point leader: the landing pc is inside
+    // a block but is not a block start, so dispatch punts to step()
+    // until control reaches a claimed leader again.
+    const std::string src = R"(
+main:
+    jl f
+    nop
+    mvi r3, 1
+    mvi r4, 2
+    mvi r2, 5
+    mvi r1, 0
+    ret
+    nop
+f:
+    addi r1, r1, 4
+    jr r1
+    nop
+)";
+    const assem::Image img = buildAsm(t, src);
+    auto m = runBothAndCompare(img, "unclaimed mid-block pc");
+    EXPECT_EQ(m->reg(2), 5u);
+    EXPECT_EQ(m->reg(4), 2u);
+    EXPECT_EQ(m->reg(3), 0u);  // skipped by the off-by-one return
+    // Some instructions ran compiled, some stepped — and the counts
+    // reconcile.
+    EXPECT_GT(m->blockInstructions(), 0u);
+    EXPECT_LT(m->blockInstructions(), m->stats().instructions);
+}
+
+TEST(BlockEngine, FallbackProbeAttached)
+{
+    const core::Workload &w = core::workload("towers");
+    const assem::Image img =
+        core::build(w.source, mc::CompileOptions::dlxe(16, false));
+    auto blocks = core::buildBlockProgram(img);
+
+    sim::Machine stepM(img);
+    stepM.run();
+
+    // A per-instruction probe that is not a TraceSink disables block
+    // dispatch entirely; results match the probe-less step run.
+    CountingProbe probe;
+    sim::Machine probeM(img);
+    probeM.setBlockProgram(blocks);
+    probeM.addProbe(&probe);
+    probeM.run();
+
+    EXPECT_EQ(probeM.blockInstructions(), 0u);
+    EXPECT_EQ(probe.fetches(), stepM.stats().instructions);
+    EXPECT_EQ(probeM.output(), stepM.output());
+    expectStatsEqual(probeM.stats(), stepM.stats(), "probe attached");
+}
+
+TEST(BlockEngine, InstructionLimitFiresAtSamePoint)
+{
+    const isa::TargetInfo &t = isa::TargetInfo::dlxe();
+    const std::string src = R"(
+main:
+loop:
+    addi r2, r2, 1
+    j loop
+    nop
+)";
+    const assem::Image img = buildAsm(t, src);
+    sim::MachineConfig config;
+    config.maxInstructions = 100;
+
+    sim::Machine stepM(img, config);
+    EXPECT_THROW(stepM.run(), FatalError);
+
+    sim::Machine blockM(img, config);
+    blockM.setBlockProgram(core::buildBlockProgram(img));
+    EXPECT_THROW(blockM.run(), FatalError);
+
+    expectStatsEqual(stepM.stats(), blockM.stats(), "instruction limit");
+    EXPECT_EQ(stepM.reg(2), blockM.reg(2));
+}
+
+} // namespace

@@ -11,18 +11,23 @@
  *
  * D16's 16-bit space is replayed exhaustively (all 65536 words);
  * DLXe's 32-bit space is sampled deterministically.  Each word is
- * replayed twice per position: once through the raw-word fallback (no
- * predecoded sites) and, when it decodes at all, once through the
- * predecode table, which must behave identically.
+ * replayed three times per position: through the raw-word fallback (no
+ * predecoded sites), through the predecode table, and through the
+ * block-compiled threaded-code engine (a hand-built BlockTable claiming
+ * the whole text), which must all behave identically — the block replay
+ * additionally requires bit-equal stats and architectural state against
+ * the predecoded step replay.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <sstream>
 
 #include "asm/image.hh"
 #include "isa/target.hh"
+#include "sim/block_engine.hh"
 #include "sim/machine.hh"
 #include "sim/predecode.hh"
 #include "support/error.hh"
@@ -74,15 +79,57 @@ enum class Verdict
     Panic,  //!< internal crash — never acceptable
 };
 
-Verdict
-replay(const assem::Image &img, std::string *why)
+/** Architectural + measurement state after a replay, for differential
+ *  comparison between the step and block dispatch paths. */
+struct Outcome
+{
+    Verdict verdict = Verdict::Ran;
+    sim::SimStats stats;
+    std::string output;
+    uint32_t pc = 0;
+    std::array<uint32_t, 16> regs{};
+
+    bool
+    operator==(const Outcome &o) const
+    {
+        return verdict == o.verdict && stats == o.stats &&
+               output == o.output && pc == o.pc && regs == o.regs;
+    }
+};
+
+sim::MachineConfig
+replayConfig()
 {
     sim::MachineConfig cfg;
     cfg.memBytes = 1u << 16;
     cfg.maxInstructions = 16;
+    return cfg;
+}
+
+void
+snapshot(const sim::Machine &m, Outcome *out)
+{
+    out->stats = m.stats();
+    out->output = m.output();
+    out->pc = m.pc();
+    for (int r = 0; r < 16; ++r)
+        out->regs[static_cast<size_t>(r)] = m.reg(r);
+}
+
+Verdict
+replay(const assem::Image &img, std::string *why, Outcome *out = nullptr)
+{
     try {
-        sim::Machine m(img, cfg);
-        m.run();
+        sim::Machine m(img, replayConfig());
+        try {
+            m.run();
+        } catch (...) {
+            if (out)
+                snapshot(m, out);
+            throw;
+        }
+        if (out)
+            snapshot(m, out);
         return Verdict::Ran;
     } catch (const PanicError &e) {
         *why = e.what();
@@ -93,7 +140,42 @@ replay(const assem::Image &img, std::string *why)
     }
 }
 
-/** Replay `word` through both decode paths; report any panic. */
+/** Replay through the block engine with a hand-built BlockTable that
+ *  claims the whole (sited) text as one span; translation demotes
+ *  whatever it cannot compile to needsStep, and dispatch falls back to
+ *  step() for the rest — the outcome must match step dispatch bit for
+ *  bit. */
+Verdict
+replayBlocks(const assem::Image &img, std::string *why, Outcome *out)
+{
+    try {
+        auto text = std::make_shared<const sim::DecodedText>(img);
+        sim::BlockTable table;
+        table.spans.push_back(
+            {img.textBase, static_cast<uint32_t>(img.insnSites.size())});
+        auto blocks = std::make_shared<const sim::BlockProgram>(
+            img, *text, table);
+        sim::Machine m(img, replayConfig(), text);
+        m.setBlockProgram(std::move(blocks));
+        try {
+            m.run();
+        } catch (...) {
+            snapshot(m, out);
+            throw;
+        }
+        snapshot(m, out);
+        return Verdict::Ran;
+    } catch (const PanicError &e) {
+        *why = e.what();
+        return Verdict::Panic;
+    } catch (const FatalError &e) {
+        *why = e.what();
+        return Verdict::Fatal;
+    }
+}
+
+/** Replay `word` through all three dispatch paths; report any panic or
+ *  any step-vs-block divergence. */
 void
 checkWord(const isa::TargetInfo &target, uint32_t word, int &panics,
           std::ostringstream &report)
@@ -105,10 +187,29 @@ checkWord(const isa::TargetInfo &target, uint32_t word, int &panics,
                    << ": " << why << "\n";
         return;
     }
-    if (replay(sitedImage(target, word, 4), &why) == Verdict::Panic) {
+    const assem::Image sited = sitedImage(target, word, 4);
+    Outcome step, block;
+    step.verdict = replay(sited, &why, &step);
+    if (step.verdict == Verdict::Panic) {
         if (++panics <= 10)
             report << "  sited word " << std::hex << word << std::dec
                    << ": " << why << "\n";
+        return;
+    }
+    block.verdict = replayBlocks(sited, &why, &block);
+    if (block.verdict == Verdict::Panic) {
+        if (++panics <= 10)
+            report << "  block word " << std::hex << word << std::dec
+                   << ": " << why << "\n";
+        return;
+    }
+    if (!(step == block)) {
+        if (++panics <= 10)
+            report << "  word " << std::hex << word << std::dec
+                   << ": step/block divergence (insns "
+                   << step.stats.instructions << " vs "
+                   << block.stats.instructions << ", pc " << std::hex
+                   << step.pc << " vs " << block.pc << std::dec << ")\n";
     }
 }
 

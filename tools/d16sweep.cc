@@ -14,6 +14,8 @@
  *   d16sweep --no-timing                   byte-comparable output only
  *   d16sweep --no-replay                   re-simulate every job (A/B
  *                                          check of the trace-replay path)
+ *   d16sweep --no-block-engine             dispatch per instruction (A/B
+ *                                          check of the block engine)
  *   d16sweep --golden FILE                 compare against a golden file
  *   d16sweep --list                        print the selected job keys
  *
@@ -58,6 +60,7 @@ struct Args
     bool smoke = false;
     bool timing = true;
     bool replay = true;
+    bool blockEngine = true;
     bool list = false;
     std::vector<std::string> workloads;  //!< empty = all
     std::vector<std::string> variants;   //!< empty = all
@@ -103,8 +106,8 @@ main(int argc, char **argv)
     cli::Cli parser("d16sweep",
                     "[--jobs N] [--smoke] [--workloads a,b,...]\n"
                     "       [--variants D16,DLXe/32/3,...] [--json FILE|-]\n"
-                    "       [--no-timing] [--no-replay] [--golden FILE]\n"
-                    "       [--list]");
+                    "       [--no-timing] [--no-replay] [--no-block-engine]\n"
+                    "       [--golden FILE] [--list]");
     parser.value("--jobs", [&](const std::string &v) {
         args.jobs = std::max(1, std::atoi(v.c_str()));
         return true;
@@ -121,6 +124,7 @@ main(int argc, char **argv)
     parser.stringValue("--json", &args.jsonPath);
     parser.flag("--no-timing", [&] { args.timing = false; });
     parser.flag("--no-replay", [&] { args.replay = false; });
+    parser.flag("--no-block-engine", [&] { args.blockEngine = false; });
     parser.stringValue("--golden", &args.goldenPath);
     parser.flag("--list", &args.list);
     switch (parser.parse(argc, argv)) {
@@ -144,6 +148,7 @@ main(int argc, char **argv)
         sweep::ResultStore store;
         sweep::SweepEngine engine(store, args.jobs);
         engine.setReplay(args.replay);
+        engine.setBlockEngine(args.blockEngine);
         engine.add(std::move(jobs));
         engine.run();
 
